@@ -1,0 +1,92 @@
+// Writes plot-ready CSVs for the headline figures into ./artifacts/ — the
+// handoff for anyone regenerating the paper's plots with their own tooling.
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/experiments.h"
+#include "analysis/export.h"
+#include "dataset/httparchive.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace aw4a;
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "artifacts";
+  analysis::AnalysisOptions options;
+  options.pages_per_country = 60;
+
+  // Fig. 1: the growth series.
+  {
+    analysis::CsvWriter writer(dir / "fig01_page_evolution.csv",
+                               {"year", "mobile_p25_kb", "mobile_median_kb", "mobile_p75_kb",
+                                "desktop_median_kb"});
+    const auto mobile = dataset::mobile_page_weight_series();
+    const auto desktop = dataset::desktop_page_weight_series();
+    for (std::size_t i = 0; i < mobile.size(); ++i) {
+      const double row[] = {mobile[i].year, mobile[i].p25_kb, mobile[i].median_kb,
+                            mobile[i].p75_kb, desktop[i].median_kb};
+      writer.row_values(row);
+    }
+  }
+
+  // Fig. 2a: price CDFs per plan.
+  for (net::PlanType plan : net::kAllPlans) {
+    analysis::export_cdf(dir / ("fig02a_prices_" + std::string(net::plan_code(plan)) + ".csv"),
+                         dataset::global_price_distribution(plan));
+  }
+
+  // Fig. 2b/2c/3a inputs: one row per country.
+  {
+    const auto stats = analysis::measure_countries(options);
+    analysis::CsvWriter writer(
+        dir / "fig02_countries.csv",
+        {"country", "developing", "mean_page_mb", "mean_cached_mb", "paw_do", "paw_dvlu",
+         "paw_dvhu"});
+    for (const auto& s : stats) {
+      std::vector<std::string> row{std::string(s.country->name),
+                                   s.country->developing ? "1" : "0",
+                                   fmt(s.mean_page_mb, 4), fmt(s.mean_cached_mb, 4)};
+      for (net::PlanType plan : net::kAllPlans) {
+        row.push_back(s.country->has_price_data
+                          ? fmt(core::paw_index(*s.country, plan), 4)
+                          : "");
+      }
+      writer.row(row);
+    }
+  }
+
+  // Fig. 3a: the affordability curve.
+  {
+    analysis::CsvWriter writer(dir / "fig03a_affordability.csv",
+                               {"factor", "pct_failing_do", "pct_failing_dvlu",
+                                "pct_failing_dvhu"});
+    for (double factor = 1.0; factor <= 10.0 + 1e-9; factor += 0.25) {
+      const double row[] = {
+          factor, analysis::pct_countries_failing(net::PlanType::kDataOnly, false, factor),
+          analysis::pct_countries_failing(net::PlanType::kDataVoiceLowUsage, false, factor),
+          analysis::pct_countries_failing(net::PlanType::kDataVoiceHighUsage, false, factor)};
+      writer.row_values(row);
+    }
+  }
+
+  // Fig. 10 / Table 3.
+  {
+    analysis::CountryReductionOptions cro;
+    cro.pages_per_country = 10;
+    const auto rows = analysis::country_wise_reduction(cro);
+    analysis::CsvWriter writer(dir / "fig10_country_reduction.csv",
+                               {"country", "paw", "pct_urls_qt09", "pct_urls_qt08",
+                                "avg_qss_qt09", "avg_qss_qt08"});
+    for (const auto& r : rows) {
+      writer.row(std::vector<std::string>{std::string(r.country->name), fmt(r.paw, 4),
+                                          fmt(r.pct_meeting_qt09, 2), fmt(r.pct_meeting_qt08, 2),
+                                          fmt(r.avg_qss_qt09, 4), fmt(r.avg_qss_qt08, 4)});
+    }
+  }
+
+  std::cout << "wrote artifacts to " << dir << ":\n";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::cout << "  " << entry.path().filename().string() << "  ("
+              << entry.file_size() << " bytes)\n";
+  }
+  return 0;
+}

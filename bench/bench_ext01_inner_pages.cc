@@ -1,0 +1,71 @@
+// Extension (paper §10 "Non-landing pages and caching"): what a browsing
+// *session* costs when users navigate past the landing page, and how much
+// sitewide asset sharing (CSS/fonts/first-party JS/chrome images) recovers.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "dataset/corpus.h"
+#include "net/cache.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace aw4a;
+  const int sites = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int inner_per_site = 3;
+  analysis::print_header(
+      std::cout, "Extension — inner pages & within-site caching",
+      "the paper defers inner pages to future work; Aqeel et al. (IMC '20) "
+      "show they differ structurally from landing pages",
+      std::to_string(sites) + " sites x (landing + " + std::to_string(inner_per_site) +
+          " inner pages); sitewide assets shared by object id");
+
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 777});
+  Rng rng(777);
+  std::vector<double> landing_mb;
+  std::vector<double> inner_mb;
+  std::vector<double> session_cold_mb;    // landing + inner, no cache
+  std::vector<double> session_shared_mb;  // with within-site cache hits
+  for (int s = 0; s < sites; ++s) {
+    const auto site = gen.make_site(rng, from_mb(rng.uniform(1.8, 3.2)),
+                                    gen.global_profile(), inner_per_site);
+    landing_mb.push_back(to_mb(site.landing.transfer_size()));
+
+    // A session: the landing page, then each inner page; shared objects are
+    // fetched once (cold cache at session start).
+    net::LruByteCache cache(512 * kMB);
+    Bytes with_sharing = 0;
+    Bytes without_sharing = site.landing.transfer_size();
+    for (const auto& o : site.landing.objects) {
+      with_sharing += cache.fetch(web::to_cache_item(o), 0);
+    }
+    for (const auto& page : site.inner) {
+      inner_mb.push_back(to_mb(page.transfer_size()));
+      without_sharing += page.transfer_size();
+      for (const auto& o : page.objects) {
+        with_sharing += cache.fetch(web::to_cache_item(o), 1);
+      }
+    }
+    session_cold_mb.push_back(to_mb(without_sharing));
+    session_shared_mb.push_back(to_mb(with_sharing));
+  }
+
+  TextTable table({"quantity", "mean MB"});
+  table.add_row({"landing page", fmt(mean(landing_mb), 2)});
+  table.add_row({"inner page", fmt(mean(inner_mb), 2)});
+  table.add_row({"4-page session, no sharing", fmt(mean(session_cold_mb), 2)});
+  table.add_row({"4-page session, shared assets", fmt(mean(session_shared_mb), 2)});
+  std::cout << table.render(2) << '\n';
+
+  const double saving = 1.0 - mean(session_shared_mb) / mean(session_cold_mb);
+  std::cout << "within-site sharing saves " << fmt(saving * 100, 1)
+            << "% of session bytes\n";
+  std::cout << "inner/landing size ratio: " << fmt(mean(inner_mb) / mean(landing_mb), 2)
+            << "  (IMC'20: inner pages are substantially lighter)\n";
+  std::cout << "\nimplication for PAW: a session-based W_avg is "
+            << fmt(mean(session_shared_mb) / 4.0, 2)
+            << " MB/page vs the landing-only " << fmt(mean(landing_mb), 2)
+            << " MB — landing-only PAW (the paper's, and ours) is conservative\n";
+  return 0;
+}

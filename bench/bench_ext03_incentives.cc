@@ -1,0 +1,81 @@
+// Extension (paper §9): the operator's incentive computed. Revenue as a
+// function of the tier depth in two markets — the "differentiated service
+// offering can increase revenue" argument, with numbers.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "econ/incentives.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aw4a;
+  analysis::print_header(
+      std::cout, "Extension — §9 stakeholder incentives",
+      "the paper argues lighter tiers bring priced-out users online and raise "
+      "ad revenue, but does not quantify it",
+      "lognormal income model; users online when 100 accesses/month fit 0.5% "
+      "of income; CPM revenue");
+
+  const double original_page = 2.47e6;  // bytes
+  const double reductions[] = {1.0, 1.25, 1.5, 2.0, 3.0, 4.5, 6.0};
+
+  struct Market {
+    const char* label;
+    econ::MarketModel model;
+  };
+  std::vector<Market> markets;
+  {
+    econ::MarketModel developing;
+    developing.mean_monthly_income_usd = 180.0;
+    developing.income_sigma = 1.0;
+    developing.usd_per_gb = 2.5;
+    markets.push_back({"developing market (GNI $2.2k, $2.5/GB)", developing});
+  }
+  {
+    econ::MarketModel developed;
+    developed.mean_monthly_income_usd = 3200.0;
+    developed.income_sigma = 0.6;
+    developed.usd_per_gb = 3.0;
+    markets.push_back({"developed market (GNI $38k, $3/GB)", developed});
+  }
+
+  Rng rng(909);
+  for (const auto& market : markets) {
+    std::cout << "--- " << market.label << " ---\n";
+    TextTable table({"tier", "users online", "monthly accesses", "ad revenue/mo"});
+    double base_revenue = 0;
+    double best_revenue = 0;
+    double best_reduction = 1.0;
+    for (double r : reductions) {
+      Rng run = rng.fork(static_cast<std::uint64_t>(r * 1000) ^ stable_hash(market.label));
+      const auto outcome =
+          econ::evaluate_market(run, market.model, original_page / r);
+      if (r == 1.0) base_revenue = outcome.ad_revenue_usd;
+      if (outcome.ad_revenue_usd > best_revenue) {
+        best_revenue = outcome.ad_revenue_usd;
+        best_reduction = r;
+      }
+      table.add_row({fmt(r, 2) + "x", fmt(outcome.users_online, 0),
+                     fmt(outcome.monthly_accesses, 0),
+                     "$" + fmt(outcome.ad_revenue_usd, 0)});
+    }
+    std::cout << table.render(2);
+    std::cout << "  revenue-optimal tier: " << fmt(best_reduction, 2) << "x  ("
+              << fmt(base_revenue > 0 ? best_revenue / base_revenue : 0, 2)
+              << "x the original page's revenue)\n\n";
+  }
+  // §3.2's within-country inequality, reproduced.
+  {
+    Rng qr(11);
+    const double bottom = econ::quintile_price_share(0.96, 0.6, 1, qr);
+    std::cout << "within-country inequality (paper §3.2, Pakistan): average share "
+                 "0.96% of GNI -> bottom-quintile share "
+              << fmt(bottom, 2) << "% (paper: ~2.5%)\n\n";
+  }
+  std::cout << "expected: in the developing market, deeper tiers multiply revenue\n"
+               "(priced-out users come online); in the developed market the curve is\n"
+               "nearly flat (everyone already affords the original) — the paper's\n"
+               "'differentiated offering' argument in one table.\n";
+  return 0;
+}

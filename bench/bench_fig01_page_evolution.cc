@@ -1,0 +1,36 @@
+// Fig. 1: evolution of landing-page sizes (median + quartiles), mobile and
+// desktop, 2011-2023, from the HTTP-Archive-like growth model.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "dataset/httparchive.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aw4a;
+  analysis::print_header(
+      std::cout, "Fig. 1 — page weight evolution",
+      "median mobile page grew 145 KB (2011) -> 2007 KB (2023), a 13.8x decade; "
+      "1569 KB in Jan 2018 (+27.9% to Jan 2023)",
+      "logistic growth model fitted to the paper's three quoted anchors");
+
+  TextTable table({"year", "mobile p25", "mobile median", "mobile p75", "desktop median"});
+  const auto mobile = dataset::mobile_page_weight_series();
+  const auto desktop = dataset::desktop_page_weight_series();
+  for (std::size_t i = 0; i < mobile.size(); i += 4) {  // yearly rows
+    table.add_row({fmt(mobile[i].year, 0), fmt(mobile[i].p25_kb, 0) + " KB",
+                   fmt(mobile[i].median_kb, 0) + " KB", fmt(mobile[i].p75_kb, 0) + " KB",
+                   fmt(desktop[i].median_kb, 0) + " KB"});
+  }
+  std::cout << table.render(2) << '\n';
+
+  analysis::print_compare(std::cout, "mobile median 2011", 145,
+                          dataset::mobile_median_kb(2011.0), " KB");
+  analysis::print_compare(std::cout, "mobile median Jan 2018", 1569,
+                          dataset::mobile_median_kb(2018.0), " KB");
+  analysis::print_compare(std::cout, "mobile median Jan 2023", 2007,
+                          dataset::mobile_median_kb(2023.0), " KB");
+  analysis::print_compare(std::cout, "decade growth factor", 13.8,
+                          dataset::mobile_median_kb(2021.0) / dataset::mobile_median_kb(2011.0));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 3a + Fig. 13: % of countries not meeting the Web-access target as a
+// function of the reduction factor applied to every country's mean page size.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aw4a;
+  analysis::print_header(
+      std::cout, "Fig. 3a / Fig. 13 — affordability-size trade-off",
+      "1.5x reduction lets 12.1-14.1% of countries newly meet the target; "
+      "3x brings 27.3-31.3% within it",
+      "PAW/factor > 1 counted over the 96 priced countries, all plans, +-cache");
+
+  TextTable table({"factor", "DO", "DVLU", "DVHU", "DO(cache)", "DVLU(cache)", "DVHU(cache)"});
+  for (double factor = 1.0; factor <= 10.0 + 1e-9; factor += 0.5) {
+    std::vector<std::string> row{fmt(factor, 1) + "x"};
+    for (bool cached : {false, true}) {
+      for (net::PlanType plan : net::kAllPlans) {
+        row.push_back(fmt(analysis::pct_countries_failing(plan, cached, factor), 1) + "%");
+      }
+    }
+    // Reorder: the loop above appends non-cached then cached triplets already
+    // in plan order, which matches the header.
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render(2) << '\n';
+
+  for (net::PlanType plan : {net::PlanType::kDataOnly, net::PlanType::kDataVoiceHighUsage}) {
+    const double newly_15 = analysis::pct_countries_failing(plan, false, 1.0) -
+                            analysis::pct_countries_failing(plan, false, 1.5);
+    const double newly_30 = analysis::pct_countries_failing(plan, false, 1.0) -
+                            analysis::pct_countries_failing(plan, false, 3.0);
+    analysis::print_compare(std::cout,
+                            std::string("newly met at 1.5x (") + net::plan_code(plan) + ")",
+                            13.1, newly_15, "%");
+    analysis::print_compare(std::cout,
+                            std::string("newly met at 3x (") + net::plan_code(plan) + ")",
+                            29.3, newly_30, "%");
+  }
+  return 0;
+}

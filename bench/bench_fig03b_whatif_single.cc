@@ -1,0 +1,36 @@
+// Fig. 3b + Fig. 14a: CDFs of the country-level page-size reduction from
+// removing a single resource type (images / JS / CSS / fonts), +-cache.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace aw4a;
+  analysis::AnalysisOptions options;
+  if (argc > 1) options.pages_per_country = std::atoi(argv[1]);
+  analysis::print_header(
+      std::cout, "Fig. 3b / Fig. 14a — what-if, single resource type",
+      "removal reduces pages 1.4-4.2x (images), 1.1-1.7x (JS); cached: "
+      "1.3-4.1x and 1.1-1.9x",
+      "per-country mean byte composition over synthetic corpora");
+
+  const auto stats = analysis::measure_countries(options);
+  const struct {
+    const char* label;
+    web::ObjectType type;
+  } singles[] = {{"no_images", web::ObjectType::kImage},
+                 {"no_js", web::ObjectType::kJs},
+                 {"no_css", web::ObjectType::kCss},
+                 {"no_fonts", web::ObjectType::kFont}};
+  for (const auto& s : singles) {
+    const web::ObjectType removed[] = {s.type};
+    for (bool cached : {false, true}) {
+      auto ratios = analysis::removal_ratios(stats, removed, cached);
+      const std::string name = std::string(s.label) + (cached ? "_cached" : "");
+      std::cout << "  " << name << ": " << summarize(ratios) << '\n';
+      analysis::print_cdf(std::cout, name, std::move(ratios));
+    }
+  }
+  return 0;
+}

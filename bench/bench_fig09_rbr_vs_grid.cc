@@ -1,0 +1,50 @@
+// Fig. 9: RBR vs Grid Search — (a) CDF of the % QSS difference and (b) CDF
+// of runtimes, across sites x reduction levels (5-60%).
+#include <iostream>
+
+#include "analysis/report.h"
+#include "util/table.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace aw4a;
+  analysis::RbrGridOptions options;
+  options.sites = argc > 1 ? std::atoi(argv[1]) : 12;
+  options.grid_timeout_seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  analysis::print_header(
+      std::cout, "Fig. 9 — RBR vs Grid Search",
+      "avg QSS gap -0.76% (worst -6.1%), RBR wins 18% of cases; RBR ~15.9x "
+      "faster; Grid Search timed out on 40/171 runs (3h budget)",
+      std::to_string(options.sites) + " sites x reductions 5-60% (Qt=0.9), grid timeout " +
+          fmt(options.grid_timeout_seconds, 1) + "s");
+
+  const auto rows = analysis::compare_rbr_grid(options);
+  std::vector<double> qss_diffs;
+  std::vector<double> rbr_times;
+  std::vector<double> grid_times;
+  int timeouts = 0;
+  int rbr_wins = 0;
+  for (const auto& row : rows) {
+    if (row.grid_timed_out) ++timeouts;
+    if (!row.both_met_target) continue;
+    qss_diffs.push_back(row.qss_diff_pct);
+    rbr_times.push_back(row.rbr_seconds);
+    grid_times.push_back(row.grid_seconds);
+    if (row.qss_diff_pct > 1e-9) ++rbr_wins;
+  }
+  std::cout << "comparable runs (both met target): " << qss_diffs.size() << " of "
+            << rows.size() << "; grid timeouts: " << timeouts << "\n\n";
+  if (qss_diffs.empty()) return 0;
+
+  analysis::print_cdf(std::cout, "qss_diff_pct", qss_diffs);
+  analysis::print_cdf(std::cout, "rbr_seconds", rbr_times);
+  analysis::print_cdf(std::cout, "grid_seconds", grid_times);
+
+  analysis::print_compare(std::cout, "mean QSS difference", -0.76, mean(qss_diffs), "%");
+  analysis::print_compare(std::cout, "worst QSS difference", -6.1, min_of(qss_diffs), "%");
+  analysis::print_compare(std::cout, "RBR win rate", 18.0,
+                          100.0 * rbr_wins / static_cast<double>(qss_diffs.size()), "%");
+  analysis::print_compare(std::cout, "grid/rbr time ratio", 15.9,
+                          mean(grid_times) / std::max(1e-9, mean(rbr_times)), "x");
+  return 0;
+}

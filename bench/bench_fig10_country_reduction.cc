@@ -1,0 +1,38 @@
+// Fig. 10 + Table 3: per-country reduction to 1/PAW with RBR image
+// optimization alone, for the 25 DVLU-failing countries, at Qt=0.9 and 0.8 —
+// the % of URLs meeting the target and the average QSS of the reduced pages.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace aw4a;
+  analysis::CountryReductionOptions options;
+  options.pages_per_country = argc > 1 ? std::atoi(argv[1]) : 20;
+  analysis::print_header(
+      std::cout, "Fig. 10 + Table 3 — country-wise reduction with RBR",
+      "a significant share of URLs reach 1/PAW with images alone (e.g. "
+      "Lebanon 91.4% at Qt=0.8); avg QSS stays 0.94-0.98 (Qt=0.9) and "
+      "0.86-0.97 (Qt=0.8); countries sorted by ascending PAW",
+      std::to_string(options.pages_per_country) + " rich pages per country, DVLU plan");
+
+  const auto rows = analysis::country_wise_reduction(options);
+  TextTable table({"country", "PAW", "%URLs Qt=0.9", "%URLs Qt=0.8", "QSS Qt=0.9",
+                   "QSS Qt=0.8"});
+  double meet09_total = 0;
+  double meet08_total = 0;
+  for (const auto& row : rows) {
+    table.add_row({std::string(row.country->name), fmt(row.paw, 2),
+                   fmt(row.pct_meeting_qt09, 1), fmt(row.pct_meeting_qt08, 1),
+                   fmt(row.avg_qss_qt09, 2), fmt(row.avg_qss_qt08, 2)});
+    meet09_total += row.pct_meeting_qt09;
+    meet08_total += row.pct_meeting_qt08;
+  }
+  std::cout << table.render(2) << '\n';
+  std::cout << "mean %URLs meeting 1/PAW: Qt=0.9 " << fmt(meet09_total / rows.size(), 1)
+            << "%, Qt=0.8 " << fmt(meet08_total / rows.size(), 1) << "%\n";
+  std::cout << "expected shape: high-PAW countries (right of the figure) meet "
+               "the target for far fewer URLs; Qt=0.8 dominates Qt=0.9\n";
+  return 0;
+}

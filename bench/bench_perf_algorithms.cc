@@ -1,0 +1,124 @@
+// Microbenchmarks: solver scaling — RBR's near-linear behaviour vs Grid
+// Search's exponential blowup in the image count (paper §7's complexity
+// claims: RBR O(n*v), Grid Search O(v^n)).
+#include <benchmark/benchmark.h>
+
+#include "core/grid_search.h"
+#include "core/rbr.h"
+#include "dataset/corpus.h"
+#include "core/knapsack.h"
+#include "js/muzeel.h"
+#include "net/http.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aw4a;
+
+// Build a rich page with approximately `n` images (retry a few seeds).
+web::WebPage page_with_images(int n) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 77, .rich = true});
+  Rng rng(static_cast<std::uint64_t>(n) * 131 + 7);
+  web::WebPage best;
+  std::size_t best_gap = SIZE_MAX;
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    web::WebPage page =
+        gen.make_page(rng, from_mb(0.4 + 0.12 * n), gen.global_profile());
+    const std::size_t images = core::rich_images(page).size();
+    const std::size_t gap = images > static_cast<std::size_t>(n)
+                                ? images - static_cast<std::size_t>(n)
+                                : static_cast<std::size_t>(n) - images;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = std::move(page);
+      if (gap == 0) break;
+    }
+  }
+  return best;
+}
+
+void BM_Rbr(benchmark::State& state) {
+  const web::WebPage page = page_with_images(static_cast<int>(state.range(0)));
+  core::LadderCache ladders;
+  const Bytes target = page.transfer_size() * 75 / 100;
+  // Pre-warm ladders: the steady-state serving cost is the search itself.
+  {
+    web::ServedPage warm = web::serve_original(page);
+    core::rank_based_reduce(warm, target, ladders);
+  }
+  for (auto _ : state) {
+    web::ServedPage served = web::serve_original(page);
+    benchmark::DoNotOptimize(core::rank_based_reduce(served, target, ladders).bytes_after);
+  }
+  state.counters["images"] = static_cast<double>(core::rich_images(page).size());
+}
+BENCHMARK(BM_Rbr)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_GridSearch(benchmark::State& state) {
+  const web::WebPage page = page_with_images(static_cast<int>(state.range(0)));
+  core::LadderCache ladders;
+  const Bytes target = page.transfer_size() * 75 / 100;
+  core::GridSearchOptions options;
+  options.timeout_seconds = 3.0;
+  {
+    web::ServedPage warm = web::serve_original(page);
+    core::grid_search(warm, target, ladders, options);
+  }
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    web::ServedPage served = web::serve_original(page);
+    const auto outcome = core::grid_search(served, target, ladders, options);
+    nodes = outcome.nodes_explored;
+    benchmark::DoNotOptimize(outcome.bytes_after);
+  }
+  state.counters["images"] = static_cast<double>(core::rich_images(page).size());
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GridSearch)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Knapsack(benchmark::State& state) {
+  const web::WebPage page = page_with_images(static_cast<int>(state.range(0)));
+  core::LadderCache ladders;
+  const Bytes target = page.transfer_size() * 75 / 100;
+  {
+    web::ServedPage warm = web::serve_original(page);
+    core::knapsack_optimize(warm, target, ladders);
+  }
+  for (auto _ : state) {
+    web::ServedPage served = web::serve_original(page);
+    benchmark::DoNotOptimize(core::knapsack_optimize(served, target, ladders).bytes_after);
+  }
+  state.counters["images"] = static_cast<double>(core::rich_images(page).size());
+}
+BENCHMARK(BM_Knapsack)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  net::HttpRequest request;
+  request.path = "/index.html";
+  request.headers = {{"Host", "example.com"},
+                     {"Save-Data", "on"},
+                     {"X-Geo-Country", "Pakistan"},
+                     {"Accept", "text/html"},
+                     {"User-Agent", "aw4a-bench/1.0"}};
+  const std::string wire = net::serialize(request);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_request(wire)->headers.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_Muzeel(benchmark::State& state) {
+  Rng rng(5);
+  js::ScriptSynthOptions options;
+  options.target_bytes = static_cast<Bytes>(state.range(0)) * kKB;
+  const js::Script script = js::synth_script(rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(js::muzeel_eliminate(script).removed_bytes);
+  }
+}
+BENCHMARK(BM_Muzeel)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

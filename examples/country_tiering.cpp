@@ -1,0 +1,92 @@
+// country_tiering: the full operator-to-user loop of the paper's §5.
+//
+// Computes PAW across a set of countries, pre-builds low-complexity tiers of
+// a page, and shows which version the Fig. 6 control flow serves to users
+// with different browser profiles.
+#include <algorithm>
+#include <iostream>
+
+#include "core/api.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aw4a;
+
+  // PAW overview for a few countries across plans.
+  TextTable paw_table({"country", "PAW(DO)", "PAW(DVLU)", "PAW(DVHU)", "needs reduction"});
+  for (const char* name :
+       {"United States", "Pakistan", "Uzbekistan", "Kenya", "Ethiopia", "Honduras"}) {
+    const dataset::Country* c = dataset::find_country(name);
+    if (c == nullptr || !c->has_price_data) continue;
+    const double p_do = core::paw_index(*c, net::PlanType::kDataOnly);
+    const double p_dvlu = core::paw_index(*c, net::PlanType::kDataVoiceLowUsage);
+    const double p_dvhu = core::paw_index(*c, net::PlanType::kDataVoiceHighUsage);
+    const double worst = std::max({p_do, p_dvlu, p_dvhu});
+    paw_table.add_row({name, fmt(p_do, 2), fmt(p_dvlu, 2), fmt(p_dvhu, 2),
+                       worst > 1.0 ? fmt(worst, 2) + "x" : "no"});
+  }
+  std::cout << "PAW index (>1 means the country misses the 2%-of-GNI target):\n"
+            << paw_table.render(2) << '\n';
+
+  // Build tiers for one page.
+  dataset::CorpusGenerator generator(dataset::CorpusOptions{.seed = 7, .rich = true});
+  Rng rng(7);
+  const web::WebPage page =
+      generator.make_page(rng, from_mb(2.4), generator.global_profile());
+  core::DeveloperConfig config;
+  config.tier_reductions = {1.25, 1.5, 3.0, 6.0};
+  config.min_image_ssim = 0.8;
+  config.measure_qfs = false;  // keep the demo quick
+  const core::Aw4aPipeline pipeline(config);
+  const auto tiers = pipeline.build_tiers(page);
+
+  TextTable tier_table({"tier", "requested", "achieved", "bytes", "QSS", "met"});
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    tier_table.add_row({std::to_string(i), fmt(tiers[i].requested_reduction, 2) + "x",
+                        fmt(tiers[i].achieved_reduction(), 2) + "x",
+                        format_bytes(tiers[i].result.result_bytes),
+                        fmt(tiers[i].result.quality.qss, 3),
+                        tiers[i].result.met_target ? "yes" : "no"});
+  }
+  std::cout << "pre-generated tiers of a " << format_bytes(page.transfer_size())
+            << " page:\n"
+            << tier_table.render(2) << '\n';
+
+  // Serve three users through the Fig. 6 control flow.
+  struct Persona {
+    const char* label;
+    core::UserProfile profile;
+  };
+  std::vector<Persona> personas;
+  personas.push_back({"default (data saving off)", {}});
+  core::UserProfile honduran;
+  honduran.data_saving_on = true;
+  honduran.country_sharing_on = true;
+  honduran.plan = net::PlanType::kDataVoiceLowUsage;
+  honduran.country = dataset::find_country("Honduras");
+  personas.push_back({"Honduras, country sharing on", honduran});
+  core::UserProfile saver;
+  saver.data_saving_on = true;
+  saver.country_sharing_on = false;
+  saver.preferred_savings_pct = 65.0;
+  personas.push_back({"privacy-minded, wants ~65% savings", saver});
+
+  for (const auto& persona : personas) {
+    const auto decision = core::decide_version(persona.profile, tiers);
+    std::cout << "user [" << persona.label << "] -> ";
+    switch (decision.kind) {
+      case core::ServeDecision::Kind::kOriginal:
+        std::cout << "original page";
+        break;
+      case core::ServeDecision::Kind::kPawTier:
+      case core::ServeDecision::Kind::kPreferenceTier:
+        std::cout << "tier " << decision.tier_index << " ("
+                  << format_bytes(tiers[decision.tier_index].result.result_bytes) << ")";
+        break;
+    }
+    std::cout << "  [" << decision.reason << "]\n";
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// operator_dashboard: the developer-API view (paper §5.4).
+//
+// Shows how an operator's knobs change outcomes on their own corpus: the
+// image quality threshold (Qt), the RBR heuristic weights, and the QSS/QFS
+// weighting — the dials a news site vs. a web-app would set differently.
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "js/muzeel.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+struct Scenario {
+  const char* label;
+  aw4a::core::DeveloperConfig config;
+};
+
+}  // namespace
+
+int main() {
+  using namespace aw4a;
+
+  // The operator's corpus: a handful of their most-visited pages.
+  dataset::CorpusGenerator generator(dataset::CorpusOptions{.seed = 21, .rich = true});
+  std::vector<web::WebPage> pages;
+  Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    pages.push_back(generator.make_page(rng, from_mb(1.6 + 0.3 * i),
+                                        generator.global_profile()));
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{.label = "defaults (Qt=0.9, equal weights)", .config = {}};
+    s.config.measure_qfs = false;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{.label = "news site: looks first (Qt=0.95, QSS-weighted)", .config = {}};
+    s.config.min_image_ssim = 0.95;
+    s.config.quality_weights = {.qss = 0.8, .qfs = 0.2};
+    s.config.measure_qfs = false;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{.label = "data saver: deep cuts (Qt=0.8)", .config = {}};
+    s.config.min_image_ssim = 0.8;
+    s.config.measure_qfs = false;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{.label = "area-only RBR heuristic (ablation)", .config = {}};
+    s.config.rbr_area_weight = 1.0;
+    s.config.rbr_bytes_efficiency_weight = 0.0;
+    s.config.measure_qfs = false;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{.label = "adjustable JS (footnote-27 extension)", .config = {}};
+    s.config.js_strategy = core::HbsOptions::JsStrategy::kAdjustable;
+    s.config.measure_qfs = false;
+    scenarios.push_back(s);
+  }
+
+  // The coverage report an operator reads first: how much of the corpus's
+  // JS is dead weight, and how much of that is risky to remove.
+  {
+    std::size_t scripts = 0;
+    Bytes total = 0;
+    Bytes dead = 0;
+    Bytes risky = 0;
+    for (const auto& page : pages) {
+      for (const auto& o : page.objects) {
+        if (o.script == nullptr) continue;
+        const auto report = js::coverage(*o.script);
+        ++scripts;
+        total += report.total_bytes;
+        dead += report.dead_bytes;
+        risky += report.risky_bytes;
+      }
+    }
+    std::cout << "JS coverage across the corpus: " << scripts << " scripts, "
+              << format_bytes(total) << " source, " << format_bytes(dead)
+              << " dead (" << fmt(100.0 * dead / std::max<Bytes>(total, 1), 1)
+              << "%), of which " << format_bytes(risky)
+              << " dynamically reachable (risky to remove)\n\n";
+  }
+
+  // §5.4 developer weights in action: protect each page's biggest image.
+  for (auto& page : pages) {
+    web::WebObject* hero = nullptr;
+    for (auto& o : page.objects) {
+      if (o.type == web::ObjectType::kImage &&
+          (hero == nullptr || o.transfer_bytes > hero->transfer_bytes)) {
+        hero = &o;
+      }
+    }
+    if (hero != nullptr) hero->developer_weight = 3.0;  // reduce the hero last
+  }
+
+
+  TextTable table({"scenario", "met", "mean QSS", "mean bytes", "mean reduction"});
+  for (const auto& scenario : scenarios) {
+    const core::Aw4aPipeline pipeline(scenario.config);
+    int met = 0;
+    std::vector<double> qss;
+    std::vector<double> bytes_mb;
+    std::vector<double> reductions;
+    for (const auto& page : pages) {
+      const Bytes target = page.transfer_size() / 2;  // everyone wants 2x
+      const auto result = pipeline.transcode_to_target(page, target);
+      met += result.met_target ? 1 : 0;
+      qss.push_back(result.quality.qss);
+      bytes_mb.push_back(to_mb(result.result_bytes));
+      reductions.push_back(static_cast<double>(page.transfer_size()) /
+                           static_cast<double>(result.result_bytes));
+    }
+    table.add_row({scenario.label, std::to_string(met) + "/" + std::to_string(pages.size()),
+                   fmt(mean(qss), 3), fmt(mean(bytes_mb), 2) + " MB",
+                   fmt(mean(reductions), 2) + "x"});
+  }
+  std::cout << "2x-reduction outcomes across " << pages.size()
+            << " pages under different operator configurations:\n\n"
+            << table.render(2)
+            << "\nReading guide: a higher Qt trades reduction reach for QSS; the\n"
+               "area-only ablation shows why RBR combines both heuristics.\n";
+  return 0;
+}

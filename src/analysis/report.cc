@@ -1,0 +1,48 @@
+#include "analysis/report.h"
+
+#include <ostream>
+
+#include "util/table.h"
+
+namespace aw4a::analysis {
+
+void print_header(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim, const std::string& setup) {
+  os << "==== " << experiment << " ====\n";
+  os << "paper:  " << paper_claim << '\n';
+  os << "setup:  " << setup << "\n\n";
+}
+
+void print_cdf(std::ostream& os, const std::string& name, std::vector<double> values,
+               int points) {
+  if (values.empty()) {
+    os << "series " << name << ": (empty)\n";
+    return;
+  }
+  const Ecdf cdf(std::move(values));
+  const auto curve = cdf.curve(static_cast<std::size_t>(points));
+  os << "series " << name << "  (n=" << cdf.size() << ")\n";
+  std::vector<double> xs;
+  std::vector<double> ps;
+  for (const auto& pt : curve) {
+    xs.push_back(pt.x);
+    ps.push_back(pt.p);
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << "  " << fmt(ps[i], 2) << "," << fmt(xs[i], 4) << '\n';
+  }
+  os << ascii_cdf(xs, ps, name) << '\n';
+}
+
+void print_compare(std::ostream& os, const std::string& metric, double paper, double measured,
+                   const std::string& unit) {
+  const double diff = paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  os << "  " << metric << ": paper=" << fmt(paper) << unit << "  measured=" << fmt(measured)
+     << unit << "  (" << (diff >= 0 ? "+" : "") << fmt(diff, 1) << "%)\n";
+}
+
+void print_summary(std::ostream& os, const std::string& name, std::span<const double> values) {
+  os << "  " << name << ": " << summarize(values) << '\n';
+}
+
+}  // namespace aw4a::analysis

@@ -1,0 +1,28 @@
+// Report helpers: turn experiment outputs into the text the benches print —
+// a machine-readable series block plus a human-readable table/CDF rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/experiments.h"
+#include "util/stats.h"
+
+namespace aw4a::analysis {
+
+/// Standard bench header: experiment id, what the paper shows, our setup.
+void print_header(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim, const std::string& setup);
+
+/// Prints a named empirical CDF: a `series` block (x,p rows) plus ASCII art.
+void print_cdf(std::ostream& os, const std::string& name, std::vector<double> values,
+               int points = 20);
+
+/// Prints a "paper vs measured" comparison row.
+void print_compare(std::ostream& os, const std::string& metric, double paper, double measured,
+                   const std::string& unit = "");
+
+/// Summary block for a sample (mean/sd/median/range).
+void print_summary(std::ostream& os, const std::string& name, std::span<const double> values);
+
+}  // namespace aw4a::analysis

@@ -1,0 +1,33 @@
+// Common result type for the baseline transcoders (Table 1 services and the
+// §8.3 comparison browsers). Each baseline implements the *mechanism* its
+// service documents; none of them solves an optimization problem, which is
+// exactly the contrast the paper draws with AW4A.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/page.h"
+
+namespace aw4a::baselines {
+
+struct BaselineResult {
+  web::ServedPage served;
+  Bytes result_bytes = 0;
+  /// Percentage reduction vs. the original page (negative when the
+  /// transcoder *grew* the page, which Table 4 shows does happen).
+  double reduction_pct = 0.0;
+  /// The page lost all of its interactive functionality.
+  bool page_broken = false;
+  std::vector<std::string> notes;
+};
+
+/// Drops every object whose injecting script is itself dropped (transitive
+/// effect of blocking script loaders). Iterates to a fixed point.
+void cascade_injected_drops(web::ServedPage& served);
+
+/// Applies the injection cascade, then fills the size/breakage summary
+/// fields from the served decisions.
+void finalize(BaselineResult& result);
+
+}  // namespace aw4a::baselines

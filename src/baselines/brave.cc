@@ -1,0 +1,30 @@
+#include "baselines/brave.h"
+
+namespace aw4a::baselines {
+
+BaselineResult brave_transcode(const web::WebPage& page, Rng& rng,
+                               const BraveOptions& options) {
+  BaselineResult result;
+  result.served = web::serve_original(page);
+  for (const auto& object : page.objects) {
+    const bool ad_or_tracker = object.is_ad || object.is_tracker;
+    if (options.block_ads_and_trackers && ad_or_tracker) {
+      result.served.dropped.insert(object.id);
+      continue;
+    }
+    if (options.block_scripts && object.type == web::ObjectType::kJs && object.third_party) {
+      // Whitelist check: widget-providing scripts Brave knows about survive.
+      // The whitelist's limited scope is the mechanism behind the breakage
+      // the paper observes.
+      if (!rng.bernoulli(options.whitelist_prob)) {
+        result.served.dropped.insert(object.id);
+      }
+    }
+  }
+  result.notes.push_back(options.block_scripts ? "shields + block scripts (whitelist)"
+                                               : "default shields (ads + trackers)");
+  finalize(result);
+  return result;
+}
+
+}  // namespace aw4a::baselines

@@ -1,0 +1,92 @@
+#include "baselines/operamini.h"
+
+#include <cmath>
+
+#include "imaging/variants.h"
+#include "js/callgraph.h"
+
+namespace aw4a::baselines {
+
+int opera_quality_value(OperaImageQuality q) {
+  switch (q) {
+    case OperaImageQuality::kHigh: return 62;
+    case OperaImageQuality::kMedium: return 35;
+    case OperaImageQuality::kLow: return 25;
+  }
+  return 62;
+}
+
+std::span<const js::EventKind> opera_supported_events() {
+  static const js::EventKind kSupported[] = {js::EventKind::kClick, js::EventKind::kHover};
+  return kSupported;
+}
+
+BaselineResult operamini_transcode(const web::WebPage& page, const OperaMiniOptions& options) {
+  BaselineResult result;
+  result.served = web::serve_original(page);
+  const int quality = opera_quality_value(options.image_quality);
+  const auto supported = opera_supported_events();
+
+  for (const auto& object : page.objects) {
+    switch (object.type) {
+      case web::ObjectType::kImage: {
+        if (object.image != nullptr) {
+          // The proxy recompresses to its own lossy format. It normally
+          // keeps the smaller of the two, but its format sniffing misfires
+          // on a slice of images (flat PNG art recompressed lossily grows a
+          // lot) — the mechanism behind Table 4's negative reductions.
+          const auto variant = imaging::measure_variant(
+              *object.image, imaging::ImageFormat::kJpeg, 1.0, quality);
+          const bool misfire = (object.id * 0x9e3779b97f4a7c15ULL) >> 61 == 0;  // ~12%
+          if (variant.bytes < object.transfer_bytes || misfire) {
+            result.served.images[object.id] =
+                web::ServedImage{.variant = variant, .dropped = false};
+          }
+        } else {
+          const double factor = quality >= 60 ? 0.62 : quality >= 40 ? 0.42 : 0.3;
+          result.served.retextured[object.id] = static_cast<Bytes>(
+              std::llround(static_cast<double>(object.transfer_bytes) * factor));
+        }
+        break;
+      }
+      case web::ObjectType::kHtml:
+      case web::ObjectType::kCss:
+        result.served.retextured[object.id] = static_cast<Bytes>(std::llround(
+            static_cast<double>(object.transfer_bytes) * options.text_squeeze));
+        break;
+      case web::ObjectType::kJs: {
+        if (object.script == nullptr) {
+          result.served.retextured[object.id] = static_cast<Bytes>(std::llround(
+              static_cast<double>(object.transfer_bytes) * options.text_squeeze));
+          break;
+        }
+        // The bytes still ship (squeezed), but handlers bound to unsupported
+        // events never run: the live set keeps only code reachable from init
+        // plus supported-event handlers.
+        std::vector<js::FunctionId> roots = object.script->init_functions;
+        for (const auto& binding : object.script->bindings) {
+          for (js::EventKind kind : supported) {
+            if (binding.kind == kind) {
+              roots.push_back(binding.handler);
+              break;
+            }
+          }
+        }
+        web::ServedScript decision;
+        decision.live = js::reachable_runtime(*object.script, roots);
+        decision.raw_bytes = js::bytes_of(*object.script, decision.live);
+        decision.transfer_bytes = static_cast<Bytes>(std::llround(
+            static_cast<double>(object.transfer_bytes) * options.text_squeeze));
+        result.served.scripts[object.id] = std::move(decision);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  result.notes.push_back("proxy recompression; keypress/scroll/timer events unsupported");
+  finalize(result);
+  return result;
+}
+
+}  // namespace aw4a::baselines

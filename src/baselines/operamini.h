@@ -1,0 +1,32 @@
+// Opera Mini (paper §8.3): proxy recompression.
+//
+// Requests go through Opera's proxy, which recompresses the page before
+// forwarding it. Images are re-encoded at the selected quality setting, text
+// is squeezed further — but only a subset of DOM events is supported, so
+// handlers for unsupported events (notably keypress and scroll) never fire,
+// which is what breaks interactive JS-heavy sites.
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace aw4a::baselines {
+
+enum class OperaImageQuality { kHigh, kMedium, kLow };
+
+struct OperaMiniOptions {
+  OperaImageQuality image_quality = OperaImageQuality::kHigh;
+  /// Extra proxy compression applied to text resources.
+  double text_squeeze = 0.78;
+};
+
+/// Codec quality value the proxy uses for a setting.
+int opera_quality_value(OperaImageQuality q);
+
+/// DOM events the Mini runtime supports (click and hover survive; keypress,
+/// scroll and timers do not fire reliably).
+std::span<const js::EventKind> opera_supported_events();
+
+BaselineResult operamini_transcode(const web::WebPage& page,
+                                   const OperaMiniOptions& options = {});
+
+}  // namespace aw4a::baselines

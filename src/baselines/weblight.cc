@@ -1,0 +1,69 @@
+#include "baselines/weblight.h"
+
+#include <cmath>
+
+#include "imaging/variants.h"
+#include "util/error.h"
+
+namespace aw4a::baselines {
+
+BaselineResult weblight_transcode(const web::WebPage& page, const WebLightOptions& options) {
+  AW4A_EXPECTS(options.image_scale > 0.0 && options.image_scale <= 1.0);
+  BaselineResult result;
+  result.served = web::serve_original(page);
+
+  Bytes inlined_css = 0;
+  std::uint64_t html_id = 0;
+  Bytes html_transfer = 0;
+  for (const auto& object : page.objects) {
+    switch (object.type) {
+      case web::ObjectType::kHtml:
+        html_id = object.id;
+        html_transfer = object.transfer_bytes;
+        break;
+      case web::ObjectType::kJs:
+        // All JS goes, except scripts serving iframe ads.
+        if (!object.is_ad) result.served.dropped.insert(object.id);
+        break;
+      case web::ObjectType::kCss:
+        // External CSS becomes inline CSS in the document: the resource costs
+        // zero bytes itself (styling survives — the page is not unstyled),
+        // and the document grows by the inlined rules.
+        result.served.retextured[object.id] = 0;
+        inlined_css += static_cast<Bytes>(
+            std::llround(static_cast<double>(object.transfer_bytes) * options.css_inline_keep));
+        break;
+      case web::ObjectType::kMedia:
+        // Video is replaced by a (tiny) poster image.
+        result.served.retextured[object.id] = 8 * kKB;
+        break;
+      case web::ObjectType::kImage: {
+        if (object.transfer_bytes <= options.large_image_threshold) break;
+        if (object.image != nullptr) {
+          // Hard resize plus low-quality re-encode: Web Light has no quality
+          // floor, which is exactly the paper's critique.
+          const auto variant = imaging::measure_variant(
+              *object.image, imaging::ImageFormat::kWebp, options.image_scale, 40);
+          result.served.images[object.id] =
+              web::ServedImage{.variant = variant, .dropped = false};
+        } else {
+          // Inventory page: model the resize as the area scaling.
+          result.served.retextured[object.id] = static_cast<Bytes>(std::llround(
+              static_cast<double>(object.transfer_bytes) * options.image_scale *
+              options.image_scale * 1.4));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (html_id != 0 && inlined_css > 0) {
+    result.served.retextured[html_id] = html_transfer + inlined_css;
+  }
+  result.notes.push_back("all non-ad JS removed; large images resized; CSS inlined");
+  finalize(result);
+  return result;
+}
+
+}  // namespace aw4a::baselines

@@ -1,0 +1,22 @@
+// Google Web Light (paper Table 1, §10): proxy transcoding that removes all
+// JS (except ad-iframe scripts), aggressively resizes large images, and
+// inlines external CSS. Reduces pages ~12x but frequently breaks them.
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace aw4a::baselines {
+
+struct WebLightOptions {
+  /// Images above this transfer size get resized hard.
+  Bytes large_image_threshold = 30 * kKB;
+  /// Resolution scale applied to large images (no quality floor — Web Light
+  /// has none, which is why pages look degraded).
+  double image_scale = 0.4;
+  /// Fraction of external CSS bytes surviving inlining into the document.
+  double css_inline_keep = 0.6;
+};
+
+BaselineResult weblight_transcode(const web::WebPage& page, const WebLightOptions& options = {});
+
+}  // namespace aw4a::baselines

@@ -1,0 +1,80 @@
+#include "core/adjustable_js.h"
+
+#include <algorithm>
+
+#include "js/callgraph.h"
+#include "util/error.h"
+
+namespace aw4a::core {
+namespace {
+
+struct Candidate {
+  const web::WebObject* object = nullptr;
+  js::FunctionId function = 0;
+  Bytes bytes = 0;
+  bool risky = false;  ///< runtime-reachable through dynamic edges
+};
+
+}  // namespace
+
+AdjustableJsOutcome apply_adjustable_js(web::ServedPage& served, Bytes target_bytes) {
+  AW4A_EXPECTS(served.page != nullptr);
+  AdjustableJsOutcome outcome;
+  outcome.bytes_after = served.transfer_size();
+  if (outcome.bytes_after <= target_bytes) {
+    outcome.met_target = true;
+    return outcome;
+  }
+
+  // Gather removable functions page-wide: statically dead code only.
+  std::vector<Candidate> candidates;
+  for (const auto& object : served.page->objects) {
+    if (object.type != web::ObjectType::kJs || object.script == nullptr) continue;
+    if (served.is_dropped(object.id)) continue;
+    const auto roots = js::all_roots(*object.script);
+    const auto statically_live = js::reachable_static(*object.script, roots);
+    const auto runtime_live = js::reachable_runtime(*object.script, roots);
+    for (const auto& f : object.script->functions) {
+      if (statically_live.count(f.id)) continue;
+      // Skip functions already removed by a prior decision on this script.
+      if (const auto it = served.scripts.find(object.id);
+          it != served.scripts.end() && !it->second.live.count(f.id)) {
+        continue;
+      }
+      candidates.push_back(Candidate{.object = &object,
+                                     .function = f.id,
+                                     .bytes = f.bytes,
+                                     .risky = runtime_live.count(f.id) > 0});
+    }
+  }
+
+  // Safest-first, then biggest-first: maximal savings per unit of risk.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.risky != b.risky) return !a.risky;
+    return a.bytes > b.bytes;
+  });
+
+  for (const Candidate& c : candidates) {
+    if (served.transfer_size() <= target_bytes) break;
+    auto [it, inserted] = served.scripts.try_emplace(c.object->id);
+    web::ServedScript& decision = it->second;
+    if (inserted) {
+      // Start from "everything served".
+      for (const auto& f : c.object->script->functions) decision.live.insert(f.id);
+      decision.raw_bytes = c.object->script->total_bytes();
+      decision.transfer_bytes = c.object->transfer_bytes;
+    }
+    decision.live.erase(c.function);
+    decision.raw_bytes -= c.bytes;
+    decision.transfer_bytes = c.object->script_transfer_for(decision.raw_bytes);
+    outcome.js_bytes_removed += c.bytes;
+    ++outcome.functions_removed;
+    if (c.risky) ++outcome.risky_removed;
+  }
+
+  outcome.bytes_after = served.transfer_size();
+  outcome.met_target = outcome.bytes_after <= target_bytes;
+  return outcome;
+}
+
+}  // namespace aw4a::core

@@ -1,0 +1,36 @@
+// Adjustable JS reduction — the paper's footnote-27 extension.
+//
+// Muzeel removes *all* dead code, which is why HBS overshoots its targets
+// ("several sites overshot the target reduction due to JS reduction with
+// Muzeel, which is not adjustable in its reduction"). The paper anticipates
+// adjustable strategies; this implements one:
+//
+//   - dead functions are ranked safest-first (statically dead and *not*
+//     runtime-reachable via dynamic edges, largest bytes first; the risky
+//     dynamically-reachable ones go last),
+//   - removal stops as soon as the page-wide byte target is met.
+//
+// Besides eliminating overshoot, the safest-first order also removes less
+// risky code for mild targets, so measured QFS is (weakly) better than full
+// Muzeel's at equal or better byte precision.
+#pragma once
+
+#include "core/objective.h"
+
+namespace aw4a::core {
+
+struct AdjustableJsOutcome {
+  bool met_target = false;
+  Bytes bytes_after = 0;
+  Bytes js_bytes_removed = 0;
+  int functions_removed = 0;
+  /// Functions removed despite being runtime-reachable (potential breakage).
+  int risky_removed = 0;
+};
+
+/// Removes just enough dead JS (across all scripts of the page) to bring the
+/// page's transfer size to `target_bytes`, never touching statically live
+/// code. Decisions accumulate into `served`.
+AdjustableJsOutcome apply_adjustable_js(web::ServedPage& served, Bytes target_bytes);
+
+}  // namespace aw4a::core

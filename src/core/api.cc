@@ -1,0 +1,66 @@
+#include "core/api.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::core {
+
+std::size_t closest_savings_tier(std::span<const Tier> tiers, double preferred_pct) {
+  AW4A_EXPECTS(!tiers.empty());
+  std::size_t best = 0;
+  double best_gap = 1e300;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const double gap = std::abs(tiers[i].savings_fraction() * 100.0 - preferred_pct);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t paw_tier(std::span<const Tier> tiers, const dataset::Country& country,
+                     net::PlanType plan) {
+  AW4A_EXPECTS(!tiers.empty());
+  const double paw = paw_index(country, plan);
+  // The mildest tier whose achieved reduction is at least PAW.
+  std::size_t best = tiers.size() - 1;  // deepest as fallback
+  double best_reduction = 1e300;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const double achieved = tiers[i].achieved_reduction();
+    if (achieved + 1e-9 >= paw && achieved < best_reduction) {
+      best_reduction = achieved;
+      best = i;
+    }
+  }
+  return best;
+}
+
+ServeDecision decide_version(const UserProfile& user, std::span<const Tier> tiers) {
+  ServeDecision decision;
+  if (!user.data_saving_on) {
+    decision.kind = ServeDecision::Kind::kOriginal;
+    decision.reason = "data saving off: original page";
+    return decision;
+  }
+  AW4A_EXPECTS(!tiers.empty());
+  if (user.country_sharing_on && user.country != nullptr && user.country->has_price_data) {
+    const double paw = paw_index(*user.country, user.plan);
+    if (paw <= 1.0) {
+      decision.kind = ServeDecision::Kind::kOriginal;
+      decision.reason = std::string(user.country->name) + " meets the affordability target";
+      return decision;
+    }
+    decision.kind = ServeDecision::Kind::kPawTier;
+    decision.tier_index = paw_tier(tiers, *user.country, user.plan);
+    decision.reason = "PAW-derived tier for " + std::string(user.country->name);
+    return decision;
+  }
+  decision.kind = ServeDecision::Kind::kPreferenceTier;
+  decision.tier_index = closest_savings_tier(tiers, user.preferred_savings_pct);
+  decision.reason = "closest to preferred savings";
+  return decision;
+}
+
+}  // namespace aw4a::core

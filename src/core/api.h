@@ -1,0 +1,49 @@
+// User-side serving logic (paper §5.5, Fig. 6).
+//
+// A user's browser profile controls which page version is served:
+//   data-saving off            -> the original page
+//   data-saving on, country on -> the tier meeting the user's country's PAW
+//   data-saving on, country off-> the tier whose savings are closest to the
+//                                 user's preferred percentage
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace aw4a::core {
+
+/// The browser profile of §5.5.
+struct UserProfile {
+  bool data_saving_on = false;
+  /// Share country-level location with the website.
+  bool country_sharing_on = false;
+  /// Preferred data savings when country sharing is off, in [0, 100).
+  double preferred_savings_pct = 0.0;
+  /// The user's country of access (nullptr when unknown/not shared).
+  const dataset::Country* country = nullptr;
+  net::PlanType plan = net::PlanType::kDataOnly;
+};
+
+/// Which version the server decides to send.
+struct ServeDecision {
+  enum class Kind { kOriginal, kPawTier, kPreferenceTier } kind = Kind::kOriginal;
+  /// Index into the tier list (meaningful unless kOriginal).
+  std::size_t tier_index = 0;
+  std::string reason;
+};
+
+/// Fig. 6's control flow over a pre-generated tier list. Tiers must be
+/// non-empty when data saving can trigger; the original is always available.
+ServeDecision decide_version(const UserProfile& user, std::span<const Tier> tiers);
+
+/// The tier whose achieved savings are closest to `preferred_pct`.
+std::size_t closest_savings_tier(std::span<const Tier> tiers, double preferred_pct);
+
+/// The mildest tier that still meets the country's PAW target for the plan
+/// (falls back to the deepest tier when none suffices).
+std::size_t paw_tier(std::span<const Tier> tiers, const dataset::Country& country,
+                     net::PlanType plan);
+
+}  // namespace aw4a::core

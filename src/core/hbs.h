@@ -1,0 +1,44 @@
+// HBS — the Heuristics-Based Search (paper §7.2), AW4A's production solver.
+//
+// HBS evaluates two approaches and serves whichever meets the target (or,
+// when both do, the higher-quality one):
+//   A  Muzeel dead-code elimination on every script, then — if the target is
+//      still unmet — RBR image reduction. QFS can dip below 1 when the
+//      eliminated code was dynamically reachable.
+//   B  RBR image reduction alone. QFS is exactly 1 by construction.
+#pragma once
+
+#include "core/media_reduction.h"
+#include "core/objective.h"
+#include "core/rbr.h"
+
+namespace aw4a::core {
+
+struct HbsOptions {
+  RbrOptions rbr;
+  QualityWeights quality_weights;
+  /// Measure QFS with the interaction bot (costs screenshots; disable for
+  /// large sweeps where only QSS/bytes matter).
+  bool measure_qfs = true;
+  /// JS stage of approach A. kMuzeel removes all dead code (the paper's
+  /// setup, overshoots the target); kAdjustable removes just enough,
+  /// safest-first (the paper's footnote-27 extension, see adjustable_js.h).
+  enum class JsStrategy { kMuzeel, kAdjustable } js_strategy = JsStrategy::kMuzeel;
+  /// Lite-video extension (§10 future work): step media clips down their
+  /// rendition ladders before touching images. Off by default (the paper's
+  /// HBS does not optimize media).
+  MediaReductionOptions media;
+};
+
+/// Runs HBS on `page`, starting from the serving decisions in `base`
+/// (typically the Stage-1 output). Returns the chosen approach's result;
+/// `algorithm` records which one won ("hbs/muzeel+rbr" or "hbs/rbr").
+TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
+                              Bytes target_bytes, LadderCache& ladders,
+                              const HbsOptions& options = {});
+
+/// Applies Muzeel to every (non-inventory) script of the page, recording the
+/// reduced live sets in `served`. Returns bytes removed from transfer sizes.
+Bytes apply_muzeel(web::ServedPage& served);
+
+}  // namespace aw4a::core

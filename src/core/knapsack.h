@@ -1,0 +1,45 @@
+// Exact DP solver for the image-transcoding knapsack (paper Appendix A.2).
+//
+// The appendix shows the transcoding problem maps to a bounded knapsack:
+// QSS's numerator (sum of area_i * ssim_i) is additive over images, so with a
+// finite candidate set per image (the same discretized versions Grid Search
+// uses) the *exact* optimum is computable by pseudo-polynomial dynamic
+// programming over discretized byte budgets — a multiple-choice knapsack.
+//
+// This solver is the oracle the approximation algorithms are measured
+// against: Grid Search equals it when not timed out (same candidate set);
+// RBR's gap to it is the true price of the greedy heuristics. Runtime is
+// O(n * v * B/granularity) — polynomial where Grid Search is exponential —
+// at the cost of byte quantization (<= granularity per image of budget
+// slack, conservatively rounded so the constraint is never violated).
+#pragma once
+
+#include "core/objective.h"
+
+namespace aw4a::core {
+
+struct KnapsackOptions {
+  /// Qt: minimum per-image SSIM (candidate set matches Grid Search's).
+  double quality_threshold = 0.9;
+  /// Number of discretized SSIM levels in [Qt, 1] (paper: 11).
+  int levels = 11;
+  /// Byte bucket size for the DP table. Smaller = tighter, slower.
+  Bytes byte_granularity = 4 * kKB;
+};
+
+struct KnapsackOutcome {
+  bool met_target = false;
+  Bytes bytes_after = 0;
+  double qss = 1.0;
+  /// DP table cells touched (for the perf benches).
+  std::uint64_t cells = 0;
+};
+
+/// Exactly optimizes the page's rich images over the Grid Search candidate
+/// set (full-resolution quality/WebP variants), subject to the byte budget.
+/// Writes the optimal assignment into `served`. When even the byte-minimal
+/// assignment misses the target, it is installed and met_target is false.
+KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
+                                  LadderCache& ladders, const KnapsackOptions& options = {});
+
+}  // namespace aw4a::core

@@ -1,0 +1,40 @@
+#include "core/objective.h"
+
+#include "util/error.h"
+
+namespace aw4a::core {
+
+double weighted_quality(std::span<const ObjectiveTerm> terms) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const ObjectiveTerm& t : terms) {
+    AW4A_EXPECTS(t.weight >= 0.0);
+    num += t.weight * t.quality;
+    den += t.weight;
+  }
+  AW4A_EXPECTS(den > 0.0);
+  return num / den;
+}
+
+LadderCache::LadderCache(imaging::LadderOptions options) : options_(std::move(options)) {}
+
+imaging::VariantLadder& LadderCache::ladder_for(const web::WebObject& object) {
+  AW4A_EXPECTS(object.type == web::ObjectType::kImage);
+  AW4A_EXPECTS(object.image != nullptr);
+  const auto it = ladders_.find(object.id);
+  if (it != ladders_.end()) return it->second;
+  return ladders_.emplace(object.id, imaging::VariantLadder(object.image, options_))
+      .first->second;
+}
+
+std::vector<const web::WebObject*> rich_images(const web::WebPage& page) {
+  std::vector<const web::WebObject*> out;
+  for (const auto& object : page.objects) {
+    if (object.type == web::ObjectType::kImage && object.image != nullptr) {
+      out.push_back(&object);
+    }
+  }
+  return out;
+}
+
+}  // namespace aw4a::core

@@ -1,0 +1,63 @@
+// The AW4A optimization problem (paper §6.1, Eqs. 3-4) and shared optimizer
+// plumbing: the generic weighted-quality objective, the result record every
+// solver returns, and the per-page ladder cache that memoizes image variant
+// enumeration across solver passes.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/quality.h"
+#include "imaging/variants.h"
+#include "web/page.h"
+
+namespace aw4a::core {
+
+/// One term of Eq. 3: an object's developer-assigned weight and its quality.
+struct ObjectiveTerm {
+  double weight = 1.0;
+  double quality = 1.0;
+};
+
+/// Eq. 3: sum(w_i * Q_i) / sum(w_i). Requires a positive weight sum.
+double weighted_quality(std::span<const ObjectiveTerm> terms);
+
+/// What every solver returns.
+struct TranscodeResult {
+  web::ServedPage served;
+  bool met_target = false;
+  Bytes result_bytes = 0;
+  Bytes target_bytes = 0;
+  QualityReport quality;
+  double elapsed_seconds = 0.0;
+  std::string algorithm;
+
+  double reduction_factor() const {
+    return result_bytes == 0
+               ? 0.0
+               : static_cast<double>(served.page->transfer_size()) /
+                     static_cast<double>(result_bytes);
+  }
+};
+
+/// Memoized VariantLadders for the rich image objects of one page. Solvers
+/// share one cache so Grid Search and RBR pay enumeration cost once.
+class LadderCache {
+ public:
+  explicit LadderCache(imaging::LadderOptions options = {});
+
+  /// Ladder for an image object (requires object.image != nullptr).
+  imaging::VariantLadder& ladder_for(const web::WebObject& object);
+
+  const imaging::LadderOptions& options() const { return options_; }
+
+ private:
+  imaging::LadderOptions options_;
+  std::map<std::uint64_t, imaging::VariantLadder> ladders_;
+};
+
+/// Rich image objects of a page (those carrying rasters), in page order.
+std::vector<const web::WebObject*> rich_images(const web::WebPage& page);
+
+}  // namespace aw4a::core

@@ -1,0 +1,44 @@
+#include "core/paw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::core {
+
+double paw_index(const PawInputs& in) {
+  AW4A_EXPECTS(in.price_pct > 0.0 && in.avg_page_mb > 0.0);
+  AW4A_EXPECTS(in.global_avg_mb > 0.0 && in.target_pct > 0.0);
+  return (in.price_pct / in.target_pct) * (in.avg_page_mb / in.global_avg_mb);
+}
+
+double paw_index(const dataset::Country& country, net::PlanType plan, bool cached,
+                 double cache_factor) {
+  AW4A_EXPECTS(country.has_price_data);
+  PawInputs in;
+  in.price_pct = country.price_pct(plan);
+  in.avg_page_mb = cached ? country.mean_page_mb * cache_factor : country.mean_page_mb;
+  in.global_avg_mb = cached ? dataset::kGlobalMeanCachedPageMb : dataset::kGlobalMeanPageMb;
+  return paw_index(in);
+}
+
+double target_avg_page_mb(double price_pct, double global_avg_mb, double target_pct) {
+  AW4A_EXPECTS(price_pct > 0.0);
+  return (target_pct / price_pct) * global_avg_mb;
+}
+
+Bytes per_url_target(Bytes page_size, double paw) {
+  AW4A_EXPECTS(paw > 0.0);
+  if (paw <= 1.0) return page_size;  // already affordable: no reduction needed
+  return static_cast<Bytes>(std::llround(static_cast<double>(page_size) / paw));
+}
+
+double accesses_within_target(double price_pct, net::PlanType plan, double avg_page_mb) {
+  AW4A_EXPECTS(price_pct > 0.0 && avg_page_mb > 0.0);
+  const double budget_fraction = net::kAffordabilityTargetPct / price_pct;
+  const double data = static_cast<double>(net::plan_data_allowance(plan));
+  return budget_fraction * data / (avg_page_mb * static_cast<double>(kMB));
+}
+
+}  // namespace aw4a::core

@@ -1,0 +1,47 @@
+// PAW — Price-Adjusted Web access (paper §3.1, Eq. 1).
+//
+//   PAW_i = (P_i / P_T) * (W_i,avg / W_global)
+//
+// P_i is region i's mobile broadband price as % of GNI per capita, P_T the
+// UN Broadband Commission target (2%), W_i,avg the region's average page
+// size and W_global the global average. PAW_i > 1 means region i misses the
+// affordability target; the reduction factor needed to reach it is PAW_i
+// itself, i.e. pages must shrink to 1/PAW of their size.
+#pragma once
+
+#include "dataset/countries.h"
+#include "net/plan.h"
+#include "util/bytes.h"
+
+namespace aw4a::core {
+
+struct PawInputs {
+  double price_pct = 0;          ///< P_i, % of GNI per capita
+  double avg_page_mb = 0;        ///< W_i,avg
+  double global_avg_mb = dataset::kGlobalMeanPageMb;  ///< W_global
+  double target_pct = net::kAffordabilityTargetPct;   ///< P_T
+};
+
+/// Eq. 1. Requires positive inputs.
+double paw_index(const PawInputs& in);
+
+/// PAW of a study country for a plan; `cached` evaluates the cached variant
+/// (both numerator and denominator scale by the same caching factor, so the
+/// index barely moves — the paper's §3.2 observation).
+double paw_index(const dataset::Country& country, net::PlanType plan, bool cached = false,
+                 double cache_factor = 0.413);
+
+/// W^T_avg = (P_T / P_i) * W_global: the average page size at which region i
+/// exactly meets the target (paper §3.1).
+double target_avg_page_mb(double price_pct, double global_avg_mb = dataset::kGlobalMeanPageMb,
+                          double target_pct = net::kAffordabilityTargetPct);
+
+/// Per-URL target for the paper's Fig. 10 experiment: reduce a page to
+/// 1/PAW of its own size.
+Bytes per_url_target(Bytes page_size, double paw);
+
+/// Accesses available in region i under `plan` at the target price:
+/// (P_T / P_i) * D / W_avg (paper §3.1).
+double accesses_within_target(double price_pct, net::PlanType plan, double avg_page_mb);
+
+}  // namespace aw4a::core

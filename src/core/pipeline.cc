@@ -1,0 +1,93 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "util/error.h"
+
+namespace aw4a::core {
+
+Aw4aPipeline::Aw4aPipeline(DeveloperConfig config) : config_(std::move(config)) {
+  AW4A_EXPECTS(config_.min_image_ssim > 0.0 && config_.min_image_ssim < 1.0);
+}
+
+TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page,
+                                                  Bytes target_bytes) const {
+  const auto started = std::chrono::steady_clock::now();
+  imaging::LadderOptions ladder_options;
+  ladder_options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
+  LadderCache ladders(ladder_options);
+
+  web::ServedPage served = web::serve_original(page);
+  apply_stage1(served, ladders, config_.stage1);
+
+  if (served.transfer_size() <= target_bytes) {
+    TranscodeResult result;
+    result.served = std::move(served);
+    result.result_bytes = result.served.transfer_size();
+    result.target_bytes = target_bytes;
+    result.met_target = true;
+    result.quality = evaluate_quality(result.served, config_.quality_weights,
+                                      config_.measure_qfs);
+    result.algorithm = "stage1";
+    result.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    return result;
+  }
+
+  if (config_.stage2 == DeveloperConfig::Stage2::kGridSearch) {
+    GridSearchOptions gs;
+    gs.quality_threshold = config_.min_image_ssim;
+    gs.timeout_seconds = config_.grid_timeout_seconds;
+    const GridSearchOutcome outcome = grid_search(served, target_bytes, ladders, gs);
+    TranscodeResult result;
+    result.served = std::move(served);
+    result.result_bytes = outcome.bytes_after;
+    result.target_bytes = target_bytes;
+    result.met_target = outcome.met_target;
+    result.quality = evaluate_quality(result.served, config_.quality_weights,
+                                      config_.measure_qfs);
+    result.algorithm = outcome.timed_out ? "stage1+grid-search(timeout)" : "stage1+grid-search";
+    result.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    return result;
+  }
+
+  HbsOptions hbs;
+  hbs.rbr.quality_threshold = config_.min_image_ssim;
+  hbs.rbr.area_weight = config_.rbr_area_weight;
+  hbs.rbr.bytes_efficiency_weight = config_.rbr_bytes_efficiency_weight;
+  hbs.quality_weights = config_.quality_weights;
+  hbs.measure_qfs = config_.measure_qfs;
+  hbs.js_strategy = config_.js_strategy;
+  TranscodeResult result = hbs_transcode(page, std::move(served), target_bytes, ladders, hbs);
+  result.algorithm = "stage1+" + result.algorithm;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  return result;
+}
+
+TranscodeResult Aw4aPipeline::transcode_for_country(const web::WebPage& page,
+                                                    const dataset::Country& country,
+                                                    net::PlanType plan) const {
+  const double paw = paw_index(country, plan);
+  const Bytes target = per_url_target(page.transfer_size(), paw);
+  return transcode_to_target(page, target);
+}
+
+std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
+  std::vector<Tier> tiers;
+  tiers.reserve(config_.tier_reductions.size());
+  const Bytes original = page.transfer_size();
+  for (double reduction : config_.tier_reductions) {
+    AW4A_EXPECTS(reduction >= 1.0);
+    const Bytes target =
+        static_cast<Bytes>(static_cast<double>(original) / reduction);
+    Tier tier;
+    tier.requested_reduction = reduction;
+    tier.result = transcode_to_target(page, target);
+    tiers.push_back(std::move(tier));
+  }
+  return tiers;
+}
+
+}  // namespace aw4a::core

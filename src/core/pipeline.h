@@ -1,0 +1,81 @@
+// The end-to-end AW4A pipeline (paper Fig. 5) and the developer API (§5.4).
+//
+// Given a page and a target size (from the PAW index or chosen by the
+// developer), the pipeline runs Stage-1 (lossless optimizations), checks the
+// target, and only then invokes Stage-2 (HBS by default, Grid Search
+// optionally). Developers configure object weights, the minimum image
+// quality threshold, and the set of low-complexity tiers to pre-generate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/grid_search.h"
+#include "core/hbs.h"
+#include "core/paw.h"
+#include "core/stage1.h"
+
+namespace aw4a::core {
+
+/// §5.4's developer-facing knobs.
+struct DeveloperConfig {
+  /// Page-size reduction factors to pre-generate as tiers (the user study's
+  /// ladder by default).
+  std::vector<double> tier_reductions = {1.25, 1.5, 3.0, 6.0};
+  /// Minimum acceptable image quality (SSIM), the paper's Qt.
+  double min_image_ssim = 0.9;
+  /// Relative importance of looks (QSS) vs functionality (QFS).
+  QualityWeights quality_weights;
+  /// RBR heuristic weights.
+  double rbr_area_weight = 0.5;
+  double rbr_bytes_efficiency_weight = 0.5;
+  /// Stage-2 solver.
+  enum class Stage2 { kHbs, kGridSearch } stage2 = Stage2::kHbs;
+  /// Grid Search budget when selected.
+  double grid_timeout_seconds = 10.0;
+  Stage1Options stage1;
+  /// Measure QFS on results (bot + screenshots).
+  bool measure_qfs = true;
+  /// JS stage of HBS approach A (kAdjustable avoids Muzeel's overshoot).
+  HbsOptions::JsStrategy js_strategy = HbsOptions::JsStrategy::kMuzeel;
+};
+
+/// One pre-generated low-complexity version of a page.
+struct Tier {
+  double requested_reduction = 1.0;
+  TranscodeResult result;
+
+  double achieved_reduction() const {
+    return result.result_bytes == 0 ? 0.0 : result.reduction_factor();
+  }
+  double savings_fraction() const {
+    return result.served.page == nullptr || result.served.page->transfer_size() == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(result.result_bytes) /
+                           static_cast<double>(result.served.page->transfer_size());
+  }
+};
+
+class Aw4aPipeline {
+ public:
+  explicit Aw4aPipeline(DeveloperConfig config = {});
+
+  const DeveloperConfig& config() const { return config_; }
+
+  /// Fig. 5 end-to-end: Stage-1, then Stage-2 if the target is unmet.
+  TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes) const;
+
+  /// Target from the PAW index of a country/plan: the page shrinks to 1/PAW
+  /// of its own size (no-op when PAW <= 1).
+  TranscodeResult transcode_for_country(const web::WebPage& page,
+                                        const dataset::Country& country,
+                                        net::PlanType plan) const;
+
+  /// Pre-generates the configured tiers of a page.
+  std::vector<Tier> build_tiers(const web::WebPage& page) const;
+
+ private:
+  DeveloperConfig config_;
+};
+
+}  // namespace aw4a::core

@@ -1,0 +1,77 @@
+#include "core/quality.h"
+
+#include "imaging/ssim.h"
+#include "util/error.h"
+
+namespace aw4a::core {
+
+double compute_qss(const web::ServedPage& served) {
+  AW4A_EXPECTS(served.page != nullptr);
+  double weighted = 0.0;
+  double total_area = 0.0;
+  for (const auto& object : served.page->objects) {
+    if (object.type != web::ObjectType::kImage) continue;
+    // Eq. 3's w_i: the CSS footprint when known (byte size on inventory
+    // pages), scaled by the developer-assigned priority (§5.4).
+    const double area = (object.image != nullptr
+                             ? object.image->display_area()
+                             : static_cast<double>(object.transfer_bytes)) *
+                        object.developer_weight;
+    double s = 1.0;
+    if (served.is_dropped(object.id)) {
+      s = 0.0;
+    } else if (const auto it = served.images.find(object.id); it != served.images.end()) {
+      if (it->second.variant) s = it->second.variant->ssim;
+    }
+    weighted += area * s;
+    total_area += area;
+  }
+  if (total_area == 0.0) return 1.0;
+  return weighted / total_area;
+}
+
+double compute_qfs(const web::ServedPage& served, const web::RenderOptions& render) {
+  AW4A_EXPECTS(served.page != nullptr);
+  const web::ServedPage original = web::serve_original(*served.page);
+
+  // QFS isolates *functionality*: compare post-event screenshots with image
+  // decisions pinned to the originals, so static image degradation (QSS's
+  // territory) never leaks in. This is why image-only reductions score QFS
+  // exactly 1 (paper §7.2). Script/CSS/font damage — dead widgets, missing
+  // repaints, collapsed styling — does show, both statically and per event.
+  web::ServedPage functional_view = served;
+  functional_view.images.clear();
+  const bool page_untouched = functional_view.scripts.empty() &&
+                              functional_view.dropped.empty();
+  if (page_untouched) return 1.0;
+
+  const auto events = web::enumerate_events(*served.page);
+  if (events.empty()) return 1.0;
+
+  double total = 0.0;
+  for (const auto& event : events) {
+    const web::RenderState state_orig = web::state_after_event(original, event);
+    const web::RenderState state_served = web::state_after_event(functional_view, event);
+    const imaging::Raster shot_orig = web::render_page(original, state_orig, render);
+    const imaging::Raster shot_served = web::render_page(functional_view, state_served, render);
+    total += imaging::ssim(shot_orig, shot_served);
+  }
+  return total / static_cast<double>(events.size());
+}
+
+double overall_quality(double qss, double qfs, const QualityWeights& weights) {
+  AW4A_EXPECTS(weights.qss >= 0.0 && weights.qfs >= 0.0);
+  AW4A_EXPECTS(weights.qss + weights.qfs > 0.0);
+  return (weights.qss * qss + weights.qfs * qfs) / (weights.qss + weights.qfs);
+}
+
+QualityReport evaluate_quality(const web::ServedPage& served, const QualityWeights& weights,
+                               bool measure_qfs) {
+  QualityReport report;
+  report.qss = compute_qss(served);
+  report.qfs = measure_qfs ? compute_qfs(served) : 1.0;
+  report.quality = overall_quality(report.qss, report.qfs, weights);
+  return report;
+}
+
+}  // namespace aw4a::core

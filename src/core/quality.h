@@ -1,0 +1,45 @@
+// Page quality metrics: QSS and QFS (paper §6.2, after QLUE).
+//
+// QSS (QLUE Similarity Score) is the area-weighted mean SSIM of the page's
+// images (Eq. 5): changes to large images hurt more. QFS (QLUE Functionality
+// Score) triggers every event on the original and transcoded page with the
+// interaction bot, screenshots both, and averages the whole-page SSIMs — a
+// transcoded page retaining all (visually observable) functionality scores 1.
+#pragma once
+
+#include "web/bot.h"
+#include "web/page.h"
+#include "web/render.h"
+
+namespace aw4a::core {
+
+/// Relative weights of QSS and QFS in the overall page quality. The paper
+/// leaves the split to the developer (a news site may weigh looks higher).
+struct QualityWeights {
+  double qss = 0.5;
+  double qfs = 0.5;
+};
+
+/// Eq. 5: sum(a_i * s_i) / sum(a_i) over image objects. Dropped images score
+/// s_i = 0; inventory images (no raster) count as unchanged unless dropped.
+/// Pages with no images score 1.
+double compute_qss(const web::ServedPage& served);
+
+/// Bot-driven functionality similarity. For each event on the *original*
+/// page, render post-event screenshots of original and served page and take
+/// SSIM; QFS is the mean over events (pages without events score 1).
+double compute_qfs(const web::ServedPage& served, const web::RenderOptions& render = {});
+
+/// Weighted combination, normalized by the weight sum.
+double overall_quality(double qss, double qfs, const QualityWeights& weights = {});
+
+/// Convenience: full quality evaluation of a serving decision.
+struct QualityReport {
+  double qss = 1.0;
+  double qfs = 1.0;
+  double quality = 1.0;
+};
+QualityReport evaluate_quality(const web::ServedPage& served, const QualityWeights& weights = {},
+                               bool measure_qfs = true);
+
+}  // namespace aw4a::core

@@ -1,0 +1,63 @@
+#include "core/server.h"
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace aw4a::core {
+
+TranscodingServer::TranscodingServer(const web::WebPage& page, DeveloperConfig config,
+                                     net::PlanType plan)
+    : page_(&page), plan_(plan) {
+  tiers_ = Aw4aPipeline(std::move(config)).build_tiers(page);
+  AW4A_EXPECTS(!tiers_.empty());
+}
+
+net::HttpResponse TranscodingServer::handle(const net::HttpRequest& request) const {
+  net::HttpResponse response;
+  response.headers.push_back({"Content-Type", "text/html"});
+  // The body varies with the data-saving hints; caches must key on them.
+  response.headers.push_back({"Vary", "Save-Data, X-Geo-Country, AW4A-Savings"});
+
+  if (request.method != "GET") {
+    response.status = 405;
+    response.reason = "Method Not Allowed";
+    response.headers.push_back({"Allow", "GET"});
+    return response;
+  }
+
+  // Map headers to the §5.5 profile.
+  UserProfile profile;
+  profile.data_saving_on = request.save_data();
+  profile.plan = plan_;
+  if (const auto country = request.country_hint()) {
+    profile.country = dataset::find_country(*country);
+    profile.country_sharing_on = profile.country != nullptr;
+  }
+  if (const auto savings = request.preferred_savings_pct()) {
+    profile.preferred_savings_pct = *savings;
+  }
+  // Country sharing takes precedence only when the user did not pin an
+  // explicit savings preference (Fig. 6 puts the browser setting in charge).
+  if (request.preferred_savings_pct().has_value()) profile.country_sharing_on = false;
+
+  const ServeDecision decision = decide_version(profile, tiers_);
+  switch (decision.kind) {
+    case ServeDecision::Kind::kOriginal:
+      response.content_length = page_->transfer_size();
+      response.headers.push_back({"AW4A-Tier", "original"});
+      break;
+    case ServeDecision::Kind::kPawTier:
+    case ServeDecision::Kind::kPreferenceTier: {
+      const Tier& tier = tiers_[decision.tier_index];
+      response.content_length = tier.result.result_bytes;
+      response.headers.push_back({"AW4A-Tier", std::to_string(decision.tier_index)});
+      response.headers.push_back(
+          {"AW4A-Savings-Achieved", fmt(tier.savings_fraction() * 100.0, 1)});
+      break;
+    }
+  }
+  response.headers.push_back({"AW4A-Reason", decision.reason});
+  return response;
+}
+
+}  // namespace aw4a::core

@@ -1,0 +1,40 @@
+// TranscodingServer: the AW4A origin-server façade (paper §5.2's key privacy
+// property — transcoding happens at the *server*, not at a TLS-breaking
+// proxy).
+//
+// The server pre-builds the configured tiers of a page once, then answers
+// requests by mapping HTTP hints to the Fig. 6 control flow:
+//   Save-Data absent/off              -> the original page
+//   Save-Data: on + X-Geo-Country     -> the PAW tier for that country
+//   Save-Data: on + AW4A-Savings: P   -> the tier closest to P% savings
+// Responses carry Content-Length (the served bytes), Vary (caching
+// correctness for the hint-dependent body), and AW4A-Tier diagnostics.
+#pragma once
+
+#include "core/api.h"
+#include "net/http.h"
+
+namespace aw4a::core {
+
+class TranscodingServer {
+ public:
+  /// Builds the tier ladder for `page` up front (the expensive part; serving
+  /// is then a table lookup, as §5.3's "generated to be served whenever
+  /// requested" requires).
+  TranscodingServer(const web::WebPage& page, DeveloperConfig config = {},
+                    net::PlanType plan = net::PlanType::kDataOnly);
+
+  /// Answers one request. Only GETs for any path are modeled; other methods
+  /// get 405.
+  net::HttpResponse handle(const net::HttpRequest& request) const;
+
+  std::span<const Tier> tiers() const { return tiers_; }
+  const web::WebPage& page() const { return *page_; }
+
+ private:
+  const web::WebPage* page_;
+  net::PlanType plan_;
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace aw4a::core

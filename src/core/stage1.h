@@ -1,0 +1,34 @@
+// Stage-1 of the AW4A pipeline (paper Fig. 5): optimizations that reduce
+// bytes with no perceptible quality impact.
+//
+//   - minify + recompress text resources (HTML/JS/CSS),
+//   - transcode images to WebP when the result is visually equivalent
+//     (SSIM >= stage1_min_ssim) *and* strictly smaller — the paper's
+//     PNG->WebP rule, generalized to any source format,
+//   - strip optional font metadata (hinting/kerning).
+//
+// If Stage-1 alone reaches the target, Stage-2 (Grid Search / HBS) never
+// runs.
+#pragma once
+
+#include "core/objective.h"
+
+namespace aw4a::core {
+
+struct Stage1Options {
+  /// Minimum SSIM for a format transcode to count as "no quality impact".
+  double min_transcode_ssim = 0.98;
+  /// Transfer-size multiplier from minification of text resources. The
+  /// default is the measured mean of the real minify+gzip pipeline in
+  /// aw4a::net (see tests/net_compress_test.cc); pass 1.0 to disable.
+  double minify_gain = 0.93;
+  /// Fraction of font bytes that are optional metadata (hinting/kerning).
+  double font_metadata_fraction = 0.12;
+};
+
+/// Applies Stage-1 to `served` in place (decisions accumulate on top of any
+/// existing ones). Returns the bytes saved.
+Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders,
+                   const Stage1Options& options = {});
+
+}  // namespace aw4a::core

@@ -1,0 +1,603 @@
+#include "dataset/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "js/callgraph.h"
+#include "web/dom.h"
+#include "util/error.h"
+
+namespace aw4a::dataset {
+
+using web::ObjectType;
+using web::WebObject;
+using web::WebPage;
+
+namespace {
+
+// Compression ratios raw/transfer for text-like types (gzip over typical
+// page text; the rich path pins script raw bytes to these ratios so that
+// dead-code byte accounting stays consistent).
+double raw_ratio(ObjectType t) {
+  switch (t) {
+    case ObjectType::kHtml: return 4.5;
+    case ObjectType::kJs: return 3.2;
+    case ObjectType::kCss: return 4.0;
+    case ObjectType::kIframe: return 4.0;
+    default: return 1.0;  // binary formats ship compressed
+  }
+}
+
+// Type-aware Cache-Control mix. Calibrated so the schedule-average cached
+// page is ~41% of the non-cached page (paper: 58.7% reduction) while the
+// per-object median max-age sits at ~2 weeks (most objects are images).
+net::CachePolicy cache_policy_for(ObjectType t, Rng& rng) {
+  using P = net::CachePolicy;
+  auto pick = [&](std::initializer_list<std::pair<double, P>> options) {
+    std::vector<double> w;
+    std::vector<P> p;
+    for (const auto& [weight, policy] : options) {
+      w.push_back(weight);
+      p.push_back(policy);
+    }
+    return p[rng.categorical(w)];
+  };
+  const P no_store{.max_age_seconds = 0, .no_store = true};
+  const P hour{.max_age_seconds = P::kHour, .no_store = false};
+  const P day{.max_age_seconds = P::kDay, .no_store = false};
+  const P week{.max_age_seconds = P::kWeek, .no_store = false};
+  const P two_weeks{.max_age_seconds = 2 * P::kWeek, .no_store = false};
+  const P year{.max_age_seconds = 52 * P::kWeek, .no_store = false};
+  switch (t) {
+    case ObjectType::kHtml:
+      return pick({{0.85, no_store}, {0.15, hour}});
+    case ObjectType::kJs:
+      return pick({{0.35, no_store}, {0.15, hour}, {0.15, day}, {0.35, two_weeks}});
+    case ObjectType::kCss:
+      return pick({{0.7, two_weeks}, {0.3, year}});
+    case ObjectType::kImage:
+      // A slice of image bytes is effectively uncacheable in practice: hero
+      // images and thumbnails rotate with the content (new URLs each visit).
+      return pick({{0.15, no_store}, {0.08, day}, {0.27, week}, {0.35, two_weeks},
+                   {0.15, year}});
+    case ObjectType::kFont:
+      return pick({{0.2, two_weeks}, {0.8, year}});
+    case ObjectType::kIframe:
+    case ObjectType::kMedia:
+      return pick({{0.6, no_store}, {0.4, day}});
+  }
+  return no_store;
+}
+
+// Splits `budget` into `n` parts with a lognormal spread; every part >= floor.
+std::vector<Bytes> split_budget(Rng& rng, Bytes budget, int n, double sigma, Bytes floor) {
+  AW4A_EXPECTS(n >= 1);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (auto& x : w) x = rng.lognormal(0.0, sigma);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  std::vector<Bytes> out(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    out[i] = std::max<Bytes>(floor, static_cast<Bytes>(static_cast<double>(budget) * w[i] / total));
+  }
+  return out;
+}
+
+imaging::ImageClass class_for_size(Rng& rng, Bytes size) {
+  // Big blobs are photographic/screenshot content, small ones icons/logos.
+  if (size < 12 * kKB) {
+    return rng.bernoulli(0.75) ? imaging::ImageClass::kLogo : imaging::ImageClass::kGradient;
+  }
+  if (size < 60 * kKB) return imaging::sample_image_class(rng);
+  static const double w[] = {0.55, 0.05, 0.0, 0.2, 0.2};
+  switch (rng.categorical(w)) {
+    case 0: return imaging::ImageClass::kPhoto;
+    case 1: return imaging::ImageClass::kGradient;
+    case 3: return imaging::ImageClass::kTextBanner;
+    default: return imaging::ImageClass::kScreenshot;
+  }
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusOptions options) : options_(options) {
+  AW4A_EXPECTS(options_.page_size_cv >= 0.0 && options_.page_size_cv < 1.5);
+}
+
+CompositionProfile CorpusGenerator::country_profile(const Country& country) const {
+  Rng rng = Rng(options_.seed).fork(country.name).fork("profile");
+  CompositionProfile p;
+  double img = rng.uniform(0.28, 0.72);
+  double js = rng.uniform(0.18, 0.45);
+  // Keep the images+JS share inside the band implied by the paper's what-if
+  // reduction ranges (3.1x-8.8x for removing both => 68-89% of bytes).
+  const double sum = img + js;
+  if (sum > 0.88) {
+    img *= 0.88 / sum;
+    js *= 0.88 / sum;
+  } else if (sum < 0.62) {
+    img *= 0.62 / sum;
+    js *= 0.62 / sum;
+  }
+  const double rest = 1.0 - img - js;
+  p.of(ObjectType::kImage) = img;
+  p.of(ObjectType::kJs) = js;
+  p.of(ObjectType::kHtml) = rest * rng.uniform(0.14, 0.22);
+  p.of(ObjectType::kCss) = rest * rng.uniform(0.10, 0.20);
+  p.of(ObjectType::kFont) = rest * rng.uniform(0.14, 0.30);
+  p.of(ObjectType::kIframe) = rest * rng.uniform(0.10, 0.22);
+  double assigned = 0;
+  for (double s : p.share) assigned += s;
+  p.of(ObjectType::kMedia) = std::max(0.0, 1.0 - assigned);
+  return p;
+}
+
+CompositionProfile CorpusGenerator::global_profile() const {
+  CompositionProfile p;
+  p.of(ObjectType::kImage) = 0.45;
+  p.of(ObjectType::kJs) = 0.34;
+  p.of(ObjectType::kHtml) = 0.045;
+  p.of(ObjectType::kCss) = 0.035;
+  p.of(ObjectType::kFont) = 0.055;
+  p.of(ObjectType::kIframe) = 0.04;
+  p.of(ObjectType::kMedia) = 0.035;
+  return p;
+}
+
+WebPage CorpusGenerator::make_page(Rng& rng, Bytes target_transfer,
+                                   const CompositionProfile& profile) const {
+  AW4A_EXPECTS(target_transfer >= 100 * kKB);
+  WebPage page;
+  page.id = rng.next_u64();
+
+  // Jitter the composition per page (+-18% relative), renormalized.
+  double shares[7];
+  double total = 0;
+  for (int i = 0; i < 7; ++i) {
+    shares[i] = profile.share[i] * rng.uniform(0.82, 1.18);
+    total += shares[i];
+  }
+  for (double& s : shares) s /= total;
+
+  auto budget_of = [&](ObjectType t) {
+    return static_cast<Bytes>(static_cast<double>(target_transfer) *
+                              shares[static_cast<int>(t)]);
+  };
+
+  // Object ids are globally unique (page id in the high bits): device-cache
+  // simulations key entries by object id across whole page sets.
+  std::uint64_t next_id = (page.id << 16) | 1;
+  auto add_object = [&](ObjectType t, Bytes transfer) -> WebObject& {
+    WebObject o;
+    o.id = next_id++;
+    o.type = t;
+    o.transfer_bytes = transfer;
+    o.raw_bytes = static_cast<Bytes>(static_cast<double>(transfer) * raw_ratio(t));
+    o.cache = cache_policy_for(t, rng);
+    page.objects.push_back(std::move(o));
+    return page.objects.back();
+  };
+
+  // HTML document.
+  add_object(ObjectType::kHtml, std::max<Bytes>(8 * kKB, budget_of(ObjectType::kHtml)));
+
+  // Images: count grows with the image budget; sizes are heavy-tailed.
+  const Bytes img_budget = budget_of(ObjectType::kImage);
+  const double img_mb = to_mb(img_budget);
+  const int n_img =
+      std::clamp(static_cast<int>(std::lround(img_mb * rng.uniform(9.0, 18.0))) + 1, 1, 48);
+  for (Bytes size : split_budget(rng, img_budget, n_img, 1.0, 800)) {
+    WebObject& o = add_object(ObjectType::kImage, size);
+    o.third_party = rng.bernoulli(0.3);
+    if (options_.rich) {
+      Rng img_rng = rng.fork(o.id);
+      o.image = std::make_shared<const imaging::SourceImage>(
+          imaging::make_source_image(img_rng, class_for_size(img_rng, size), size));
+    }
+  }
+
+  // Scripts.
+  const Bytes js_budget = budget_of(ObjectType::kJs);
+  const int n_js = std::clamp(static_cast<int>(std::lround(to_mb(js_budget) * 14.0)) + 2, 2, 26);
+  // Dead-code density is a *page-level* trait (framework choice, bundler
+  // config), with per-script jitter: this is what spreads Muzeel's
+  // reductions across URLs (paper Fig. 11's 10-88% from one 30% target).
+  const double dead_base = rng.uniform(0.22, 0.80);
+  const std::vector<Bytes> js_sizes = split_budget(rng, js_budget, n_js, 0.8, 2 * kKB);
+  std::vector<Bytes> js_sorted = js_sizes;
+  std::sort(js_sorted.begin(), js_sorted.end());
+  const Bytes js_median = js_sorted[js_sorted.size() / 2];
+  for (Bytes size : js_sizes) {
+    WebObject& o = add_object(ObjectType::kJs, size);
+    o.third_party = rng.bernoulli(0.7);
+    // Ads and trackers are byte-light snippets/loaders; their weight on the
+    // page comes from what they *inject*, not their own source.
+    const bool small = size <= js_median;
+    o.is_ad = o.third_party && small && rng.bernoulli(0.45);
+    o.is_tracker = o.third_party && small && !o.is_ad && rng.bernoulli(0.5);
+    if (options_.rich) {
+      Rng js_rng = rng.fork(o.id);
+      js::ScriptSynthOptions so;
+      so.target_bytes = o.raw_bytes;
+      so.third_party = o.third_party;
+      so.ad_related = o.is_ad;
+      // Scripts vary widely in how much of them is dead and how dynamic
+      // their dispatch is; both drive the spread of Muzeel's reductions and
+      // breakage (Fig. 11).
+      so.dead_fraction = std::clamp(dead_base + js_rng.uniform(-0.12, 0.12), 0.05, 0.92);
+      so.dynamic_call_prob = js_rng.uniform(0.01, 0.12);
+      auto script = std::make_shared<js::Script>(js::synth_script(js_rng, so));
+      // Align byte accounting exactly with the generated function set.
+      o.raw_bytes = script->total_bytes();
+      o.transfer_bytes =
+          static_cast<Bytes>(static_cast<double>(o.raw_bytes) / raw_ratio(ObjectType::kJs));
+      o.script = std::move(script);
+    }
+  }
+
+  // CSS, fonts, iframes, media.
+  const int n_css = static_cast<int>(rng.uniform_int(2, 6));
+  for (Bytes size : split_budget(rng, budget_of(ObjectType::kCss), n_css, 0.6, kKB)) {
+    add_object(ObjectType::kCss, size);
+  }
+  const int n_font = static_cast<int>(rng.uniform_int(1, 4));
+  for (Bytes size : split_budget(rng, budget_of(ObjectType::kFont), n_font, 0.5, 4 * kKB)) {
+    add_object(ObjectType::kFont, size);
+  }
+  if (const Bytes b = budget_of(ObjectType::kIframe); b > 4 * kKB) {
+    const int n = static_cast<int>(rng.uniform_int(1, 3));
+    for (Bytes size : split_budget(rng, b, n, 0.5, 2 * kKB)) {
+      WebObject& o = add_object(ObjectType::kIframe, size);
+      o.third_party = true;
+      o.is_ad = rng.bernoulli(0.7);
+    }
+  }
+  if (const Bytes b = budget_of(ObjectType::kMedia); b > 10 * kKB) {
+    WebObject& o = add_object(ObjectType::kMedia, b);
+    o.third_party = rng.bernoulli(0.5);
+    if (options_.rich) {
+      Rng media_rng = rng.fork(o.id);
+      o.media = std::make_shared<const web::MediaAsset>(
+          web::make_media_asset(media_rng, b));
+    }
+  }
+
+  // Dynamic injection: a slice of images/iframes/media is loaded by
+  // third-party scripts rather than the markup (ad creatives, embeds,
+  // recommendation widgets). Blocking the injector removes these too.
+  {
+    std::vector<std::uint64_t> ad_scripts;
+    std::vector<std::uint64_t> embed_scripts;  // non-ad/tracker third-party
+    std::vector<std::uint64_t> all_third_party;
+    for (const auto& o : page.objects) {
+      if (o.type != ObjectType::kJs || !o.third_party) continue;
+      all_third_party.push_back(o.id);
+      if (o.is_ad || o.is_tracker) {
+        ad_scripts.push_back(o.id);
+      } else {
+        embed_scripts.push_back(o.id);
+      }
+    }
+    auto pick_from = [&](const std::vector<std::uint64_t>& pool) {
+      return pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    };
+    if (!all_third_party.empty()) {
+      for (auto& o : page.objects) {
+        const bool injectable = o.type == ObjectType::kImage ||
+                                o.type == ObjectType::kIframe ||
+                                o.type == ObjectType::kMedia;
+        const double inject_prob =
+            o.is_ad ? 0.9 : (o.type == ObjectType::kImage ? 0.5 : 0.85);
+        if (!injectable || !rng.bernoulli(inject_prob)) continue;
+        if (o.is_ad && !ad_scripts.empty()) {
+          o.injected_by = pick_from(ad_scripts);  // ad creatives <- ad loaders
+        } else if (!embed_scripts.empty() && rng.bernoulli(0.6)) {
+          o.injected_by = pick_from(embed_scripts);  // embeds/widgets/CDNs
+        } else {
+          o.injected_by = pick_from(all_third_party);
+        }
+      }
+    }
+  }
+
+  // Document tree: header, a nav row of widgets, main content (an article
+  // per image, occasionally paired into two-column rows), footer. The block
+  // rectangles the renderer paints come out of the layout engine.
+  web::DomNode body;
+  body.tag = web::Tag::kBody;
+  auto text_node = [&](int chars) {
+    web::DomNode p;
+    p.tag = web::Tag::kP;
+    p.text_chars = chars;
+    p.style_seed = static_cast<std::uint32_t>(rng.next_u64());
+    return p;
+  };
+  {
+    web::DomNode header;
+    header.tag = web::Tag::kHeader;
+    header.children.push_back(text_node(240));
+    body.children.push_back(std::move(header));
+  }
+  // Widgets controlled by this page's scripts (rich mode): first-party
+  // first — core controls survive script blocking, which is why only ~4% of
+  // pages break outright under Brave's shield (paper §8.3).
+  std::vector<js::WidgetId> widgets;
+  auto collect_widgets = [&](bool third_party) {
+    for (const auto& o : page.objects) {
+      if (o.script == nullptr || o.third_party != third_party) continue;
+      const auto live = js::reachable_runtime(*o.script, js::all_roots(*o.script));
+      for (const auto& f : o.script->functions) {
+        if (f.visual_widget != 0 && live.count(f.id) && widgets.size() < 6) {
+          widgets.push_back(f.visual_widget);
+        }
+      }
+    }
+  };
+  collect_widgets(false);
+  collect_widgets(true);
+  std::size_t widget_i = 0;
+  if (!widgets.empty()) {
+    web::DomNode nav;
+    nav.tag = web::Tag::kNav;
+    web::DomNode row;
+    row.tag = web::Tag::kRow;
+    const std::size_t nav_widgets = std::min<std::size_t>(3, widgets.size());
+    for (; widget_i < nav_widgets; ++widget_i) {
+      web::DomNode w;
+      w.tag = web::Tag::kWidget;
+      w.widget = widgets[widget_i];
+      row.children.push_back(std::move(w));
+    }
+    nav.children.push_back(std::move(row));
+    body.children.push_back(std::move(nav));
+  }
+  {
+    web::DomNode main;
+    main.tag = web::Tag::kMain;
+    std::vector<std::uint64_t> ad_objects;
+    for (const auto& o : page.objects) {
+      if (o.type == ObjectType::kIframe && o.is_ad) ad_objects.push_back(o.id);
+    }
+    std::size_t ad_i = 0;
+    std::vector<const WebObject*> image_objects;
+    for (const auto& o : page.objects) {
+      if (o.type == ObjectType::kImage) image_objects.push_back(&o);
+    }
+    for (std::size_t i = 0; i < image_objects.size();) {
+      web::DomNode article;
+      article.tag = web::Tag::kArticle;
+      const bool small = image_objects[i]->transfer_bytes < 15 * kKB;
+      if (small && i + 1 < image_objects.size() &&
+          image_objects[i + 1]->transfer_bytes < 15 * kKB && rng.bernoulli(0.6)) {
+        // Two small images share a row (thumbnail strip).
+        web::DomNode row;
+        row.tag = web::Tag::kRow;
+        for (int k = 0; k < 2; ++k) {
+          web::DomNode img;
+          img.tag = web::Tag::kImg;
+          img.object_id = image_objects[i]->id;
+          row.children.push_back(std::move(img));
+          ++i;
+        }
+        article.children.push_back(std::move(row));
+      } else {
+        web::DomNode img;
+        img.tag = web::Tag::kImg;
+        img.object_id = image_objects[i]->id;
+        article.children.push_back(std::move(img));
+        ++i;
+      }
+      if (rng.bernoulli(0.6)) {
+        article.children.push_back(text_node(static_cast<int>(rng.uniform_int(150, 700))));
+      }
+      if (widget_i < widgets.size() && rng.bernoulli(0.4)) {
+        web::DomNode w;
+        w.tag = web::Tag::kWidget;
+        w.widget = widgets[widget_i++];
+        article.children.push_back(std::move(w));
+      }
+      if (ad_i < ad_objects.size() && rng.bernoulli(0.3)) {
+        web::DomNode ad;
+        ad.tag = web::Tag::kAdSlot;
+        ad.object_id = ad_objects[ad_i++];
+        article.children.push_back(std::move(ad));
+      }
+      main.children.push_back(std::move(article));
+    }
+    body.children.push_back(std::move(main));
+  }
+  {
+    web::DomNode footer;
+    footer.tag = web::Tag::kFooter;
+    // Remaining widgets live in the footer so every live control renders.
+    for (; widget_i < widgets.size(); ++widget_i) {
+      web::DomNode w;
+      w.tag = web::Tag::kWidget;
+      w.widget = widgets[widget_i];
+      footer.children.push_back(std::move(w));
+    }
+    footer.children.push_back(text_node(360));
+    body.children.push_back(std::move(footer));
+  }
+  const web::ImageDims dims = [&](std::uint64_t object_id) -> std::pair<int, int> {
+    const WebObject* o = page.find(object_id);
+    if (o != nullptr && o->image != nullptr) return {o->image->display_w, o->image->display_h};
+    return {page.viewport_w - 16, 120};
+  };
+  web::LayoutOptions layout_options;
+  layout_options.viewport_w = page.viewport_w;
+  web::LayoutResult laid_out = web::layout_dom(body, layout_options, dims);
+  page.layout = std::move(laid_out.blocks);
+  page.page_height = std::max(640, laid_out.page_height);
+  return page;
+}
+
+std::vector<WebPage> CorpusGenerator::country_pages(const Country& country, int count) const {
+  AW4A_EXPECTS(count >= 1);
+  Rng rng = Rng(options_.seed).fork(country.name);
+  const CompositionProfile profile = country_profile(country);
+
+  // Draw per-page size targets, then rescale so the realized mean hits the
+  // country's table mean exactly (the table is the calibration anchor).
+  const double mean_bytes = country.mean_page_mb * static_cast<double>(kMB);
+  const double sigma = std::sqrt(std::log(1.0 + options_.page_size_cv * options_.page_size_cv));
+  const double mu = std::log(mean_bytes) - sigma * sigma / 2.0;
+  std::vector<double> targets(static_cast<std::size_t>(count));
+  double sum = 0;
+  for (auto& t : targets) {
+    t = std::clamp(rng.lognormal(mu, sigma), 0.25e6, 9.5e6);
+    sum += t;
+  }
+  const double scale = mean_bytes * static_cast<double>(count) / sum;
+
+  std::vector<WebPage> pages;
+  pages.reserve(targets.size());
+  int rank = 1;
+  for (double t : targets) {
+    const Bytes target = std::max<Bytes>(150 * kKB, static_cast<Bytes>(t * scale));
+    WebPage page = make_page(rng, target, profile);
+    page.alexa_rank = rank;
+    page.url = std::string("site-") + std::to_string(rank) + "." +
+               std::string(country.name) + ".example";
+    ++rank;
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+std::vector<WebPage> CorpusGenerator::global_pages(int count) const {
+  AW4A_EXPECTS(count >= 1);
+  Rng rng = Rng(options_.seed).fork("global-top");
+  const CompositionProfile profile = global_profile();
+  const double mean_bytes = kGlobalMeanPageMb * static_cast<double>(kMB);
+  const double sigma = std::sqrt(std::log(1.0 + options_.page_size_cv * options_.page_size_cv));
+  const double mu = std::log(mean_bytes) - sigma * sigma / 2.0;
+  std::vector<double> targets(static_cast<std::size_t>(count));
+  double sum = 0;
+  for (auto& t : targets) {
+    t = std::clamp(rng.lognormal(mu, sigma), 0.25e6, 9.5e6);
+    sum += t;
+  }
+  const double scale = mean_bytes * static_cast<double>(count) / sum;
+  std::vector<WebPage> pages;
+  pages.reserve(targets.size());
+  int rank = 1;
+  for (double t : targets) {
+    WebPage page =
+        make_page(rng, std::max<Bytes>(150 * kKB, static_cast<Bytes>(t * scale)), profile);
+    page.alexa_rank = rank;
+    page.url = std::string("global-") + std::to_string(rank) + ".example";
+    ++rank;
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+CorpusGenerator::Site CorpusGenerator::make_site(Rng& rng, Bytes landing_target,
+                                                 const CompositionProfile& profile,
+                                                 int inner_count) const {
+  AW4A_EXPECTS(inner_count >= 0);
+  Site site;
+  site.landing = make_page(rng, landing_target, profile);
+
+  // The sitewide assets every inner page reuses: all CSS and fonts, the
+  // first-party scripts, and the small (chrome/logo) images.
+  std::vector<WebObject> shared;
+  for (const auto& o : site.landing.objects) {
+    const bool sitewide =
+        o.type == ObjectType::kCss || o.type == ObjectType::kFont ||
+        (o.type == ObjectType::kJs && !o.third_party) ||
+        (o.type == ObjectType::kImage && o.transfer_bytes < 20 * kKB);
+    if (sitewide) shared.push_back(o);
+  }
+
+  for (int i = 0; i < inner_count; ++i) {
+    // Inner pages are lighter and text-heavier than landing pages.
+    CompositionProfile inner_profile = profile;
+    inner_profile.of(ObjectType::kImage) *= 0.7;
+    inner_profile.of(ObjectType::kJs) *= 0.75;
+    inner_profile.of(ObjectType::kHtml) *= 2.2;
+    double total = 0;
+    for (double s : inner_profile.share) total += s;
+    for (double& s : inner_profile.share) s /= total;
+
+    const Bytes inner_target = std::max<Bytes>(
+        150 * kKB,
+        static_cast<Bytes>(static_cast<double>(landing_target) * rng.uniform(0.35, 0.65)));
+    WebPage inner = make_page(rng, inner_target, inner_profile);
+    inner.url = site.landing.url + "/inner-" + std::to_string(i + 1);
+    // Swap a matching slice of the inner page's own objects for the shared
+    // sitewide ones (same ids => cache hits across the site).
+    for (const WebObject& s : shared) {
+      const auto it = std::find_if(inner.objects.begin(), inner.objects.end(),
+                                   [&](const WebObject& o) { return o.type == s.type; });
+      if (it != inner.objects.end()) {
+        *it = s;
+      } else {
+        inner.objects.push_back(s);
+      }
+    }
+    site.inner.push_back(std::move(inner));
+  }
+  return site;
+}
+
+std::vector<WebPage> CorpusGenerator::user_study_pages() const {
+  static const char* kSites[] = {"google.com",  "yahoo.com",        "microsoft.com",
+                                 "imdb.com",    "wordpress.com",    "amazon.com",
+                                 "stackoverflow.com", "youtube.com", "wikipedia.org",
+                                 "savefrom.net"};
+  // Distinct compositions: wikipedia is text-heavy (survives 6x gracefully,
+  // as in Fig. 4b), youtube/savefrom are media/JS heavy (degrade hard).
+  CorpusGenerator rich_gen(CorpusOptions{.seed = options_.seed, .rich = true});
+  std::vector<WebPage> pages;
+  int rank = 1;
+  for (const char* site : kSites) {
+    Rng rng = Rng(options_.seed).fork(site);
+    CompositionProfile p = global_profile();
+    double size_mb = rng.uniform(1.8, 3.4);
+    // Media-portal landing pages are dominated by imagery and third-party
+    // embeds — which is exactly why the paper could build usable 6x versions
+    // of five of the ten sites by stripping images and external JS.
+    const bool image_heavy = std::string_view(site) == "google.com" ||
+                             std::string_view(site) == "amazon.com" ||
+                             std::string_view(site) == "imdb.com";
+    if (image_heavy) {
+      p.of(ObjectType::kImage) = 0.62;
+      p.of(ObjectType::kJs) = 0.26;
+      p.of(ObjectType::kHtml) = 0.035;
+      p.of(ObjectType::kCss) = 0.02;
+      p.of(ObjectType::kFont) = 0.025;
+      p.of(ObjectType::kIframe) = 0.02;
+      p.of(ObjectType::kMedia) = 0.02;
+    }
+    if (std::string_view(site) == "wikipedia.org") {
+      p.of(ObjectType::kImage) = 0.22;
+      p.of(ObjectType::kJs) = 0.18;
+      p.of(ObjectType::kHtml) = 0.40;
+      p.of(ObjectType::kCss) = 0.06;
+      p.of(ObjectType::kFont) = 0.06;
+      p.of(ObjectType::kIframe) = 0.04;
+      p.of(ObjectType::kMedia) = 0.04;
+      size_mb = 1.2;
+    } else if (std::string_view(site) == "youtube.com" ||
+               std::string_view(site) == "savefrom.net") {
+      p.of(ObjectType::kImage) = 0.60;
+      p.of(ObjectType::kJs) = 0.30;
+      p.of(ObjectType::kHtml) = 0.025;
+      p.of(ObjectType::kCss) = 0.015;
+      p.of(ObjectType::kFont) = 0.015;
+      p.of(ObjectType::kIframe) = 0.025;
+      p.of(ObjectType::kMedia) = 0.02;
+      size_mb = 3.6;
+    }
+    WebPage page = rich_gen.make_page(rng, from_mb(size_mb), p);
+    page.url = site;
+    page.alexa_rank = rank++;
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace aw4a::dataset

@@ -1,0 +1,110 @@
+#include "dataset/countries.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aw4a::dataset {
+namespace {
+
+struct CountryRow {
+  const char* name;
+  bool developing;
+  bool has_price;
+  double price_do;
+  double price_dvlu;
+  double price_dvhu;
+  double mean_page_mb;
+};
+
+struct PriceRow {
+  double price_do;
+  double price_dvlu;
+  double price_dvhu;
+};
+
+#include "dataset/countries_data.inc"
+
+std::vector<Country> build_table() {
+  std::vector<Country> out;
+  out.reserve(std::size(kCountryRows));
+  for (const CountryRow& row : kCountryRows) {
+    out.push_back(Country{.name = row.name,
+                          .developing = row.developing,
+                          .has_price_data = row.has_price,
+                          .price_do = row.price_do,
+                          .price_dvlu = row.price_dvlu,
+                          .price_dvhu = row.price_dvhu,
+                          .mean_page_mb = row.mean_page_mb});
+  }
+  return out;
+}
+
+const std::vector<Country>& table() {
+  static const std::vector<Country> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+double Country::price_pct(net::PlanType p) const {
+  AW4A_EXPECTS(has_price_data);
+  switch (p) {
+    case net::PlanType::kDataOnly: return price_do;
+    case net::PlanType::kDataVoiceLowUsage: return price_dvlu;
+    case net::PlanType::kDataVoiceHighUsage: return price_dvhu;
+  }
+  return 0.0;
+}
+
+std::span<const Country> countries() { return table(); }
+
+std::vector<const Country*> countries_with_prices() {
+  std::vector<const Country*> out;
+  for (const Country& c : table()) {
+    if (c.has_price_data) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Country*> fig10_countries() {
+  // The generator emits the 25 Fig-10 countries first, already in the
+  // paper's ascending-PAW(DVLU) order; select them by the DVLU criterion so
+  // this stays correct even if the table is reordered.
+  std::vector<const Country*> out;
+  for (const Country& c : table()) {
+    if (!c.has_price_data || !c.developing) continue;
+    const double paw = c.price_dvlu / 2.0 * (c.mean_page_mb / kGlobalMeanPageMb);
+    if (paw > 1.0) out.push_back(&c);
+  }
+  std::sort(out.begin(), out.end(), [](const Country* a, const Country* b) {
+    const double pa = a->price_dvlu * a->mean_page_mb;
+    const double pb = b->price_dvlu * b->mean_page_mb;
+    return pa < pb;
+  });
+  return out;
+}
+
+const Country* find_country(std::string_view name) {
+  for (const Country& c : table()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<double> global_price_distribution(net::PlanType plan) {
+  std::vector<double> out;
+  for (const Country& c : table()) {
+    if (c.has_price_data) out.push_back(c.price_pct(plan));
+  }
+  for (const PriceRow& r : kExtraPriceRows) {
+    switch (plan) {
+      case net::PlanType::kDataOnly: out.push_back(r.price_do); break;
+      case net::PlanType::kDataVoiceLowUsage: out.push_back(r.price_dvlu); break;
+      case net::PlanType::kDataVoiceHighUsage: out.push_back(r.price_dvhu); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aw4a::dataset

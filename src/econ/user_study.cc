@@ -1,0 +1,64 @@
+#include "econ/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::econ {
+
+UserParams sample_user(Rng& rng, const StudyOptions& options) {
+  const double a =
+      std::clamp(rng.normal(options.quality_weight_mean, options.quality_weight_sd), 0.05, 0.95);
+  return UserParams{.quality_weight = a, .access_weight = 1.0 - a};
+}
+
+std::vector<double> simulate_choices(Rng& rng, std::span<const Bundle> bundles,
+                                     const StudyOptions& options) {
+  AW4A_EXPECTS(!bundles.empty());
+  AW4A_EXPECTS(options.participants > 0);
+  std::vector<double> counts(bundles.size(), 0.0);
+  for (int u = 0; u < options.participants; ++u) {
+    const UserParams user = sample_user(rng, options);
+    // Logit choice over bundle utilities.
+    std::vector<double> util(bundles.size());
+    double umax = -1e300;
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      const double w = options.base_page_size / bundles[i].reduction;
+      util[i] = utility(user, w, bundles[i].accesses);
+      umax = std::max(umax, util[i]);
+    }
+    std::vector<double> weights(bundles.size());
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      weights[i] = options.choice_noise <= 0.0
+                       ? (util[i] == umax ? 1.0 : 0.0)
+                       : std::exp((util[i] - umax) / options.choice_noise);
+    }
+    counts[rng.categorical(weights)] += 1.0;
+  }
+  for (double& c : counts) c /= static_cast<double>(options.participants);
+  return counts;
+}
+
+std::vector<Bundle> usable_site_bundles() {
+  // Accesses scale linearly with the reduction factor from a 100-access base.
+  return {{1.5, 125.0}, {2.9, 290.0}, {4.4, 440.0}, {6.0, 600.0}};
+}
+
+std::vector<Bundle> fragile_site_bundles() {
+  // Sites unusable at 6x: the deepest usable tier is ~2.9x.
+  return {{1.5, 150.0}, {2.0, 200.0}, {2.9, 290.0}};
+}
+
+double fraction_with_utility_gain(Rng& rng, const StudyOptions& options, double w0, double a0,
+                                  double w1, double a1) {
+  AW4A_EXPECTS(options.participants > 0);
+  int gained = 0;
+  for (int u = 0; u < options.participants; ++u) {
+    const UserParams user = sample_user(rng, options);
+    if (utility(user, w1, a1) > utility(user, w0, a0)) ++gained;
+  }
+  return static_cast<double>(gained) / options.participants;
+}
+
+}  // namespace aw4a::econ

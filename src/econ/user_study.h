@@ -1,0 +1,55 @@
+// Simulated user study (paper §4.2, Fig. 4c).
+//
+// The paper surveyed 100 participants choosing among bundles of (page-size
+// reduction, monthly Web accesses). We simulate the population the §4.1
+// Cobb-Douglas model implies: heterogeneous (a, b) weights plus a logit
+// choice rule (decision noise), and reproduce the choice distribution shape —
+// bimodal for sites usable at 6x (quality-lovers pick the mildest reduction,
+// access-lovers the deepest), concentrated at mild reductions otherwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "econ/utility.h"
+#include "util/rng.h"
+
+namespace aw4a::econ {
+
+/// One offered bundle: view pages reduced `reduction`x and afford `accesses`
+/// visits per month.
+struct Bundle {
+  double reduction = 1.0;
+  double accesses = 0.0;
+};
+
+struct StudyOptions {
+  int participants = 100;
+  /// Logit temperature: 0 = hard argmax, higher = noisier choices.
+  double choice_noise = 0.35;
+  /// Population spread of the quality weight a (b = 1 - a). Slightly
+  /// quality-leaning: Fig. 4c's modal choice is the mildest reduction.
+  double quality_weight_mean = 0.52;
+  double quality_weight_sd = 0.20;
+  /// Baseline page size (arbitrary units; only ratios matter).
+  double base_page_size = 1.0;
+};
+
+/// Draws one participant.
+UserParams sample_user(Rng& rng, const StudyOptions& options);
+
+/// Fraction of participants choosing each bundle (sums to 1).
+std::vector<double> simulate_choices(Rng& rng, std::span<const Bundle> bundles,
+                                     const StudyOptions& options = {});
+
+/// The paper's two choice sets: sites usable at 6x reduction offer
+/// (1.5x,125) ... (6x,600); sites that break at 6x cap out at ~2.9x.
+std::vector<Bundle> usable_site_bundles();
+std::vector<Bundle> fragile_site_bundles();
+
+/// Fraction of a simulated population that experiences a utility gain when
+/// moving from (w0, a0) to (w1, a1) — the §4.1 headline claim.
+double fraction_with_utility_gain(Rng& rng, const StudyOptions& options, double w0, double a0,
+                                  double w1, double a1);
+
+}  // namespace aw4a::econ

@@ -1,0 +1,409 @@
+#include "imaging/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "imaging/codec_detail.h"
+#include "imaging/dct.h"
+#include "net/compress.h"
+#include "util/error.h"
+
+namespace aw4a::imaging {
+
+const char* to_string(ImageFormat f) {
+  switch (f) {
+    case ImageFormat::kJpeg: return "jpeg";
+    case ImageFormat::kPng: return "png";
+    case ImageFormat::kWebp: return "webp";
+  }
+  return "?";
+}
+
+namespace detail {
+namespace {
+
+// Annex-K JPEG quantization tables.
+constexpr int kLumaQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+constexpr int kChromaQuant[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// libjpeg quality -> table scale.
+int quality_scale(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  return quality < 50 ? 5000 / quality : 200 - 2 * quality;
+}
+
+std::array<int, 64> scaled_table(const int* base, int quality, double hf_scale) {
+  const int scale = quality_scale(quality);
+  std::array<int, 64> out{};
+  for (int i = 0; i < 64; ++i) {
+    // "High frequency" = the lower-right half in zigzag order.
+    const double hf = (i >= 20) ? hf_scale : 1.0;
+    const int q = static_cast<int>((base[i] * scale * hf + 50.0) / 100.0);
+    out[i] = std::clamp(q, 1, 255);
+  }
+  return out;
+}
+
+// Magnitude category as in JPEG: number of bits to represent |v|.
+int category(int v) {
+  int a = std::abs(v);
+  int c = 0;
+  while (a) {
+    a >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+double entropy_bits(const std::map<int, std::uint64_t>& freq) {
+  std::uint64_t total = 0;
+  for (const auto& [s, n] : freq) total += n;
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (const auto& [s, n] : freq) {
+    const double p = static_cast<double>(n) / static_cast<double>(total);
+    bits += static_cast<double>(n) * -std::log2(p);
+  }
+  return bits;
+}
+
+struct EntropyAccumulator {
+  std::map<int, std::uint64_t> dc_freq;
+  std::map<int, std::uint64_t> ac_freq;
+  double extra_bits = 0.0;
+  int prev_dc = 0;
+
+  void add_block(const std::array<int, 64>& zz) {
+    const int dc_cat = category(zz[0] - prev_dc);
+    prev_dc = zz[0];
+    ++dc_freq[dc_cat];
+    extra_bits += dc_cat;
+    int run = 0;
+    for (int i = 1; i < 64; ++i) {
+      if (zz[i] == 0) {
+        ++run;
+        continue;
+      }
+      while (run > 15) {
+        ++ac_freq[0xF0];  // ZRL
+        run -= 16;
+      }
+      const int cat = category(zz[i]);
+      ++ac_freq[(run << 4) | cat];
+      extra_bits += cat;
+      run = 0;
+    }
+    if (run > 0) ++ac_freq[0x00];  // EOB
+  }
+
+  double total_bits() const {
+    // Payload entropy + magnitude bits + Huffman table description cost.
+    return entropy_bits(dc_freq) + entropy_bits(ac_freq) + extra_bits +
+           8.0 * static_cast<double>(dc_freq.size() + ac_freq.size());
+  }
+};
+
+// One color plane padded to 8x8 blocks, coded in place.
+struct CodedPlane {
+  PlaneF plane;  // values centered at 0 after coding (still +128 domain here)
+};
+
+void code_plane(PlaneF& plane, const std::array<int, 64>& quant, EntropyAccumulator& acc) {
+  const int bw = (plane.width + 7) / 8;
+  const int bh = (plane.height + 7) / 8;
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      Block8 blk{};
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          blk[y * 8 + x] =
+              plane.at_clamped(bx * 8 + x, by * 8 + y) - 128.0f;
+        }
+      }
+      const Block8 freq = dct8x8(blk);
+      std::array<int, 64> zz{};
+      Block8 deq{};
+      for (int i = 0; i < 64; ++i) {
+        const int q = quant[i];
+        const int src = kZigzag[i];
+        const int level = static_cast<int>(std::lround(freq[src] / static_cast<float>(q)));
+        zz[i] = level;
+        deq[src] = static_cast<float>(level * q);
+      }
+      acc.add_block(zz);
+      const Block8 rec = idct8x8(deq);
+      for (int y = 0; y < 8; ++y) {
+        const int py = by * 8 + y;
+        if (py >= plane.height) continue;
+        for (int x = 0; x < 8; ++x) {
+          const int px = bx * 8 + x;
+          if (px >= plane.width) continue;
+          plane.at(px, py) = rec[y * 8 + x] + 128.0f;
+        }
+      }
+    }
+  }
+}
+
+PlaneF subsample2(const PlaneF& in) {
+  PlaneF out((in.width + 1) / 2, (in.height + 1) / 2);
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      const float s = in.at_clamped(2 * x, 2 * y) + in.at_clamped(2 * x + 1, 2 * y) +
+                      in.at_clamped(2 * x, 2 * y + 1) + in.at_clamped(2 * x + 1, 2 * y + 1);
+      out.at(x, y) = s * 0.25f;
+    }
+  }
+  return out;
+}
+
+float upsample_at(const PlaneF& small, int x, int y) {
+  // Bilinear co-sited upsampling by 2x.
+  const float fx = x * 0.5f;
+  const float fy = y * 0.5f;
+  const int x0 = static_cast<int>(fx);
+  const int y0 = static_cast<int>(fy);
+  const float tx = fx - x0;
+  const float ty = fy - y0;
+  const float v00 = small.at_clamped(x0, y0);
+  const float v10 = small.at_clamped(x0 + 1, y0);
+  const float v01 = small.at_clamped(x0, y0 + 1);
+  const float v11 = small.at_clamped(x0 + 1, y0 + 1);
+  return (v00 * (1 - tx) + v10 * tx) * (1 - ty) + (v01 * (1 - tx) + v11 * tx) * ty;
+}
+
+std::uint8_t clamp_u8(float v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f) + 0.5f);
+}
+
+}  // namespace
+
+Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params) {
+  AW4A_EXPECTS(!img.empty());
+  quality = std::clamp(quality, 1, 100);
+  const bool keep_alpha = params.alpha && img.has_alpha();
+
+  // RGB -> YCbCr; non-alpha codecs composite over white.
+  const int w = img.width();
+  const int h = img.height();
+  PlaneF ly(w, h);
+  PlaneF cb(w, h);
+  PlaneF cr(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Pixel p = img.at(x, y);
+      float r = p.r;
+      float g = p.g;
+      float b = p.b;
+      if (!keep_alpha && p.a < 255) {
+        const float a = p.a / 255.0f;
+        r = r * a + 255.0f * (1 - a);
+        g = g * a + 255.0f * (1 - a);
+        b = b * a + 255.0f * (1 - a);
+      }
+      ly.at(x, y) = 0.299f * r + 0.587f * g + 0.114f * b;
+      cb.at(x, y) = 128.0f - 0.168736f * r - 0.331264f * g + 0.5f * b;
+      cr.at(x, y) = 128.0f + 0.5f * r - 0.418688f * g - 0.081312f * b;
+    }
+  }
+  PlaneF cb2 = subsample2(cb);
+  PlaneF cr2 = subsample2(cr);
+
+  const auto lq = scaled_table(kLumaQuant, quality, params.hf_quant_scale);
+  const auto cq = scaled_table(kChromaQuant, quality, params.hf_quant_scale);
+  EntropyAccumulator luma_acc;
+  EntropyAccumulator chroma_acc;
+  code_plane(ly, lq, luma_acc);
+  code_plane(cb2, cq, chroma_acc);
+  code_plane(cr2, cq, chroma_acc);
+
+  // Reconstruct RGBA.
+  Encoded out;
+  out.format = params.format;
+  out.quality = quality;
+  out.decoded = Raster(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float Y = ly.at(x, y);
+      const float Cb = upsample_at(cb2, x, y) - 128.0f;
+      const float Cr = upsample_at(cr2, x, y) - 128.0f;
+      Pixel& p = out.decoded.at(x, y);
+      p.r = clamp_u8(Y + 1.402f * Cr);
+      p.g = clamp_u8(Y - 0.344136f * Cb - 0.714136f * Cr);
+      p.b = clamp_u8(Y + 1.772f * Cb);
+      p.a = keep_alpha ? img.at(x, y).a : 255;
+    }
+  }
+
+  const double payload_bits =
+      (luma_acc.total_bits() + chroma_acc.total_bits()) * params.payload_scale;
+  out.header_bytes = params.header_bytes;
+  out.bytes = params.header_bytes + static_cast<Bytes>(std::ceil(payload_bits / 8.0));
+  if (keep_alpha) out.bytes += alpha_plane_cost(img);
+  return out;
+}
+
+std::vector<std::uint8_t> png_filter_stream(const Raster& img, bool include_alpha) {
+  AW4A_EXPECTS(!img.empty());
+  const int channels = include_alpha ? 4 : 3;
+  const int w = img.width();
+  const int h = img.height();
+  const int stride = w * channels;
+  auto sample = [&](int x, int y, int c) -> int {
+    if (x < 0 || y < 0) return 0;
+    const Pixel p = img.at(x, y);
+    switch (c) {
+      case 0: return p.r;
+      case 1: return p.g;
+      case 2: return p.b;
+      default: return p.a;
+    }
+  };
+  auto paeth = [](int a, int b, int c) {
+    const int pr = a + b - c;
+    const int pa = std::abs(pr - a);
+    const int pb = std::abs(pr - b);
+    const int pc = std::abs(pr - c);
+    if (pa <= pb && pa <= pc) return a;
+    if (pb <= pc) return b;
+    return c;
+  };
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(h) * (stride + 1));
+  std::vector<std::uint8_t> candidate(static_cast<std::size_t>(stride));
+  std::vector<std::uint8_t> best(static_cast<std::size_t>(stride));
+  for (int y = 0; y < h; ++y) {
+    long best_score = -1;
+    std::uint8_t best_filter = 0;
+    for (std::uint8_t filter = 0; filter < 5; ++filter) {
+      long score = 0;
+      for (int x = 0; x < w; ++x) {
+        for (int c = 0; c < channels; ++c) {
+          const int cur = sample(x, y, c);
+          const int left = sample(x - 1, y, c);
+          const int up = sample(x, y - 1, c);
+          const int ul = sample(x - 1, y - 1, c);
+          int predicted = 0;
+          switch (filter) {
+            case 0: predicted = 0; break;
+            case 1: predicted = left; break;
+            case 2: predicted = up; break;
+            case 3: predicted = (left + up) / 2; break;
+            default: predicted = paeth(left, up, ul); break;
+          }
+          const auto residual = static_cast<std::uint8_t>(cur - predicted);
+          candidate[static_cast<std::size_t>(x) * channels + c] = residual;
+          // Standard heuristic: minimize sum of |signed residual|.
+          score += std::abs(static_cast<std::int8_t>(residual));
+        }
+      }
+      if (best_score < 0 || score < best_score) {
+        best_score = score;
+        best_filter = filter;
+        best = candidate;
+      }
+    }
+    out.push_back(best_filter);
+    out.insert(out.end(), best.begin(), best.end());
+  }
+  return out;
+}
+
+Bytes alpha_plane_cost(const Raster& img) {
+  // Filter the alpha channel alone and LZ it; WebP stores alpha losslessly
+  // with roughly this cost.
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<std::uint8_t> stream;
+  stream.reserve(static_cast<std::size_t>(w) * h);
+  int prev = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int a = img.at(x, y).a;
+      stream.push_back(static_cast<std::uint8_t>(a - prev));
+      prev = a;
+    }
+  }
+  return net::gzip_size(stream);
+}
+
+}  // namespace detail
+
+namespace {
+
+class JpegCodec final : public Codec {
+ public:
+  ImageFormat format() const override { return ImageFormat::kJpeg; }
+  bool supports_alpha() const override { return false; }
+  Encoded encode(const Raster& img, int quality) const override {
+    return jpeg_encode(img, quality);
+  }
+};
+
+class PngCodec final : public Codec {
+ public:
+  ImageFormat format() const override { return ImageFormat::kPng; }
+  bool supports_alpha() const override { return true; }
+  Encoded encode(const Raster& img, int /*quality: lossless*/) const override {
+    return png_encode(img);
+  }
+};
+
+class WebpCodec final : public Codec {
+ public:
+  ImageFormat format() const override { return ImageFormat::kWebp; }
+  bool supports_alpha() const override { return true; }
+  Encoded encode(const Raster& img, int quality) const override {
+    return quality >= 100 ? webp_lossless_encode(img) : webp_encode(img, quality);
+  }
+};
+
+}  // namespace
+
+const Codec& codec_for(ImageFormat f) {
+  static const JpegCodec jpeg;
+  static const PngCodec png;
+  static const WebpCodec webp;
+  switch (f) {
+    case ImageFormat::kJpeg: return jpeg;
+    case ImageFormat::kPng: return png;
+    case ImageFormat::kWebp: return webp;
+  }
+  return jpeg;
+}
+
+ImageFormat natural_format(const Raster& img) {
+  if (img.has_alpha()) return ImageFormat::kPng;
+  // Count distinct colors on a sparse sample: flat-color art ships as PNG.
+  constexpr std::size_t kMaxDistinct = 24;
+  std::vector<std::uint32_t> seen;
+  const auto& px = img.pixels();
+  const std::size_t step = std::max<std::size_t>(1, px.size() / 512);
+  for (std::size_t i = 0; i < px.size(); i += step) {
+    const std::uint32_t key = (std::uint32_t(px[i].r) << 16) | (std::uint32_t(px[i].g) << 8) |
+                              px[i].b;
+    if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+      seen.push_back(key);
+      if (seen.size() > kMaxDistinct) return ImageFormat::kJpeg;
+    }
+  }
+  return ImageFormat::kPng;
+}
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,65 @@
+// Image codec interface.
+//
+// Three codecs model the formats the paper's pipeline manipulates:
+//   jpeg-like  lossy, DCT + quantization, no alpha, entropy-cost back end
+//   png-like   lossless, per-row filtering + LZ cost (supports alpha)
+//   webp-like  lossy and lossless modes; better entropy back end than JPEG
+//              and alpha support, mirroring why the paper transcodes PNG->WebP
+//
+// Encoding returns both the output size in bytes and the decoded raster, so
+// SSIM can be computed against the original — exactly the data the optimizer
+// needs to build a variant ladder.
+#pragma once
+
+#include <string>
+
+#include "imaging/raster.h"
+#include "util/bytes.h"
+
+namespace aw4a::imaging {
+
+enum class ImageFormat { kJpeg, kPng, kWebp };
+
+const char* to_string(ImageFormat f);
+
+/// Result of an encode: wire size plus what the user would see.
+struct Encoded {
+  ImageFormat format = ImageFormat::kJpeg;
+  int quality = 100;    ///< 1..100 for lossy; 100 for lossless
+  Bytes bytes = 0;      ///< total: header + payload
+  Bytes header_bytes = 0;  ///< fixed container overhead (excluded when the
+                           ///< variant ladder scales proxy rasters up to
+                           ///< page-scale wire sizes)
+  Raster decoded;
+
+  Bytes payload_bytes() const { return bytes > header_bytes ? bytes - header_bytes : 1; }
+};
+
+/// Common interface so the optimizer can treat formats uniformly.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual ImageFormat format() const = 0;
+
+  /// True if the codec can represent transparency.
+  virtual bool supports_alpha() const = 0;
+
+  /// Encodes at `quality` in [1, 100] (ignored by lossless codecs).
+  virtual Encoded encode(const Raster& img, int quality) const = 0;
+};
+
+/// Returns the singleton codec for a format.
+const Codec& codec_for(ImageFormat f);
+
+/// Free-function encoders (the Codec singletons delegate to these).
+Encoded jpeg_encode(const Raster& img, int quality);
+Encoded png_encode(const Raster& img);                  ///< lossless
+Encoded webp_encode(const Raster& img, int quality);    ///< lossy + alpha plane
+Encoded webp_lossless_encode(const Raster& img);
+
+/// Picks a plausible original format for a synthesized image: logos/icons and
+/// anything with alpha ship as PNG, photographic content as JPEG.
+ImageFormat natural_format(const Raster& img);
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,21 @@
+// jpeg-like codec: the DCT pipeline with JPEG's Huffman-style cost model and
+// typical JFIF header overhead. No alpha support — transparent input is
+// composited over white, which is why the paper's Stage-1 prefers WebP when
+// transcoding PNGs (transparency survives).
+#include "imaging/codec.h"
+#include "imaging/codec_detail.h"
+
+namespace aw4a::imaging {
+
+Encoded jpeg_encode(const Raster& img, int quality) {
+  const detail::LossyParams params{
+      .format = ImageFormat::kJpeg,
+      .payload_scale = 1.0,
+      .hf_quant_scale = 1.0,
+      .header_bytes = 330,  // SOI + DQTx2 + SOF0 + DHTx4 + SOS
+      .alpha = false,
+  };
+  return detail::lossy_encode(img, quality, params);
+}
+
+}  // namespace aw4a::imaging

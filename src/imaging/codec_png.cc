@@ -1,0 +1,20 @@
+// png-like codec: lossless per-row filtering + LZ cost. The decoded raster is
+// the original, so SSIM against a PNG re-encode is exactly 1.
+#include "imaging/codec.h"
+#include "imaging/codec_detail.h"
+#include "net/compress.h"
+
+namespace aw4a::imaging {
+
+Encoded png_encode(const Raster& img) {
+  const auto stream = detail::png_filter_stream(img, img.has_alpha());
+  Encoded out;
+  out.format = ImageFormat::kPng;
+  out.quality = 100;
+  out.header_bytes = 57;  // signature + IHDR/IDAT/IEND chunk overhead
+  out.bytes = net::gzip_size(stream) + out.header_bytes;
+  out.decoded = img;
+  return out;
+}
+
+}  // namespace aw4a::imaging

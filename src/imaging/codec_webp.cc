@@ -1,0 +1,36 @@
+// webp-like codec: the same DCT pipeline with a stronger entropy back end
+// (modeling VP8's arithmetic coding and intra prediction; calibrated to the
+// commonly reported ~25-35% saving over JPEG at equal quality), slightly
+// flatter high-frequency quantization, and a losslessly coded alpha plane.
+#include "imaging/codec.h"
+#include "imaging/codec_detail.h"
+#include "net/compress.h"
+
+namespace aw4a::imaging {
+
+Encoded webp_encode(const Raster& img, int quality) {
+  const detail::LossyParams params{
+      .format = ImageFormat::kWebp,
+      .payload_scale = 0.72,
+      .hf_quant_scale = 0.85,
+      .header_bytes = 60,  // RIFF/VP8 headers are far leaner than JFIF
+      .alpha = true,
+  };
+  return detail::lossy_encode(img, quality, params);
+}
+
+Encoded webp_lossless_encode(const Raster& img) {
+  // VP8L's predictors + color-cache beat PNG's five filters by ~20% on the
+  // same content; model that as a scale on the filtered-LZ cost.
+  const auto stream = detail::png_filter_stream(img, img.has_alpha());
+  Encoded out;
+  out.format = ImageFormat::kWebp;
+  out.quality = 100;
+  out.header_bytes = 28;
+  out.bytes =
+      static_cast<Bytes>(static_cast<double>(net::gzip_size(stream)) * 0.8) + out.header_bytes;
+  out.decoded = img;
+  return out;
+}
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,74 @@
+#include "imaging/dct.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aw4a::imaging {
+namespace {
+
+// cos((2x+1) u pi / 16) lookup and the 1/sqrt(2) DC scale, computed once.
+struct Tables {
+  float cosv[8][8];   // [x][u]
+  float alpha[8];
+  Tables() {
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        cosv[x][u] =
+            static_cast<float>(std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0));
+      }
+    }
+    alpha[0] = static_cast<float>(1.0 / std::sqrt(2.0));
+    for (int u = 1; u < 8; ++u) alpha[u] = 1.0f;
+  }
+};
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Block8 dct8x8(const Block8& spatial) {
+  const Tables& t = tables();
+  // Separable: rows then columns.
+  Block8 tmp{};
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float s = 0;
+      for (int x = 0; x < 8; ++x) s += spatial[y * 8 + x] * t.cosv[x][u];
+      tmp[y * 8 + u] = 0.5f * t.alpha[u] * s;
+    }
+  }
+  Block8 out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float s = 0;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * t.cosv[y][v];
+      out[v * 8 + u] = 0.5f * t.alpha[v] * s;
+    }
+  }
+  return out;
+}
+
+Block8 idct8x8(const Block8& freq) {
+  const Tables& t = tables();
+  Block8 tmp{};
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      float s = 0;
+      for (int v = 0; v < 8; ++v) s += t.alpha[v] * freq[v * 8 + u] * t.cosv[y][v];
+      tmp[y * 8 + u] = 0.5f * s;
+    }
+  }
+  Block8 out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float s = 0;
+      for (int u = 0; u < 8; ++u) s += t.alpha[u] * tmp[y * 8 + u] * t.cosv[x][u];
+      out[y * 8 + x] = 0.5f * s;
+    }
+  }
+  return out;
+}
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,17 @@
+// 8x8 type-II DCT and its inverse, the transform at the core of the lossy
+// codecs. Plain float implementation; blocks are row-major float[64].
+#pragma once
+
+#include <array>
+
+namespace aw4a::imaging {
+
+using Block8 = std::array<float, 64>;
+
+/// Forward 8x8 DCT-II with orthonormal scaling.
+Block8 dct8x8(const Block8& spatial);
+
+/// Inverse 8x8 DCT (DCT-III with orthonormal scaling).
+Block8 idct8x8(const Block8& freq);
+
+}  // namespace aw4a::imaging

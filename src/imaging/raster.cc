@@ -1,0 +1,112 @@
+#include "imaging/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aw4a::imaging {
+
+Raster::Raster(int width, int height, Pixel fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+  AW4A_EXPECTS(width >= 0 && height >= 0);
+}
+
+Pixel& Raster::at(int x, int y) {
+  AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Pixel& Raster::at(int x, int y) const {
+  AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Pixel& Raster::at_clamped(int x, int y) const {
+  const int cx = std::clamp(x, 0, width_ - 1);
+  const int cy = std::clamp(y, 0, height_ - 1);
+  return data_[static_cast<std::size_t>(cy) * width_ + cx];
+}
+
+bool Raster::has_alpha() const {
+  return std::any_of(data_.begin(), data_.end(), [](const Pixel& p) { return p.a < 255; });
+}
+
+void Raster::fill_rect(int x, int y, int w, int h, Pixel p) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(width_, x + w);
+  const int y1 = std::min(height_, y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      data_[static_cast<std::size_t>(yy) * width_ + xx] = p;
+    }
+  }
+}
+
+void Raster::composite(const Raster& src, int x, int y) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(width_, x + src.width());
+  const int y1 = std::min(height_, y + src.height());
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      const Pixel s = src.at(xx - x, yy - y);
+      Pixel& d = data_[static_cast<std::size_t>(yy) * width_ + xx];
+      const int a = s.a;
+      const int ia = 255 - a;
+      d.r = static_cast<std::uint8_t>((s.r * a + d.r * ia + 127) / 255);
+      d.g = static_cast<std::uint8_t>((s.g * a + d.g * ia + 127) / 255);
+      d.b = static_cast<std::uint8_t>((s.b * a + d.b * ia + 127) / 255);
+      d.a = static_cast<std::uint8_t>(std::max<int>(d.a, a));
+    }
+  }
+}
+
+float PlaneF::at_clamped(int x, int y) const {
+  const int cx = std::clamp(x, 0, width - 1);
+  const int cy = std::clamp(y, 0, height - 1);
+  return v[static_cast<std::size_t>(cy) * width + cx];
+}
+
+PlaneF luma_plane(const Raster& img) {
+  PlaneF out(img.width(), img.height());
+  const auto& px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    const Pixel& p = px[i];
+    // Composite over white by alpha, then BT.601.
+    const float a = static_cast<float>(p.a) / 255.0f;
+    const float r = p.r * a + 255.0f * (1.0f - a);
+    const float g = p.g * a + 255.0f * (1.0f - a);
+    const float b = p.b * a + 255.0f * (1.0f - a);
+    out.v[i] = 0.299f * r + 0.587f * g + 0.114f * b;
+  }
+  return out;
+}
+
+PlaneF channel_plane(const Raster& img, int channel) {
+  AW4A_EXPECTS(channel >= 0 && channel <= 3);
+  PlaneF out(img.width(), img.height());
+  const auto& px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    const Pixel& p = px[i];
+    const std::uint8_t c = channel == 0 ? p.r : channel == 1 ? p.g : channel == 2 ? p.b : p.a;
+    out.v[i] = static_cast<float>(c);
+  }
+  return out;
+}
+
+double mean_abs_diff(const Raster& a, const Raster& b) {
+  AW4A_EXPECTS(a.width() == b.width() && a.height() == b.height());
+  if (a.pixel_count() == 0) return 0.0;
+  double sum = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sum += std::abs(int(pa[i].r) - int(pb[i].r)) + std::abs(int(pa[i].g) - int(pb[i].g)) +
+           std::abs(int(pa[i].b) - int(pb[i].b));
+  }
+  return sum / (3.0 * static_cast<double>(pa.size()));
+}
+
+}  // namespace aw4a::imaging

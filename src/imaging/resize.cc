@@ -1,0 +1,97 @@
+#include "imaging/resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::imaging {
+namespace {
+
+std::uint8_t to_u8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+}  // namespace
+
+Raster resize_box(const Raster& img, int new_w, int new_h) {
+  AW4A_EXPECTS(!img.empty() && new_w > 0 && new_h > 0);
+  Raster out(new_w, new_h);
+  const double sx = static_cast<double>(img.width()) / new_w;
+  const double sy = static_cast<double>(img.height()) / new_h;
+  for (int y = 0; y < new_h; ++y) {
+    const int y0 = static_cast<int>(y * sy);
+    const int y1 = std::max(y0 + 1, static_cast<int>((y + 1) * sy));
+    for (int x = 0; x < new_w; ++x) {
+      const int x0 = static_cast<int>(x * sx);
+      const int x1 = std::max(x0 + 1, static_cast<int>((x + 1) * sx));
+      double r = 0;
+      double g = 0;
+      double b = 0;
+      double a = 0;
+      int n = 0;
+      for (int yy = y0; yy < y1 && yy < img.height(); ++yy) {
+        for (int xx = x0; xx < x1 && xx < img.width(); ++xx) {
+          const Pixel p = img.at(xx, yy);
+          r += p.r;
+          g += p.g;
+          b += p.b;
+          a += p.a;
+          ++n;
+        }
+      }
+      if (n == 0) {
+        out.at(x, y) = img.at_clamped(x0, y0);
+      } else {
+        out.at(x, y) = Pixel{to_u8(r / n), to_u8(g / n), to_u8(b / n), to_u8(a / n)};
+      }
+    }
+  }
+  return out;
+}
+
+Raster resize_bilinear(const Raster& img, int new_w, int new_h) {
+  AW4A_EXPECTS(!img.empty() && new_w > 0 && new_h > 0);
+  Raster out(new_w, new_h);
+  const double sx = static_cast<double>(img.width()) / new_w;
+  const double sy = static_cast<double>(img.height()) / new_h;
+  for (int y = 0; y < new_h; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const double ty = fy - y0;
+    for (int x = 0; x < new_w; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const double tx = fx - x0;
+      const Pixel p00 = img.at_clamped(x0, y0);
+      const Pixel p10 = img.at_clamped(x0 + 1, y0);
+      const Pixel p01 = img.at_clamped(x0, y0 + 1);
+      const Pixel p11 = img.at_clamped(x0 + 1, y0 + 1);
+      auto lerp2 = [&](auto get) {
+        const double v0 = get(p00) * (1 - tx) + get(p10) * tx;
+        const double v1 = get(p01) * (1 - tx) + get(p11) * tx;
+        return v0 * (1 - ty) + v1 * ty;
+      };
+      out.at(x, y) = Pixel{to_u8(lerp2([](Pixel p) { return double(p.r); })),
+                           to_u8(lerp2([](Pixel p) { return double(p.g); })),
+                           to_u8(lerp2([](Pixel p) { return double(p.b); })),
+                           to_u8(lerp2([](Pixel p) { return double(p.a); }))};
+    }
+  }
+  return out;
+}
+
+Raster reduce_resolution(const Raster& img, double scale) {
+  AW4A_EXPECTS(scale > 0.0 && scale <= 1.0);
+  const int nw = std::max(1, static_cast<int>(std::lround(img.width() * scale)));
+  const int nh = std::max(1, static_cast<int>(std::lround(img.height() * scale)));
+  if (nw == img.width() && nh == img.height()) return img;
+  return resize_box(img, nw, nh);
+}
+
+Raster redisplay(const Raster& reduced, int w, int h) {
+  if (reduced.width() == w && reduced.height() == h) return reduced;
+  return resize_bilinear(reduced, w, h);
+}
+
+}  // namespace aw4a::imaging

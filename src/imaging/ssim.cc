@@ -1,0 +1,129 @@
+#include "imaging/ssim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::imaging {
+
+double ssim(const PlaneF& a, const PlaneF& b, const SsimOptions& opts) {
+  AW4A_EXPECTS(a.width == b.width && a.height == b.height);
+  AW4A_EXPECTS(opts.window >= 2 && opts.stride >= 1);
+  AW4A_EXPECTS(a.width > 0 && a.height > 0);
+
+  constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+  constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+
+  const int win = std::min({opts.window, a.width, a.height});
+  const double n = static_cast<double>(win) * win;
+  double total = 0.0;
+  std::size_t windows = 0;
+
+  const int max_x = a.width - win;
+  const int max_y = a.height - win;
+  for (int wy = 0;; wy += opts.stride) {
+    const int y0 = std::min(wy, max_y);
+    for (int wx = 0;; wx += opts.stride) {
+      const int x0 = std::min(wx, max_x);
+      double sa = 0;
+      double sb = 0;
+      double saa = 0;
+      double sbb = 0;
+      double sab = 0;
+      for (int y = 0; y < win; ++y) {
+        const float* ra = &a.v[static_cast<std::size_t>(y0 + y) * a.width + x0];
+        const float* rb = &b.v[static_cast<std::size_t>(y0 + y) * b.width + x0];
+        for (int x = 0; x < win; ++x) {
+          const double va = ra[x];
+          const double vb = rb[x];
+          sa += va;
+          sb += vb;
+          saa += va * va;
+          sbb += vb * vb;
+          sab += va * vb;
+        }
+      }
+      const double mu_a = sa / n;
+      const double mu_b = sb / n;
+      const double var_a = std::max(0.0, saa / n - mu_a * mu_a);
+      const double var_b = std::max(0.0, sbb / n - mu_b * mu_b);
+      const double cov = sab / n - mu_a * mu_b;
+      const double num = (2 * mu_a * mu_b + kC1) * (2 * cov + kC2);
+      const double den = (mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++windows;
+      if (x0 >= max_x) break;
+    }
+    if (y0 >= max_y) break;
+  }
+  return total / static_cast<double>(windows);
+}
+
+double ssim(const Raster& a, const Raster& b, const SsimOptions& opts) {
+  return ssim(luma_plane(a), luma_plane(b), opts);
+}
+
+namespace {
+
+PlaneF downsample2(const PlaneF& in) {
+  PlaneF out(std::max(1, in.width / 2), std::max(1, in.height / 2));
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      out.at(x, y) = 0.25f * (in.at_clamped(2 * x, 2 * y) + in.at_clamped(2 * x + 1, 2 * y) +
+                              in.at_clamped(2 * x, 2 * y + 1) +
+                              in.at_clamped(2 * x + 1, 2 * y + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double ms_ssim(const PlaneF& a, const PlaneF& b, int scales) {
+  AW4A_EXPECTS(scales >= 1 && scales <= 5);
+  AW4A_EXPECTS(a.width == b.width && a.height == b.height);
+  // Wang et al.'s 5-scale exponents, truncated and renormalized to `scales`.
+  static constexpr double kWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+  // Stop early when a further halving would shrink below one SSIM window.
+  int usable = 1;
+  for (int s = 1, w = a.width, h = a.height; s < scales; ++s) {
+    w /= 2;
+    h /= 2;
+    if (w < 8 || h < 8) break;
+    usable = s + 1;
+  }
+  double weight_sum = 0.0;
+  for (int s = 0; s < usable; ++s) weight_sum += kWeights[s];
+
+  PlaneF pa = a;
+  PlaneF pb = b;
+  double log_score = 0.0;
+  for (int s = 0; s < usable; ++s) {
+    const double score = std::max(1e-6, ssim(pa, pb));
+    log_score += kWeights[s] / weight_sum * std::log(score);
+    if (s + 1 < usable) {
+      pa = downsample2(pa);
+      pb = downsample2(pb);
+    }
+  }
+  return std::exp(log_score);
+}
+
+double ms_ssim(const Raster& a, const Raster& b, int scales) {
+  return ms_ssim(luma_plane(a), luma_plane(b), scales);
+}
+
+const char* to_string(QualityMetric m) {
+  switch (m) {
+    case QualityMetric::kSsim: return "ssim";
+    case QualityMetric::kMsSsim: return "ms-ssim";
+  }
+  return "?";
+}
+
+double compare_images(const Raster& a, const Raster& b, QualityMetric metric) {
+  return metric == QualityMetric::kMsSsim ? ms_ssim(a, b) : ssim(a, b);
+}
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,38 @@
+// Structural Similarity Index (Wang et al. 2004), the quality metric behind
+// QSS/QFS in the paper. Computed on BT.601 luma with an 8x8 sliding window
+// (stride configurable for speed), using the standard stabilization constants
+// C1=(0.01*255)^2, C2=(0.03*255)^2.
+#pragma once
+
+#include "imaging/raster.h"
+
+namespace aw4a::imaging {
+
+struct SsimOptions {
+  int window = 8;  ///< square window side
+  int stride = 4;  ///< window step; 1 = full dense SSIM, >1 trades accuracy
+};
+
+/// Mean SSIM of two same-sized luma planes, in [-1, 1] (≈[0,1] for natural
+/// content; exactly 1 for identical inputs).
+double ssim(const PlaneF& a, const PlaneF& b, const SsimOptions& opts = {});
+
+/// Convenience: SSIM over the luma of two same-sized rasters.
+double ssim(const Raster& a, const Raster& b, const SsimOptions& opts = {});
+
+/// Multi-scale SSIM (Wang et al. 2003): SSIM evaluated at `scales` dyadic
+/// resolutions and combined with the standard (renormalized) exponents.
+/// More tolerant of high-frequency loss the eye cannot resolve — the kind of
+/// "newer quality metric" the paper's §6.2 says can be plugged in.
+double ms_ssim(const PlaneF& a, const PlaneF& b, int scales = 3);
+double ms_ssim(const Raster& a, const Raster& b, int scales = 3);
+
+/// The pluggable image-quality metric of the optimization framework.
+enum class QualityMetric { kSsim, kMsSsim };
+
+const char* to_string(QualityMetric m);
+
+/// Dispatches to the chosen metric.
+double compare_images(const Raster& a, const Raster& b, QualityMetric metric);
+
+}  // namespace aw4a::imaging

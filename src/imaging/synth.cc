@@ -1,0 +1,230 @@
+#include "imaging/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aw4a::imaging {
+
+const char* to_string(ImageClass c) {
+  switch (c) {
+    case ImageClass::kPhoto: return "photo";
+    case ImageClass::kGradient: return "gradient";
+    case ImageClass::kLogo: return "logo";
+    case ImageClass::kTextBanner: return "text-banner";
+    case ImageClass::kScreenshot: return "screenshot";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint8_t to_u8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+Pixel palette_color(Rng& rng) {
+  // Web-ish palette: muted brand colors, some saturated accents.
+  const double h = rng.uniform(0.0, 6.0);
+  const double s = rng.uniform(0.25, 0.95);
+  const double val = rng.uniform(0.35, 0.95);
+  const double c = val * s;
+  const double x = c * (1.0 - std::abs(std::fmod(h, 2.0) - 1.0));
+  double r = 0;
+  double g = 0;
+  double b = 0;
+  switch (static_cast<int>(h)) {
+    case 0: r = c; g = x; break;
+    case 1: r = x; g = c; break;
+    case 2: g = c; b = x; break;
+    case 3: g = x; b = c; break;
+    case 4: r = x; b = c; break;
+    default: r = c; b = x; break;
+  }
+  const double m = val - c;
+  return Pixel{to_u8((r + m) * 255), to_u8((g + m) * 255), to_u8((b + m) * 255), 255};
+}
+
+Raster make_photo(Rng& rng, int w, int h) {
+  const PlaneF n1 = value_noise(rng, w, h, 5, 0.55);
+  const PlaneF n2 = value_noise(rng, w, h, 4, 0.5);
+  const Pixel c1 = palette_color(rng);
+  const Pixel c2 = palette_color(rng);
+  Raster img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double t = n1.at(x, y);
+      const double shade = 0.6 + 0.4 * n2.at(x, y);
+      img.at(x, y) = Pixel{to_u8((c1.r * t + c2.r * (1 - t)) * shade),
+                           to_u8((c1.g * t + c2.g * (1 - t)) * shade),
+                           to_u8((c1.b * t + c2.b * (1 - t)) * shade), 255};
+    }
+  }
+  return img;
+}
+
+Raster make_gradient(Rng& rng, int w, int h) {
+  const Pixel c1 = palette_color(rng);
+  const Pixel c2 = palette_color(rng);
+  const bool radial = rng.bernoulli(0.35);
+  const double cx = rng.uniform(0.2, 0.8) * w;
+  const double cy = rng.uniform(0.2, 0.8) * h;
+  const double ang = rng.uniform(0.0, 3.14159);
+  Raster img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double t;
+      if (radial) {
+        const double d = std::hypot(x - cx, y - cy);
+        t = std::clamp(d / (0.7 * std::hypot(w, h)), 0.0, 1.0);
+      } else {
+        t = std::clamp((x * std::cos(ang) + y * std::sin(ang)) / (w * std::cos(ang) +
+                                                                  h * std::sin(ang) + 1e-9),
+                       0.0, 1.0);
+      }
+      img.at(x, y) = Pixel{to_u8(c1.r * (1 - t) + c2.r * t), to_u8(c1.g * (1 - t) + c2.g * t),
+                           to_u8(c1.b * (1 - t) + c2.b * t), 255};
+    }
+  }
+  return img;
+}
+
+Raster make_logo(Rng& rng, int w, int h) {
+  const bool transparent_bg = rng.bernoulli(0.5);
+  Raster img(w, h, transparent_bg ? Pixel{0, 0, 0, 0} : Pixel{250, 250, 250, 255});
+  const int shapes = static_cast<int>(rng.uniform_int(2, 5));
+  for (int s = 0; s < shapes; ++s) {
+    const Pixel color = palette_color(rng);
+    if (rng.bernoulli(0.5)) {
+      // Rectangle.
+      const int rw = static_cast<int>(rng.uniform(0.2, 0.7) * w);
+      const int rh = static_cast<int>(rng.uniform(0.2, 0.7) * h);
+      img.fill_rect(static_cast<int>(rng.uniform(0.0, 1.0) * (w - rw)),
+                    static_cast<int>(rng.uniform(0.0, 1.0) * (h - rh)), rw, rh, color);
+    } else {
+      // Disc.
+      const double cx = rng.uniform(0.25, 0.75) * w;
+      const double cy = rng.uniform(0.25, 0.75) * h;
+      const double r = rng.uniform(0.12, 0.35) * std::min(w, h);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          if (std::hypot(x - cx, y - cy) <= r) img.at(x, y) = color;
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Raster make_text_banner(Rng& rng, int w, int h) {
+  const Pixel bg = rng.bernoulli(0.7) ? Pixel{255, 255, 255, 255} : palette_color(rng);
+  const Pixel ink = rng.bernoulli(0.8) ? Pixel{25, 25, 30, 255} : palette_color(rng);
+  Raster img(w, h, bg);
+  const int line_h = std::max(4, h / static_cast<int>(rng.uniform_int(4, 9)));
+  for (int y0 = line_h / 2; y0 + line_h / 2 < h; y0 += line_h + line_h / 2) {
+    // Each "line of text": glyph-like vertical strokes with random gaps.
+    int x = w / 20;
+    while (x < w * 19 / 20) {
+      const int glyph_w = static_cast<int>(rng.uniform_int(2, 5));
+      const int gap = static_cast<int>(rng.uniform_int(1, 3));
+      if (rng.bernoulli(0.82)) {
+        img.fill_rect(x, y0, glyph_w, line_h / 2, ink);
+      } else {
+        x += glyph_w * 3;  // word gap
+      }
+      x += glyph_w + gap;
+    }
+  }
+  return img;
+}
+
+Raster make_screenshot(Rng& rng, int w, int h) {
+  Raster img(w, h, Pixel{245, 246, 248, 255});
+  const int panels = static_cast<int>(rng.uniform_int(3, 7));
+  for (int p = 0; p < panels; ++p) {
+    const int pw = static_cast<int>(rng.uniform(0.25, 0.8) * w);
+    const int ph = static_cast<int>(rng.uniform(0.15, 0.4) * h);
+    const int px = static_cast<int>(rng.uniform(0.0, 1.0) * (w - pw));
+    const int py = static_cast<int>(rng.uniform(0.0, 1.0) * (h - ph));
+    img.fill_rect(px, py, pw, ph, palette_color(rng));
+    // Text rows inside the panel.
+    const int rows = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < rows; ++r) {
+      const int ty = py + 4 + r * std::max(6, ph / (rows + 1));
+      if (ty + 3 < py + ph) {
+        img.fill_rect(px + 6, ty, static_cast<int>(pw * rng.uniform(0.3, 0.9)), 3,
+                      Pixel{40, 40, 45, 255});
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+PlaneF value_noise(Rng& rng, int width, int height, int octaves, double persistence) {
+  AW4A_EXPECTS(width > 0 && height > 0 && octaves >= 1);
+  PlaneF out(width, height, 0.0f);
+  double amplitude = 1.0;
+  double total_amp = 0.0;
+  int cells = 4;
+  for (int o = 0; o < octaves; ++o) {
+    // Random lattice for this octave.
+    const int gw = cells + 1;
+    const int gh = cells + 1;
+    std::vector<float> lattice(static_cast<std::size_t>(gw) * gh);
+    for (auto& v : lattice) v = static_cast<float>(rng.uniform());
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const double fx = static_cast<double>(x) / width * cells;
+        const double fy = static_cast<double>(y) / height * cells;
+        const int x0 = static_cast<int>(fx);
+        const int y0 = static_cast<int>(fy);
+        const double tx = fx - x0;
+        const double ty = fy - y0;
+        // Smoothstep for C1 continuity.
+        const double sx = tx * tx * (3 - 2 * tx);
+        const double sy = ty * ty * (3 - 2 * ty);
+        const float v00 = lattice[static_cast<std::size_t>(y0) * gw + x0];
+        const float v10 = lattice[static_cast<std::size_t>(y0) * gw + std::min(x0 + 1, gw - 1)];
+        const float v01 = lattice[static_cast<std::size_t>(std::min(y0 + 1, gh - 1)) * gw + x0];
+        const float v11 = lattice[static_cast<std::size_t>(std::min(y0 + 1, gh - 1)) * gw +
+                                  std::min(x0 + 1, gw - 1)];
+        const double vx0 = v00 + (v10 - v00) * sx;
+        const double vx1 = v01 + (v11 - v01) * sx;
+        out.at(x, y) += static_cast<float>((vx0 + (vx1 - vx0) * sy) * amplitude);
+      }
+    }
+    total_amp += amplitude;
+    amplitude *= persistence;
+    cells *= 2;
+  }
+  for (auto& v : out.v) v = static_cast<float>(v / total_amp);
+  return out;
+}
+
+Raster synth_image(Rng& rng, ImageClass cls, int width, int height) {
+  AW4A_EXPECTS(width > 0 && height > 0);
+  switch (cls) {
+    case ImageClass::kPhoto: return make_photo(rng, width, height);
+    case ImageClass::kGradient: return make_gradient(rng, width, height);
+    case ImageClass::kLogo: return make_logo(rng, width, height);
+    case ImageClass::kTextBanner: return make_text_banner(rng, width, height);
+    case ImageClass::kScreenshot: return make_screenshot(rng, width, height);
+  }
+  return Raster(width, height);
+}
+
+ImageClass sample_image_class(Rng& rng) {
+  // Photos/banners carry most bytes on real pages; logos are frequent but
+  // small; screenshots/gradients fill the tail.
+  static const double weights[] = {0.38, 0.10, 0.24, 0.18, 0.10};
+  switch (rng.categorical(weights)) {
+    case 0: return ImageClass::kPhoto;
+    case 1: return ImageClass::kGradient;
+    case 2: return ImageClass::kLogo;
+    case 3: return ImageClass::kTextBanner;
+    default: return ImageClass::kScreenshot;
+  }
+}
+
+}  // namespace aw4a::imaging

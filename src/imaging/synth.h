@@ -1,0 +1,39 @@
+// Synthetic image generation.
+//
+// The paper's pages carry real photos, logos, banners and screenshots; their
+// *diversity* is what makes image optimization interesting (Fig. 8 shows very
+// different SSIM-vs-bytes curves per image). We synthesize five content
+// classes with distinct spectral structure so our codecs reproduce that
+// diversity:
+//   kPhoto       smooth multi-octave noise (low-frequency, JPEG-friendly)
+//   kGradient    near-flat ramps (tiny when coded, SSIM-robust)
+//   kLogo        flat regions + hard edges + transparency (PNG territory)
+//   kTextBanner  high-frequency glyph-like strokes (quality-fragile)
+//   kScreenshot  rectangular panels + text rows (mixed)
+#pragma once
+
+#include "imaging/raster.h"
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+
+enum class ImageClass { kPhoto, kGradient, kLogo, kTextBanner, kScreenshot };
+
+inline constexpr ImageClass kAllImageClasses[] = {
+    ImageClass::kPhoto, ImageClass::kGradient, ImageClass::kLogo, ImageClass::kTextBanner,
+    ImageClass::kScreenshot};
+
+const char* to_string(ImageClass c);
+
+/// Generates a `width` x `height` image of the given class. Deterministic in
+/// the RNG state. Logos get a transparent background with probability ~0.5.
+Raster synth_image(Rng& rng, ImageClass cls, int width, int height);
+
+/// Draws a class with web-plausible frequencies (photos and banners dominate
+/// page bytes; logos/icons are numerous but small).
+ImageClass sample_image_class(Rng& rng);
+
+/// Multi-octave value noise in [0,1] (exposed for tests and the renderer).
+PlaneF value_noise(Rng& rng, int width, int height, int octaves, double persistence = 0.55);
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,236 @@
+#include "imaging/variants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/resize.h"
+#include "imaging/ssim.h"
+#include "util/error.h"
+
+namespace aw4a::imaging {
+namespace {
+
+int raster_dim_for(ImageClass cls, Rng& rng) {
+  // Proxy raster sizes per class; kept modest so ladder enumeration stays
+  // fast, large enough for meaningful SSIM windows.
+  switch (cls) {
+    case ImageClass::kPhoto: return static_cast<int>(rng.uniform_int(96, 144));
+    case ImageClass::kGradient: return static_cast<int>(rng.uniform_int(64, 112));
+    case ImageClass::kLogo: return static_cast<int>(rng.uniform_int(40, 72));
+    case ImageClass::kTextBanner: return static_cast<int>(rng.uniform_int(80, 128));
+    case ImageClass::kScreenshot: return static_cast<int>(rng.uniform_int(96, 144));
+  }
+  return 96;
+}
+
+int display_dim_for(ImageClass cls, Rng& rng) {
+  // CSS-pixel footprint on a mobile page.
+  switch (cls) {
+    case ImageClass::kPhoto: return static_cast<int>(rng.uniform_int(240, 360));
+    case ImageClass::kGradient: return static_cast<int>(rng.uniform_int(180, 360));
+    case ImageClass::kLogo: return static_cast<int>(rng.uniform_int(32, 96));
+    case ImageClass::kTextBanner: return static_cast<int>(rng.uniform_int(200, 360));
+    case ImageClass::kScreenshot: return static_cast<int>(rng.uniform_int(160, 320));
+  }
+  return 200;
+}
+
+std::size_t format_index(ImageFormat f) { return static_cast<std::size_t>(f); }
+
+}  // namespace
+
+SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes) {
+  AW4A_EXPECTS(target_wire_bytes > 0);
+  SourceImage asset;
+  asset.id = rng.next_u64();
+  asset.cls = cls;
+  const int dim = raster_dim_for(cls, rng);
+  const int dim2 = std::max(16, static_cast<int>(dim * rng.uniform(0.6, 1.0)));
+  asset.original = synth_image(rng, cls, dim, dim2);
+  asset.format = natural_format(asset.original);
+  asset.ship_quality = static_cast<int>(rng.uniform_int(80, 92));
+  asset.display_w = display_dim_for(cls, rng);
+  asset.display_h = std::max(24, static_cast<int>(asset.display_w * rng.uniform(0.5, 1.0)));
+
+  const Encoded shipped = codec_for(asset.format).encode(asset.original, asset.ship_quality);
+  AW4A_EXPECTS(shipped.bytes > 0);
+  // Calibrate on the payload: headers are a fixed real-world constant, not
+  // something that scales with the proxy raster.
+  const Bytes header = wire_header_bytes();
+  const Bytes payload_target = target_wire_bytes > header ? target_wire_bytes - header : 1;
+  asset.byte_scale =
+      static_cast<double>(payload_target) / static_cast<double>(shipped.payload_bytes());
+  asset.wire_bytes = target_wire_bytes;
+  // The shipped original *is* the lossy encode; replace the pristine raster
+  // with what actually went over the wire so SSIM=1 corresponds to "same as
+  // served", matching the paper (it compares against the served page).
+  asset.original = shipped.decoded;
+  return asset;
+}
+
+VariantLadder::VariantLadder(std::shared_ptr<const SourceImage> asset, LadderOptions options)
+    : asset_(std::move(asset)), options_(std::move(options)) {
+  AW4A_EXPECTS(asset_ != nullptr);
+  AW4A_EXPECTS(options_.scale_granularity > 0.0 && options_.scale_granularity < 1.0);
+  AW4A_EXPECTS(options_.min_scale > 0.0 && options_.min_scale < 1.0);
+}
+
+ImageVariant VariantLadder::original() const {
+  return ImageVariant{.format = asset_->format,
+                      .scale = 1.0,
+                      .quality = asset_->ship_quality,
+                      .bytes = asset_->wire_bytes,
+                      .ssim = 1.0,
+                      .is_original = true};
+}
+
+Bytes wire_header_bytes() { return 420; }
+
+ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
+                             int quality) {
+  const Raster reduced = reduce_resolution(asset.original, scale);
+  const Encoded enc = codec_for(format).encode(reduced, quality);
+  const Raster shown = redisplay(enc.decoded, asset.original.width(), asset.original.height());
+  ImageVariant v;
+  v.format = format;
+  v.scale = scale;
+  v.quality = quality;
+  v.bytes = wire_header_bytes() +
+            static_cast<Bytes>(std::llround(static_cast<double>(enc.payload_bytes()) *
+                                            asset.byte_scale));
+  v.ssim = ssim(asset.original, shown);
+  return v;
+}
+
+ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality) const {
+  if (options_.metric == QualityMetric::kSsim) {
+    return measure_variant(*asset_, format, scale, quality);
+  }
+  // Alternate metric: recompute the score with the configured comparator.
+  const Raster reduced = reduce_resolution(asset_->original, scale);
+  const Encoded enc = codec_for(format).encode(reduced, quality);
+  const Raster shown = redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
+  ImageVariant v;
+  v.format = format;
+  v.scale = scale;
+  v.quality = quality;
+  v.bytes = wire_header_bytes() +
+            static_cast<Bytes>(std::llround(static_cast<double>(enc.payload_bytes()) *
+                                            asset_->byte_scale));
+  v.ssim = compare_images(asset_->original, shown, options_.metric);
+  return v;
+}
+
+const std::vector<ImageVariant>& VariantLadder::resolution_family(ImageFormat format) {
+  auto& slot = res_family_[format_index(format)];
+  if (!slot) {
+    std::vector<ImageVariant> family;
+    for (double s = 1.0 - options_.scale_granularity; s >= options_.min_scale - 1e-9;
+         s -= options_.scale_granularity) {
+      ImageVariant v = measure(format, s, asset_->ship_quality);
+      const double ssim_v = v.ssim;
+      family.push_back(std::move(v));
+      if (ssim_v < options_.min_ssim) break;  // keep one below-floor point as a sentinel
+    }
+    slot = std::move(family);
+  }
+  return *slot;
+}
+
+const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat format) {
+  auto& slot = qual_family_[format_index(format)];
+  if (!slot) {
+    std::vector<ImageVariant> family;
+    if (format != ImageFormat::kPng) {  // PNG is lossless: no quality knob
+      for (int q : options_.quality_steps) {
+        if (q >= asset_->ship_quality) continue;  // upcoding never helps
+        ImageVariant v = measure(format, 1.0, q);
+        const double ssim_v = v.ssim;
+        family.push_back(std::move(v));
+        if (ssim_v < options_.min_ssim) break;
+      }
+    }
+    slot = std::move(family);
+  }
+  return *slot;
+}
+
+const ImageVariant& VariantLadder::webp_full() {
+  if (!webp_full_) {
+    const int q = asset_->format == ImageFormat::kPng ? 100 : asset_->ship_quality;
+    webp_full_ = measure(ImageFormat::kWebp, 1.0, q);
+  }
+  return *webp_full_;
+}
+
+std::optional<ImageVariant> VariantLadder::cheapest_with_ssim_at_least(double target) {
+  std::optional<ImageVariant> best = original();
+  auto consider = [&](const ImageVariant& v) {
+    if (v.ssim + 1e-12 >= target && (!best || v.bytes < best->bytes)) best = v;
+  };
+  consider(webp_full());
+  for (const auto& v : resolution_family(asset_->format)) consider(v);
+  for (const auto& v : resolution_family(ImageFormat::kWebp)) consider(v);
+  for (const auto& v : quality_family(asset_->format)) consider(v);
+  for (const auto& v : quality_family(ImageFormat::kWebp)) consider(v);
+  if (best && best->ssim + 1e-12 < target) return std::nullopt;  // original below target?!
+  return best;
+}
+
+std::optional<ImageVariant> VariantLadder::cheapest_fullres_with_ssim_at_least(double target) {
+  std::optional<ImageVariant> best = original();
+  auto consider = [&](const ImageVariant& v) {
+    if (v.ssim + 1e-12 >= target && (!best || v.bytes < best->bytes)) best = v;
+  };
+  consider(webp_full());
+  for (const auto& v : quality_family(asset_->format)) consider(v);
+  for (const auto& v : quality_family(ImageFormat::kWebp)) consider(v);
+  if (best && best->ssim + 1e-12 < target) return std::nullopt;
+  return best;
+}
+
+double VariantLadder::bytes_efficiency(double ssim_threshold) {
+  // Walk the resolution family of the shipped format down to the threshold;
+  // use only points where both bytes and SSIM decreased (the paper considers
+  // only the monotone part of the curve).
+  const ImageVariant base = original();
+  const ImageVariant* deepest = nullptr;
+  for (const auto& v : resolution_family(asset_->format)) {
+    if (v.ssim + 1e-12 < ssim_threshold) break;
+    if (v.bytes < base.bytes && v.ssim < base.ssim) deepest = &v;
+  }
+  if (deepest == nullptr) return 0.0;
+  const double dbytes = static_cast<double>(base.bytes - deepest->bytes);
+  const double dssim = base.ssim - deepest->ssim;
+  if (dssim <= 1e-9) {
+    // Bytes shrink with no measurable SSIM cost: maximal reducibility.
+    return dbytes / 1e-9;
+  }
+  return dbytes / dssim;
+}
+
+std::vector<ImageVariant> VariantLadder::all_variants() const {
+  std::vector<ImageVariant> out;
+  out.push_back(original());
+  for (const auto& family : res_family_) {
+    if (family) out.insert(out.end(), family->begin(), family->end());
+  }
+  for (const auto& family : qual_family_) {
+    if (family) out.insert(out.end(), family->begin(), family->end());
+  }
+  if (webp_full_) out.push_back(*webp_full_);
+  return out;
+}
+
+Raster VariantLadder::render_variant(const ImageVariant& v) const {
+  return imaging::render_variant(*asset_, v);
+}
+
+Raster render_variant(const SourceImage& asset, const ImageVariant& v) {
+  if (v.is_original) return asset.original;
+  const Raster reduced = reduce_resolution(asset.original, v.scale);
+  const Encoded enc = codec_for(v.format).encode(reduced, v.quality);
+  return redisplay(enc.decoded, asset.original.width(), asset.original.height());
+}
+
+}  // namespace aw4a::imaging

@@ -1,0 +1,150 @@
+// Per-image optimization search space.
+//
+// A SourceImage is one image asset on a page: a synthesized raster plus its
+// shipped format and wire size. Because the paper's images are hundreds of KB
+// while our proxy rasters are small, each asset carries a byte_scale mapping
+// encoder output to page-scale wire bytes; *ratios* between variants — which
+// is all the optimizer consumes — are exact encoder measurements.
+//
+// A VariantLadder lazily enumerates reduced versions of the asset:
+//   - the resolution family (RBR's "linearly reduce the resolution"),
+//   - the quality family (Grid Search's SSIM-level versions),
+//   - the full-resolution WebP transcode (Stage-1's PNG->WebP rule),
+// measuring real (bytes, SSIM-after-redisplay) for each. Results are memoized
+// per asset, so repeated optimizer passes are cheap.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "imaging/codec.h"
+#include "imaging/ssim.h"
+#include "imaging/raster.h"
+#include "imaging/synth.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+
+/// One image asset as shipped on a page.
+struct SourceImage {
+  std::uint64_t id = 0;
+  Raster original;
+  ImageClass cls = ImageClass::kPhoto;
+  ImageFormat format = ImageFormat::kJpeg;  ///< shipped format
+  int ship_quality = 85;                    ///< quality the original was encoded at
+  Bytes wire_bytes = 0;                     ///< shipped (compressed) size on the page
+  /// Wire bytes per encoder *payload* byte. Proxy rasters are small, so the
+  /// container header would dominate and artificially floor deep reductions;
+  /// scaling the payload only (plus a fixed real-world header) keeps byte
+  /// ratios faithful to full-size images.
+  double byte_scale = 1.0;
+  int display_w = 0;                        ///< CSS pixels occupied on the page
+  int display_h = 0;
+
+  double display_area() const {
+    return static_cast<double>(display_w) * static_cast<double>(display_h);
+  }
+};
+
+/// Synthesizes an asset of the given class whose shipped wire size is
+/// `target_wire_bytes`; display dims default to a class-typical size.
+SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes);
+
+/// One reduced version of an asset.
+struct ImageVariant {
+  ImageFormat format = ImageFormat::kJpeg;
+  double scale = 1.0;   ///< resolution scale applied before encoding
+  int quality = 85;     ///< codec quality
+  Bytes bytes = 0;      ///< page-scale wire bytes (byte_scale applied)
+  double ssim = 1.0;    ///< vs original, measured after redisplay at full size
+
+  bool is_original = false;
+};
+
+struct LadderOptions {
+  /// Image-quality metric used for every variant measurement (§6.2: the
+  /// framework accepts newer metrics as they appear).
+  QualityMetric metric = QualityMetric::kSsim;
+  /// Floor below which variants are not enumerated (a little slack below any
+  /// practical Qt so the Bytes Efficiency probe can reach the threshold).
+  double min_ssim = 0.60;
+  /// Resolution step of the RBR family (paper: "resolution granularity").
+  double scale_granularity = 0.1;
+  /// Smallest resolution scale explored.
+  double min_scale = 0.1;
+  /// Quality steps of the Grid Search family (at full resolution).
+  std::vector<int> quality_steps = {92, 85, 75, 65, 55, 45, 35};
+};
+
+/// Re-creates the decoded, redisplayed raster of a variant of `asset` — what
+/// the user's screen shows (used by the page renderer and QFS).
+Raster render_variant(const SourceImage& asset, const ImageVariant& v);
+
+/// Fixed wire-size header constant applied to every page-scale variant.
+Bytes wire_header_bytes();
+
+/// Measures one specific (format, scale, quality) variant of `asset`:
+/// real encode, page-scale bytes, SSIM after redisplay. Uncached — the
+/// baseline transcoders use this for their fixed settings.
+ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
+                             int quality);
+
+/// Lazily enumerated, memoized variant space for one asset.
+class VariantLadder {
+ public:
+  VariantLadder(std::shared_ptr<const SourceImage> asset, LadderOptions options = {});
+
+  const SourceImage& asset() const { return *asset_; }
+  const LadderOptions& options() const { return options_; }
+
+  /// The as-shipped variant (scale 1, SSIM 1, shipped bytes).
+  ImageVariant original() const;
+
+  /// Resolution family in `format`: scale 1-g, 1-2g, ... (SSIM-measured).
+  /// Stops at min_scale or when SSIM drops below min_ssim.
+  const std::vector<ImageVariant>& resolution_family(ImageFormat format);
+
+  /// Quality family at full resolution in `format` (lossy formats only; for
+  /// PNG this returns just the original since PNG is lossless).
+  const std::vector<ImageVariant>& quality_family(ImageFormat format);
+
+  /// Full-resolution WebP transcode at ship quality (lossless WebP for PNG
+  /// sources, lossy otherwise).
+  const ImageVariant& webp_full();
+
+  /// Cheapest enumerated variant (across both families and formats plus the
+  /// WebP transcode) with ssim >= target; nullopt if none qualifies.
+  std::optional<ImageVariant> cheapest_with_ssim_at_least(double target);
+
+  /// Same, but restricted to full-resolution variants (quality families and
+  /// the WebP transcode) — the move set of the paper's Grid Search, which
+  /// reduces image *quality* "while maintaining their original dimensions"
+  /// (§7.1). RBR's resolution ladder is excluded on purpose: the two solvers
+  /// searching different spaces is why each can win on some inputs.
+  std::optional<ImageVariant> cheapest_fullres_with_ssim_at_least(double target);
+
+  /// Paper Eq. 6: |delta bytes| / |delta SSIM| between the original and the
+  /// smallest in-threshold variant of the resolution family (monotone points
+  /// only). Higher = more reducible.
+  double bytes_efficiency(double ssim_threshold);
+
+  /// Everything enumerated so far (for Fig. 8 style dumps and tests).
+  std::vector<ImageVariant> all_variants() const;
+
+  /// Re-creates the decoded, redisplayed raster of a variant (used by the
+  /// page renderer; not cached to keep memory bounded).
+  Raster render_variant(const ImageVariant& v) const;
+
+ private:
+  ImageVariant measure(ImageFormat format, double scale, int quality) const;
+
+  std::shared_ptr<const SourceImage> asset_;
+  LadderOptions options_;
+  std::optional<std::vector<ImageVariant>> res_family_[3];
+  std::optional<std::vector<ImageVariant>> qual_family_[3];
+  std::optional<ImageVariant> webp_full_;
+};
+
+}  // namespace aw4a::imaging

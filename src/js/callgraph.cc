@@ -1,0 +1,49 @@
+#include "js/callgraph.h"
+
+#include <vector>
+
+namespace aw4a::js {
+namespace {
+
+std::set<FunctionId> reach(const Script& script, std::span<const FunctionId> roots,
+                           bool follow_dynamic) {
+  std::set<FunctionId> seen;
+  std::vector<FunctionId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const FunctionId id = stack.back();
+    stack.pop_back();
+    const JsFunction* f = script.find(id);
+    if (f == nullptr || !seen.insert(id).second) continue;
+    for (FunctionId c : f->callees) stack.push_back(c);
+    if (follow_dynamic) {
+      for (FunctionId c : f->dynamic_callees) stack.push_back(c);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::set<FunctionId> reachable_static(const Script& script, std::span<const FunctionId> roots) {
+  return reach(script, roots, /*follow_dynamic=*/false);
+}
+
+std::set<FunctionId> reachable_runtime(const Script& script, std::span<const FunctionId> roots) {
+  return reach(script, roots, /*follow_dynamic=*/true);
+}
+
+std::vector<FunctionId> all_roots(const Script& script) {
+  std::vector<FunctionId> roots = script.init_functions;
+  for (const EventBinding& b : script.bindings) roots.push_back(b.handler);
+  return roots;
+}
+
+Bytes bytes_of(const Script& script, const std::set<FunctionId>& ids) {
+  Bytes total = 0;
+  for (const JsFunction& f : script.functions) {
+    if (ids.count(f.id)) total += f.bytes;
+  }
+  return total;
+}
+
+}  // namespace aw4a::js

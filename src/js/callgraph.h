@@ -1,0 +1,25 @@
+// Call-graph reachability over Script models.
+#pragma once
+
+#include <set>
+#include <span>
+
+#include "js/script.h"
+
+namespace aw4a::js {
+
+/// Functions statically reachable from `roots` (following `callees` only —
+/// what an analysis tool sees). Roots not present in the script are ignored.
+std::set<FunctionId> reachable_static(const Script& script, std::span<const FunctionId> roots);
+
+/// Functions reachable when dynamic edges are also followed — the *true*
+/// runtime reachability.
+std::set<FunctionId> reachable_runtime(const Script& script, std::span<const FunctionId> roots);
+
+/// All root functions of a script: init functions plus every event handler.
+std::vector<FunctionId> all_roots(const Script& script);
+
+/// Sum of bytes of the given functions.
+Bytes bytes_of(const Script& script, const std::set<FunctionId>& ids);
+
+}  // namespace aw4a::js

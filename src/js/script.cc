@@ -1,0 +1,114 @@
+#include "js/script.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace aw4a::js {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kClick: return "click";
+    case EventKind::kScroll: return "scroll";
+    case EventKind::kKeypress: return "keypress";
+    case EventKind::kHover: return "hover";
+    case EventKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+Bytes Script::total_bytes() const {
+  return std::accumulate(functions.begin(), functions.end(), Bytes{0},
+                         [](Bytes acc, const JsFunction& f) { return acc + f.bytes; });
+}
+
+const JsFunction* Script::find(FunctionId id) const {
+  const auto it = std::find_if(functions.begin(), functions.end(),
+                               [id](const JsFunction& f) { return f.id == id; });
+  return it == functions.end() ? nullptr : &*it;
+}
+
+Script synth_script(Rng& rng, const ScriptSynthOptions& options) {
+  AW4A_EXPECTS(options.target_bytes > 0);
+  AW4A_EXPECTS(options.dead_fraction >= 0.0 && options.dead_fraction < 1.0);
+
+  Script script;
+  script.id = rng.next_u64();
+  script.third_party = options.third_party;
+  script.ad_related = options.ad_related;
+
+  // Function count grows sub-linearly with script size (bundlers produce a
+  // few big functions and many helpers).
+  const double kb = static_cast<double>(options.target_bytes) / 1024.0;
+  const int n = std::clamp(static_cast<int>(4.0 + 3.0 * std::sqrt(kb)), 4, 160);
+
+  // Split target bytes across functions with a lognormal-ish spread.
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (auto& w : weights) w = rng.lognormal(0.0, 0.9);
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  script.functions.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    JsFunction f;
+    f.id = static_cast<FunctionId>(i + 1);
+    f.bytes = std::max<Bytes>(
+        64, static_cast<Bytes>(static_cast<double>(options.target_bytes) *
+                               weights[static_cast<std::size_t>(i)] / wsum));
+    script.functions.push_back(std::move(f));
+  }
+
+  // Decide the live core: the first `live_n` functions form the reachable
+  // program, the rest is dead weight (unused library code).
+  const int live_n = std::max(2, static_cast<int>(n * (1.0 - options.dead_fraction)));
+
+  // Call edges: each live function calls 0-3 later live functions (forest =
+  // acyclic, realistic enough for reachability). Dead functions call each
+  // other so they form plausible (unreachable) subgraphs.
+  auto add_edges = [&](int lo, int hi, JsFunction& f, int from_index) {
+    const int fanout = static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < fanout; ++e) {
+      if (from_index + 1 >= hi) break;
+      const auto callee = static_cast<FunctionId>(
+          rng.uniform_int(std::max(lo, from_index + 1) + 1, hi) );
+      if (callee != f.id) {
+        if (rng.uniform() < options.dynamic_call_prob) {
+          f.dynamic_callees.push_back(callee);
+        } else {
+          f.callees.push_back(callee);
+        }
+      }
+    }
+  };
+  for (int i = 0; i < live_n; ++i) add_edges(0, live_n - 1, script.functions[static_cast<std::size_t>(i)], i);
+  for (int i = live_n; i < n; ++i) add_edges(live_n, n - 1, script.functions[static_cast<std::size_t>(i)], i);
+
+  // Visual effects: roughly half the live functions touch a widget. Ad
+  // scripts render ad slots but get no user-event bindings beyond timers.
+  for (int i = 0; i < live_n; ++i) {
+    auto& f = script.functions[static_cast<std::size_t>(i)];
+    if (rng.bernoulli(0.5)) f.visual_widget = static_cast<WidgetId>(rng.uniform_int(1, 1u << 24));
+  }
+
+  // Init functions: 1-2 of the live set run at load.
+  script.init_functions.push_back(script.functions[0].id);
+  if (live_n > 3 && rng.bernoulli(0.6)) {
+    script.init_functions.push_back(
+        script.functions[static_cast<std::size_t>(rng.uniform_int(1, live_n - 1))].id);
+  }
+
+  // Event bindings on live roots.
+  const int bindings = options.ad_related ? 1 : static_cast<int>(rng.uniform_int(1, 4));
+  for (int bIdx = 0; bIdx < bindings; ++bIdx) {
+    EventBinding b;
+    b.kind = options.ad_related
+                 ? EventKind::kTimer
+                 : kAllEventKinds[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    b.handler = script.functions[static_cast<std::size_t>(rng.uniform_int(0, live_n - 1))].id;
+    script.bindings.push_back(b);
+  }
+  return script;
+}
+
+}  // namespace aw4a::js

@@ -1,0 +1,85 @@
+// JavaScript model.
+//
+// The paper's JS pipeline (QFS + Muzeel) needs exactly three things from a
+// script: (1) its functions and their sizes, (2) which functions run for
+// which user events (and what they call), and (3) whether running a function
+// produces a visible change. We model scripts at that granularity:
+//
+//   - a Script is a set of JsFunctions with static call edges,
+//   - event bindings map user events (click/scroll/keypress/...) to handler
+//     functions,
+//   - functions may carry a visual effect on a page widget,
+//   - some call edges are *dynamic* (e.g. dispatch through a string name):
+//     invisible to static analysis, which is what makes real dead-code
+//     elimination occasionally break pages (paper §8.3 observes this for
+//     Brave; Muzeel's bot-driven analysis avoids most but not all of it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aw4a::js {
+
+enum class EventKind { kClick, kScroll, kKeypress, kHover, kTimer };
+
+inline constexpr EventKind kAllEventKinds[] = {EventKind::kClick, EventKind::kScroll,
+                                               EventKind::kKeypress, EventKind::kHover,
+                                               EventKind::kTimer};
+
+const char* to_string(EventKind k);
+
+using FunctionId = std::uint32_t;
+using WidgetId = std::uint32_t;
+
+/// One function in a script.
+struct JsFunction {
+  FunctionId id = 0;
+  Bytes bytes = 0;
+  std::vector<FunctionId> callees;          ///< statically visible calls
+  std::vector<FunctionId> dynamic_callees;  ///< reflective calls (analysis-invisible)
+  /// Visible change produced when this function runs (0 = none). Functions
+  /// that only read/fetch data have no widget.
+  WidgetId visual_widget = 0;
+};
+
+/// Binding of a user event to a handler function.
+struct EventBinding {
+  EventKind kind = EventKind::kClick;
+  FunctionId handler = 0;
+};
+
+/// One script resource.
+struct Script {
+  std::uint64_t id = 0;
+  bool third_party = false;
+  bool ad_related = false;  ///< ad/tracking payload (Brave's default target)
+  std::vector<JsFunction> functions;
+  std::vector<EventBinding> bindings;
+  std::vector<FunctionId> init_functions;  ///< run on page load
+
+  Bytes total_bytes() const;
+  const JsFunction* find(FunctionId id) const;
+};
+
+/// Parameters for script synthesis.
+struct ScriptSynthOptions {
+  Bytes target_bytes = 0;     ///< desired total source size
+  bool third_party = false;
+  bool ad_related = false;
+  /// Fraction of functions that are dead on arrival (unused libraries); the
+  /// web.dev "unused JavaScript" audits report ~40-60% typical.
+  double dead_fraction = 0.45;
+  /// Probability that a call edge is dynamic (invisible to static analysis).
+  double dynamic_call_prob = 0.04;
+};
+
+/// Generates a script: a call forest over `n` functions with event bindings,
+/// visual effects on widgets, and a configurable dead fraction. Widget ids
+/// are drawn from the rng so different scripts control different widgets.
+Script synth_script(Rng& rng, const ScriptSynthOptions& options);
+
+}  // namespace aw4a::js

@@ -1,0 +1,140 @@
+#include "net/cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aw4a::net {
+
+CachePolicy sample_cache_policy(Rng& rng) {
+  // Buckets: no-store, 1 hour, 1 day, 1 week, 2 weeks, 1 year. Weights are
+  // calibrated (tests/net_cache_test.cc pins the aggregate): median lands in
+  // the 2-week bucket and the schedule-average reduction is ~59%.
+  static const double weights[] = {0.18, 0.06, 0.10, 0.14, 0.32, 0.20};
+  const std::size_t bucket = rng.categorical(weights);
+  switch (bucket) {
+    case 0: return {.max_age_seconds = 0, .no_store = true};
+    case 1: return {.max_age_seconds = CachePolicy::kHour, .no_store = false};
+    case 2: return {.max_age_seconds = CachePolicy::kDay, .no_store = false};
+    case 3: return {.max_age_seconds = CachePolicy::kWeek, .no_store = false};
+    case 4: return {.max_age_seconds = 2 * CachePolicy::kWeek, .no_store = false};
+    default: return {.max_age_seconds = 52 * CachePolicy::kWeek, .no_store = false};
+  }
+}
+
+std::size_t VisitSchedule::visit_count() const {
+  AW4A_EXPECTS(interval_hours > 0);
+  return static_cast<std::size_t>(duration_days) * 24 / interval_hours + 1;
+}
+
+std::uint64_t VisitSchedule::visit_time(std::size_t v) const {
+  return static_cast<std::uint64_t>(v) * interval_hours * 3600;
+}
+
+CacheRunResult simulate_infinite_cache(std::span<const CacheItem> page,
+                                       const VisitSchedule& schedule) {
+  CacheRunResult result;
+  const std::size_t visits = schedule.visit_count();
+  std::vector<std::uint64_t> fetched_at(page.size(), 0);
+  std::vector<bool> ever_fetched(page.size(), false);
+  for (std::size_t v = 0; v < visits; ++v) {
+    const std::uint64_t now = schedule.visit_time(v);
+    Bytes visit_bytes = 0;
+    for (std::size_t i = 0; i < page.size(); ++i) {
+      const CacheItem& item = page[i];
+      const bool stale = !ever_fetched[i] || item.policy.no_store ||
+                         now - fetched_at[i] > item.policy.max_age_seconds;
+      if (stale) {
+        visit_bytes += item.transfer_bytes;
+        fetched_at[i] = now;
+        ever_fetched[i] = true;
+      }
+    }
+    if (v == 0) result.first_visit_bytes = visit_bytes;
+    result.total_bytes += visit_bytes;
+  }
+  result.avg_bytes_per_visit =
+      static_cast<double>(result.total_bytes) / static_cast<double>(visits);
+  return result;
+}
+
+LruByteCache::LruByteCache(Bytes capacity) : capacity_(capacity) {
+  AW4A_EXPECTS(capacity > 0);
+}
+
+Bytes LruByteCache::fetch(const CacheItem& item, std::uint64_t now_seconds) {
+  ++clock_;
+  for (auto& e : entries_) {
+    if (e.item.id == item.id) {
+      const bool stale =
+          item.policy.no_store || now_seconds - e.fetched_at > item.policy.max_age_seconds;
+      e.last_used = clock_;
+      if (!stale) return 0;
+      e.fetched_at = now_seconds;
+      return item.transfer_bytes;
+    }
+  }
+  // Miss: admit unless the object alone exceeds capacity (browsers skip those).
+  if (item.transfer_bytes <= capacity_) {
+    evict_to_fit(item.transfer_bytes);
+    entries_.push_back({item, now_seconds, clock_});
+    used_ += item.transfer_bytes;
+  }
+  return item.transfer_bytes;
+}
+
+void LruByteCache::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+void LruByteCache::evict_to_fit(Bytes incoming) {
+  while (used_ + incoming > capacity_ && !entries_.empty()) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    used_ -= victim->item.transfer_bytes;
+    entries_.erase(victim);
+  }
+}
+
+DeviceProfile nexus5() { return {"Nexus 5 (2 GB RAM)", 256 * kMB, 0.03}; }
+DeviceProfile nokia1() { return {"Nokia 1 (1 GB RAM)", 96 * kMB, 0.62}; }
+
+namespace {
+
+// Deterministic per-session pressure decision (splitmix64 of the session
+// index) so device simulations are reproducible without threading an Rng.
+bool session_flushed(std::size_t session, double probability) {
+  if (probability <= 0.0) return false;
+  std::uint64_t z = (static_cast<std::uint64_t>(session) + 0x9e3779b97f4a7c15ULL) *
+                    0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+double simulate_device_cache(std::span<const std::vector<CacheItem>> pages,
+                             const VisitSchedule& schedule, const DeviceProfile& device) {
+  AW4A_EXPECTS(!pages.empty());
+  LruByteCache cache(device.cache_capacity);
+  Bytes with_cache = 0;
+  Bytes without_cache = 0;
+  const std::size_t visits = schedule.visit_count();
+  for (std::size_t v = 0; v < visits; ++v) {
+    if (session_flushed(v, device.flush_probability)) cache.clear();
+    const std::uint64_t now = schedule.visit_time(v);
+    for (const auto& page : pages) {
+      for (const auto& item : page) {
+        with_cache += cache.fetch(item, now);
+        without_cache += item.transfer_bytes;
+      }
+    }
+  }
+  if (without_cache == 0) return 0.0;
+  return 1.0 - static_cast<double>(with_cache) / static_cast<double>(without_cache);
+}
+
+}  // namespace aw4a::net

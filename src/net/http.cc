@@ -1,0 +1,147 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace aw4a::net {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool valid_token(std::string_view name) {
+  if (name.empty()) return false;
+  return std::none_of(name.begin(), name.end(), [](char c) {
+    return c == ' ' || c == '\t' || c == ':' || c == '\r' || c == '\n';
+  });
+}
+
+/// Parses header lines shared by requests and responses. Returns false on a
+/// malformed line.
+bool parse_headers(std::istringstream& in, std::vector<HttpHeader>& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = line;
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    if (view.empty()) return true;  // blank line: end of head
+    const auto colon = view.find(':');
+    if (colon == std::string_view::npos) return false;
+    const std::string_view name = view.substr(0, colon);
+    if (!valid_token(name)) return false;
+    out.push_back(HttpHeader{std::string(name), std::string(trim(view.substr(colon + 1)))});
+  }
+  return true;  // headers may end with EOF
+}
+
+}  // namespace
+
+const std::string* find_header(const std::vector<HttpHeader>& headers, std::string_view name) {
+  for (const auto& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::save_data() const {
+  const std::string* v = header("Save-Data");
+  return v != nullptr && iequals(trim(*v), "on");
+}
+
+std::optional<std::string> HttpRequest::country_hint() const {
+  const std::string* v = header("X-Geo-Country");
+  if (v == nullptr || v->empty()) return std::nullopt;
+  return *v;
+}
+
+std::optional<double> HttpRequest::preferred_savings_pct() const {
+  const std::string* v = header("AW4A-Savings");
+  if (v == nullptr) return std::nullopt;
+  const std::string_view s = trim(*v);
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  if (value < 0.0 || value >= 100.0) return std::nullopt;
+  return value;
+}
+
+std::string serialize(const HttpRequest& request) {
+  std::string out = request.method + " " + request.path + " " + request.version + "\r\n";
+  for (const auto& h : request.headers) out += h.name + ": " + h.value + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::string serialize(const HttpResponse& response) {
+  std::string out =
+      response.version + " " + std::to_string(response.status) + " " + response.reason + "\r\n";
+  bool has_length = false;
+  for (const auto& h : response.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+    if (iequals(h.name, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(response.content_length) + "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::optional<HttpRequest> parse_request(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::istringstream request_line(line);
+  HttpRequest request;
+  if (!(request_line >> request.method >> request.path >> request.version)) {
+    return std::nullopt;
+  }
+  std::string extra;
+  if (request_line >> extra) return std::nullopt;  // junk after the version
+  if (request.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  if (!parse_headers(in, request.headers)) return std::nullopt;
+  return request;
+}
+
+std::optional<HttpResponse> parse_response(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::istringstream status_line(line);
+  HttpResponse response;
+  if (!(status_line >> response.version >> response.status)) return std::nullopt;
+  if (response.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  std::getline(status_line, response.reason);
+  const std::string_view reason_trimmed = trim(response.reason);
+  response.reason = std::string(reason_trimmed);
+  if (!parse_headers(in, response.headers)) return std::nullopt;
+  if (const std::string* v = response.header("Content-Length")) {
+    Bytes length = 0;
+    const std::string_view s = trim(*v);
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), length);
+    if (ec != std::errc{}) return std::nullopt;
+    response.content_length = length;
+  }
+  return response;
+}
+
+}  // namespace aw4a::net

@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 message layer.
+//
+// AW4A's user-side control flow (paper §5.5, Fig. 6) is "the browser tells
+// the server what to serve". On the real Web that conversation is HTTP
+// headers — most directly the standardized `Save-Data: on` client hint
+// (RFC 8674), plus the CDN-style geo hint and a savings-preference
+// extension header. This module gives the repository a real wire surface:
+// parse/serialize requests and responses, case-insensitive header access,
+// and typed accessors for the three hints the framework consumes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace aw4a::net {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive header lookup shared by requests and responses.
+const std::string* find_header(const std::vector<HttpHeader>& headers, std::string_view name);
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string version = "HTTP/1.1";
+  std::vector<HttpHeader> headers;
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+
+  /// RFC 8674: `Save-Data: on` — the user opted into data saving.
+  bool save_data() const;
+
+  /// CDN-convention country hint (e.g. `X-Geo-Country: PK`); AW4A uses the
+  /// full country name in this simulation.
+  std::optional<std::string> country_hint() const;
+
+  /// Extension header `AW4A-Savings: <pct>` — the §5.5 "percentage savings"
+  /// browser setting. Returns nullopt when absent or unparsable.
+  std::optional<double> preferred_savings_pct() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  std::vector<HttpHeader> headers;
+  /// Body size only — this simulation never materializes page bodies.
+  Bytes content_length = 0;
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+};
+
+/// Serializes to wire format (CRLF line endings, blank-line terminator).
+std::string serialize(const HttpRequest& request);
+std::string serialize(const HttpResponse& response);
+
+/// Parses a request/response head. Returns nullopt on malformed input
+/// (bad request line, missing colon, embedded whitespace in names).
+std::optional<HttpRequest> parse_request(std::string_view text);
+std::optional<HttpResponse> parse_response(std::string_view text);
+
+}  // namespace aw4a::net

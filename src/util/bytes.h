@@ -1,0 +1,53 @@
+// Byte quantities and human-readable formatting.
+//
+// Sizes flow through every layer of AW4A (object sizes, transfer sizes, page
+// budgets); we use an explicit alias plus helpers instead of bare ints so call
+// sites read unambiguously.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace aw4a {
+
+/// Number of bytes. All page/object/transfer sizes use this type.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+
+/// The paper reports sizes in decimal KB/MB (HTTP Archive convention).
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+
+/// Bytes -> fractional megabytes (decimal, as plotted in the paper).
+constexpr double to_mb(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMB); }
+
+/// Bytes -> fractional kilobytes (decimal).
+constexpr double to_kb(Bytes b) { return static_cast<double>(b) / static_cast<double>(kKB); }
+
+/// Fractional megabytes -> bytes (rounded).
+constexpr Bytes from_mb(double mb) {
+  return static_cast<Bytes>(mb * static_cast<double>(kMB) + 0.5);
+}
+
+/// Fractional kilobytes -> bytes (rounded).
+constexpr Bytes from_kb(double kb) {
+  return static_cast<Bytes>(kb * static_cast<double>(kKB) + 0.5);
+}
+
+/// "2.47 MB" / "145 KB" / "97 B" style formatting for reports.
+inline std::string format_bytes(Bytes b) {
+  char buf[32];
+  if (b >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", to_mb(b));
+  } else if (b >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", to_kb(b));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace aw4a

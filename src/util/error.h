@@ -1,0 +1,43 @@
+// Error types shared across the AW4A libraries.
+//
+// All recoverable failures are reported by throwing an exception derived from
+// aw4a::Error; programming-logic violations (broken preconditions) use
+// aw4a::LogicError so tests can distinguish the two.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aw4a {
+
+/// Base class for all runtime failures raised by AW4A components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (e.g. a negative byte budget).
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// An optimization run could not satisfy its constraints (e.g. the target page
+/// size is below the minimum achievable under the quality threshold).
+class Infeasible : public Error {
+ public:
+  explicit Infeasible(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failed(const char* expr, const char* func) {
+  throw LogicError(std::string("precondition failed: ") + expr + " in " + func);
+}
+}  // namespace detail
+
+/// Lightweight precondition check that throws LogicError (never disabled, the
+/// checks guarding public interfaces are part of the contract).
+#define AW4A_EXPECTS(expr) \
+  ((expr) ? static_cast<void>(0) : ::aw4a::detail::precondition_failed(#expr, __func__))
+
+}  // namespace aw4a

@@ -1,0 +1,50 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+namespace aw4a {
+
+unsigned parallel_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  AW4A_EXPECTS(body != nullptr);
+  if (count == 0) return;
+  const unsigned workers = std::min<std::size_t>(parallel_workers(), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace aw4a

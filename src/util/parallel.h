@@ -1,0 +1,36 @@
+// Minimal deterministic parallel-for.
+//
+// The cross-country experiments are embarrassingly parallel (each country's
+// corpus is generated from its own RNG stream), so the analysis layer runs
+// them across a thread pool. Results are written into pre-sized slots by
+// index — output order, and therefore every downstream number, is identical
+// to the serial run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace aw4a {
+
+/// Number of workers used by parallel_for (hardware concurrency, min 1).
+unsigned parallel_workers();
+
+/// Runs body(i) for i in [0, count) across threads. The body must only touch
+/// state owned by index i (no locks are provided on purpose — the callers'
+/// work units are independent by construction). Exceptions thrown by the
+/// body are rethrown (first one wins) after all threads join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+/// Maps body over [0, count) into a vector, in index order.
+template <typename T>
+std::vector<T> parallel_map(std::size_t count, const std::function<T(std::size_t)>& body) {
+  std::vector<T> out(count);
+  parallel_for(count, [&](std::size_t i) { out[i] = body(i); });
+  return out;
+}
+
+}  // namespace aw4a

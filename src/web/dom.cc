@@ -1,0 +1,166 @@
+#include "web/dom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::web {
+
+const char* to_string(Tag tag) {
+  switch (tag) {
+    case Tag::kBody: return "body";
+    case Tag::kHeader: return "header";
+    case Tag::kNav: return "nav";
+    case Tag::kMain: return "main";
+    case Tag::kSection: return "section";
+    case Tag::kArticle: return "article";
+    case Tag::kFooter: return "footer";
+    case Tag::kDiv: return "div";
+    case Tag::kRow: return "row";
+    case Tag::kP: return "p";
+    case Tag::kImg: return "img";
+    case Tag::kWidget: return "widget";
+    case Tag::kAdSlot: return "ad-slot";
+  }
+  return "?";
+}
+
+bool is_container(Tag tag) {
+  switch (tag) {
+    case Tag::kBody:
+    case Tag::kHeader:
+    case Tag::kNav:
+    case Tag::kMain:
+    case Tag::kSection:
+    case Tag::kArticle:
+    case Tag::kFooter:
+    case Tag::kDiv:
+    case Tag::kRow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t DomNode::size() const {
+  std::size_t total = 1;
+  for (const DomNode& child : children) total += child.size();
+  return total;
+}
+
+std::size_t DomNode::count(Tag t) const {
+  std::size_t total = tag == t ? 1 : 0;
+  for (const DomNode& child : children) total += child.count(t);
+  return total;
+}
+
+namespace {
+
+struct LayoutContext {
+  const LayoutOptions* options;
+  const ImageDims* image_dims;
+  std::vector<LayoutBlock>* blocks;
+};
+
+/// Lays the node out with its top-left at (x, y) and `width` available;
+/// returns the height consumed.
+int layout_node(const DomNode& node, int x, int y, int width, const LayoutContext& ctx) {
+  AW4A_EXPECTS(width > 0);
+  const LayoutOptions& opt = *ctx.options;
+  switch (node.tag) {
+    case Tag::kP: {
+      // Wrapping model: height scales with text amount and inversely with
+      // the column width.
+      const double width_factor =
+          static_cast<double>(opt.viewport_w - 2 * opt.padding) / static_cast<double>(width);
+      const int height = std::max(
+          12, static_cast<int>(std::lround(node.text_chars / 100.0 * opt.px_per_100_chars *
+                                           width_factor)));
+      ctx.blocks->push_back(LayoutBlock{LayoutBlock::Kind::kText,
+                                        {x, y, width, height},
+                                        0,
+                                        0,
+                                        node.style_seed});
+      return height;
+    }
+    case Tag::kImg: {
+      int natural_w = width;
+      int natural_h = std::max(1, width * 2 / 3);
+      if (ctx.image_dims != nullptr && *ctx.image_dims) {
+        const auto [w, h] = (*ctx.image_dims)(node.object_id);
+        if (w > 0 && h > 0) {
+          natural_w = w;
+          natural_h = h;
+        }
+      }
+      // Clamp to the content width, preserving aspect.
+      const int shown_w = std::min(natural_w, width);
+      const int shown_h =
+          std::max(8, static_cast<int>(std::lround(static_cast<double>(natural_h) * shown_w /
+                                                   std::max(1, natural_w))));
+      ctx.blocks->push_back(LayoutBlock{LayoutBlock::Kind::kImage,
+                                        {x, y, shown_w, shown_h},
+                                        node.object_id,
+                                        0,
+                                        node.style_seed});
+      return shown_h;
+    }
+    case Tag::kWidget: {
+      const int w = std::min(width, 140);
+      ctx.blocks->push_back(LayoutBlock{LayoutBlock::Kind::kWidget,
+                                        {x, y, w, 36},
+                                        0,
+                                        node.widget,
+                                        node.style_seed});
+      return 36;
+    }
+    case Tag::kAdSlot: {
+      ctx.blocks->push_back(LayoutBlock{LayoutBlock::Kind::kAdSlot,
+                                        {x, y, width, 80},
+                                        node.object_id,
+                                        0,
+                                        node.style_seed});
+      return 80;
+    }
+    case Tag::kRow: {
+      if (node.children.empty()) return 0;
+      const int n = static_cast<int>(node.children.size());
+      const int cell_gap = opt.gap;
+      const int cell_w = std::max(16, (width - cell_gap * (n - 1)) / n);
+      int tallest = 0;
+      int cx = x;
+      for (const DomNode& child : node.children) {
+        tallest = std::max(tallest, layout_node(child, cx, y, cell_w, ctx));
+        cx += cell_w + cell_gap;
+      }
+      return tallest;
+    }
+    default: {  // vertical container
+      const int inner_x = x + opt.padding;
+      const int inner_w = std::max(16, width - 2 * opt.padding);
+      int cy = y;
+      bool first = true;
+      for (const DomNode& child : node.children) {
+        if (!first) cy += opt.gap;
+        first = false;
+        cy += layout_node(child, inner_x, cy, inner_w, ctx);
+      }
+      return cy - y;
+    }
+  }
+}
+
+}  // namespace
+
+LayoutResult layout_dom(const DomNode& root, const LayoutOptions& options,
+                        const ImageDims& image_dims) {
+  AW4A_EXPECTS(options.viewport_w > 2 * options.padding);
+  LayoutResult result;
+  LayoutContext ctx{&options, &image_dims, &result.blocks};
+  const int height = layout_node(root, 0, options.gap, options.viewport_w, ctx);
+  result.page_height = std::max(320, height + 2 * options.gap);
+  return result;
+}
+
+}  // namespace aw4a::web

@@ -1,0 +1,54 @@
+#include "web/media.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::web {
+
+const MediaRendition& MediaAsset::cheapest_at_least(double quality_floor) const {
+  AW4A_EXPECTS(!ladder.empty());
+  const MediaRendition* best = &ladder.front();
+  for (const MediaRendition& r : ladder) {
+    if (r.quality + 1e-12 >= quality_floor && r.bytes < best->bytes) best = &r;
+  }
+  return *best;
+}
+
+MediaAsset make_media_asset(Rng& rng, Bytes target_wire_bytes) {
+  AW4A_EXPECTS(target_wire_bytes > 0);
+  MediaAsset asset;
+  asset.id = rng.next_u64();
+  asset.duration_seconds = rng.uniform(6.0, 30.0);  // preview/hero clips
+  asset.complexity_kbps = rng.uniform(250.0, 1200.0);
+
+  // The shipped (top) rendition carries the target bytes; derive its bitrate
+  // from duration, then build the ladder below it.
+  const double top_kbps =
+      static_cast<double>(target_wire_bytes) * 8.0 / 1000.0 / asset.duration_seconds;
+  const struct {
+    int height;
+    double bitrate_factor;
+  } steps[] = {{1080, 1.0}, {720, 0.55}, {480, 0.32}, {360, 0.2}, {240, 0.11}};
+
+  const double top_quality = 1.0 - std::exp(-top_kbps / asset.complexity_kbps);
+  for (const auto& step : steps) {
+    MediaRendition r;
+    r.height_px = step.height;
+    r.bitrate_kbps = std::max(1, static_cast<int>(std::lround(top_kbps * step.bitrate_factor)));
+    r.bytes = static_cast<Bytes>(
+        std::llround(static_cast<double>(r.bitrate_kbps) * 1000.0 / 8.0 *
+                     asset.duration_seconds));
+    // Quality relative to the shipped rendition (== 1 at the top).
+    const double abs_quality = 1.0 - std::exp(-r.bitrate_kbps / asset.complexity_kbps);
+    r.quality = std::clamp(abs_quality / top_quality, 0.0, 1.0);
+    asset.ladder.push_back(r);
+  }
+  // Pin the top rendition to the exact shipped size.
+  asset.ladder.front().bytes = target_wire_bytes;
+  asset.ladder.front().quality = 1.0;
+  return asset;
+}
+
+}  // namespace aw4a::web

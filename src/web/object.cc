@@ -1,0 +1,35 @@
+#include "web/object.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aw4a::web {
+
+const char* to_string(ObjectType t) {
+  switch (t) {
+    case ObjectType::kHtml: return "html";
+    case ObjectType::kJs: return "js";
+    case ObjectType::kCss: return "css";
+    case ObjectType::kImage: return "image";
+    case ObjectType::kFont: return "font";
+    case ObjectType::kIframe: return "iframe";
+    case ObjectType::kMedia: return "media";
+  }
+  return "?";
+}
+
+Bytes WebObject::script_transfer_for(Bytes live_raw_bytes) const {
+  AW4A_EXPECTS(type == ObjectType::kJs);
+  if (raw_bytes == 0) return 0;
+  const double ratio =
+      static_cast<double>(transfer_bytes) / static_cast<double>(raw_bytes);
+  return static_cast<Bytes>(std::llround(static_cast<double>(live_raw_bytes) * ratio));
+}
+
+net::CacheItem to_cache_item(const WebObject& object) {
+  return net::CacheItem{
+      .id = object.id, .transfer_bytes = object.transfer_bytes, .policy = object.cache};
+}
+
+}  // namespace aw4a::web

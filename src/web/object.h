@@ -1,0 +1,62 @@
+// Web objects: the unit of the paper's byte accounting and optimization.
+//
+// Every resource on a page is a WebObject carrying raw and transfer
+// (compressed, on-the-wire) sizes plus its cache policy. "Rich" pages used by
+// the optimizer additionally attach the image asset or script model behind
+// the object; "inventory" pages used by the large cross-country analyses
+// carry sizes only (the paper's Fig. 2/3 need nothing more).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "imaging/variants.h"
+#include "js/script.h"
+#include "web/media.h"
+#include "net/cache.h"
+#include "util/bytes.h"
+
+namespace aw4a::web {
+
+enum class ObjectType { kHtml, kJs, kCss, kImage, kFont, kIframe, kMedia };
+
+inline constexpr ObjectType kAllObjectTypes[] = {
+    ObjectType::kHtml, ObjectType::kJs,   ObjectType::kCss,  ObjectType::kImage,
+    ObjectType::kFont, ObjectType::kIframe, ObjectType::kMedia};
+
+const char* to_string(ObjectType t);
+
+struct WebObject {
+  std::uint64_t id = 0;
+  ObjectType type = ObjectType::kHtml;
+  Bytes raw_bytes = 0;       ///< uncompressed size
+  Bytes transfer_bytes = 0;  ///< network transfer size (what the paper plots)
+  net::CachePolicy cache;
+  bool third_party = false;
+  bool is_ad = false;        ///< ad payload (the paper does not remove these)
+  bool is_tracker = false;   ///< analytics/tracking (Brave's default target)
+  /// §5.4 developer API: relative importance of this object. Enters the
+  /// optimization objective (Eq. 3) multiplicatively with the natural weight
+  /// (display area for images) and steers RBR away from high-priority
+  /// objects. 1.0 = neutral; >1 = protect; <1 = reduce first.
+  double developer_weight = 1.0;
+
+  /// Object id of the script that dynamically injected this resource
+  /// (0 = present in the markup). Blocking the injector removes this object
+  /// too — the transitive effect behind Brave block-scripts' deep cuts.
+  std::uint64_t injected_by = 0;
+
+  /// Rich-mode payloads (null on inventory pages).
+  std::shared_ptr<const imaging::SourceImage> image;  ///< for kImage
+  std::shared_ptr<const js::Script> script;           ///< for kJs
+  std::shared_ptr<const MediaAsset> media;            ///< for kMedia
+
+  /// Transfer bytes of a script when only `live_raw_bytes` of its source
+  /// remain (compression ratio preserved).
+  Bytes script_transfer_for(Bytes live_raw_bytes) const;
+};
+
+/// Converts a WebObject to the cache simulator's item type.
+net::CacheItem to_cache_item(const WebObject& object);
+
+}  // namespace aw4a::web

@@ -1,0 +1,37 @@
+// Page renderer: rasterizes a ServedPage to a screenshot.
+//
+// QSS needs per-image SSIM, but QFS needs whole-page screenshots before and
+// after each user event, on both the original and the transcoded page. This
+// renderer provides those screenshots. It is a layout *model*, not a browser:
+// text paragraphs render as deterministic glyph stripes, images composite
+// their (possibly degraded) rasters, JS-controlled widgets draw only when the
+// controlling function is actually served, and dropping CSS collapses the
+// styled layout — enough structure for SSIM to respond to every optimization
+// the paper applies.
+#pragma once
+
+#include <set>
+
+#include "imaging/raster.h"
+#include "web/page.h"
+
+namespace aw4a::web {
+
+struct RenderOptions {
+  /// Canvas pixels per CSS pixel (0.5 keeps screenshot SSIM fast).
+  double canvas_scale = 0.5;
+};
+
+/// Dynamic page state produced by user interaction (toggled widgets).
+struct RenderState {
+  std::set<js::WidgetId> toggled;
+};
+
+/// True if some served (non-dropped) script still controls `widget`.
+bool widget_functional(const ServedPage& served, js::WidgetId widget);
+
+/// Renders the page under the given serving decisions and dynamic state.
+imaging::Raster render_page(const ServedPage& served, const RenderState& state = {},
+                            const RenderOptions& options = {});
+
+}  // namespace aw4a::web

@@ -1,0 +1,78 @@
+// Tests for the report/printing helpers the benches rely on: the output
+// format is part of the harness contract (machine-readable series + visual).
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aw4a::analysis {
+namespace {
+
+TEST(Report, HeaderStructure) {
+  std::ostringstream os;
+  print_header(os, "Fig. X — demo", "the paper says Y", "our setup Z");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("==== Fig. X — demo ===="), std::string::npos);
+  EXPECT_NE(out.find("paper:  the paper says Y"), std::string::npos);
+  EXPECT_NE(out.find("setup:  our setup Z"), std::string::npos);
+}
+
+TEST(Report, CdfEmitsRequestedPointCount) {
+  std::ostringstream os;
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  print_cdf(os, "demo_series", values, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("series demo_series  (n=100)"), std::string::npos);
+  // 10 machine-readable "p,x" lines.
+  int rows = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.size() > 3 && line[0] == ' ' && line[2] == '0' && line.find(',') != std::string::npos) {
+      ++rows;
+    }
+  }
+  EXPECT_GE(rows, 9);  // "1,100" ends with p=1 formatting variation
+}
+
+TEST(Report, CdfSeriesValuesSortedAndTerminal) {
+  std::ostringstream os;
+  print_cdf(os, "s", {3.0, 1.0, 2.0}, 3);
+  const std::string out = os.str();
+  // The q=1 quantile is the maximum.
+  EXPECT_NE(out.find("1,3"), std::string::npos);
+}
+
+TEST(Report, CdfHandlesEmptyInput) {
+  std::ostringstream os;
+  print_cdf(os, "empty", {});
+  EXPECT_NE(os.str().find("(empty)"), std::string::npos);
+}
+
+TEST(Report, CompareShowsBothSidesAndDelta) {
+  std::ostringstream os;
+  print_compare(os, "metric", 2.0, 2.2, " MB");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("paper=2 MB"), std::string::npos);
+  EXPECT_NE(out.find("measured=2.2 MB"), std::string::npos);
+  EXPECT_NE(out.find("+10%"), std::string::npos);
+}
+
+TEST(Report, CompareNegativeDelta) {
+  std::ostringstream os;
+  print_compare(os, "metric", 4.0, 3.0);
+  EXPECT_NE(os.str().find("-25%"), std::string::npos);
+}
+
+TEST(Report, SummaryDelegatesToStats) {
+  std::ostringstream os;
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  print_summary(os, "xs", xs);
+  EXPECT_NE(os.str().find("n=3"), std::string::npos);
+  EXPECT_NE(os.str().find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aw4a::analysis

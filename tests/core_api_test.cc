@@ -1,0 +1,109 @@
+#include "core/api.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace aw4a::core {
+namespace {
+
+// Shared tier fixture: built once (tier generation runs the full pipeline).
+class ApiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 50, .rich = true});
+    Rng rng(50);
+    page_ = new web::WebPage(gen.make_page(rng, from_mb(1.6), gen.global_profile()));
+    DeveloperConfig config;
+    config.tier_reductions = {1.25, 1.5, 3.0};
+    config.measure_qfs = false;
+    tiers_ = new std::vector<Tier>(Aw4aPipeline(config).build_tiers(*page_));
+  }
+  static void TearDownTestSuite() {
+    delete tiers_;
+    delete page_;
+    tiers_ = nullptr;
+    page_ = nullptr;
+  }
+  static web::WebPage* page_;
+  static std::vector<Tier>* tiers_;
+};
+
+web::WebPage* ApiTest::page_ = nullptr;
+std::vector<Tier>* ApiTest::tiers_ = nullptr;
+
+TEST_F(ApiTest, DataSavingOffServesOriginal) {
+  UserProfile user;
+  user.data_saving_on = false;
+  const ServeDecision d = decide_version(user, *tiers_);
+  EXPECT_EQ(d.kind, ServeDecision::Kind::kOriginal);
+}
+
+TEST_F(ApiTest, CountryModeServesPawTier) {
+  UserProfile user;
+  user.data_saving_on = true;
+  user.country_sharing_on = true;
+  user.plan = net::PlanType::kDataVoiceLowUsage;
+  user.country = dataset::find_country("Honduras");
+  ASSERT_NE(user.country, nullptr);
+  const ServeDecision d = decide_version(user, *tiers_);
+  EXPECT_EQ(d.kind, ServeDecision::Kind::kPawTier);
+  EXPECT_LT(d.tier_index, tiers_->size());
+  EXPECT_NE(d.reason.find("Honduras"), std::string::npos);
+}
+
+TEST_F(ApiTest, AffordableCountryGetsOriginalEvenInCountryMode) {
+  UserProfile user;
+  user.data_saving_on = true;
+  user.country_sharing_on = true;
+  user.country = dataset::find_country("Germany");
+  ASSERT_NE(user.country, nullptr);
+  const ServeDecision d = decide_version(user, *tiers_);
+  EXPECT_EQ(d.kind, ServeDecision::Kind::kOriginal);
+}
+
+TEST_F(ApiTest, PreferenceModePicksClosestSavings) {
+  UserProfile user;
+  user.data_saving_on = true;
+  user.country_sharing_on = false;
+  user.preferred_savings_pct = tiers_->front().savings_fraction() * 100.0;
+  const ServeDecision d = decide_version(user, *tiers_);
+  EXPECT_EQ(d.kind, ServeDecision::Kind::kPreferenceTier);
+  EXPECT_EQ(d.tier_index, 0u);
+
+  user.preferred_savings_pct = tiers_->back().savings_fraction() * 100.0;
+  EXPECT_EQ(decide_version(user, *tiers_).tier_index, tiers_->size() - 1);
+}
+
+TEST_F(ApiTest, PawTierIsMildestSufficientOne) {
+  const dataset::Country* country = dataset::find_country("Uzbekistan");
+  ASSERT_NE(country, nullptr);
+  const double paw = paw_index(*country, net::PlanType::kDataVoiceLowUsage);
+  ASSERT_GT(paw, 1.0);
+  const std::size_t idx = paw_tier(*tiers_, *country, net::PlanType::kDataVoiceLowUsage);
+  const double achieved = (*tiers_)[idx].achieved_reduction();
+  if (achieved + 1e-9 >= paw) {
+    // Every milder tier must be insufficient.
+    for (std::size_t i = 0; i < tiers_->size(); ++i) {
+      if ((*tiers_)[i].achieved_reduction() < achieved) {
+        EXPECT_LT((*tiers_)[i].achieved_reduction() + 1e-9, paw);
+      }
+    }
+  } else {
+    // Fallback: deepest tier.
+    for (std::size_t i = 0; i < tiers_->size(); ++i) {
+      EXPECT_LE((*tiers_)[i].achieved_reduction(), achieved + 1e-9);
+    }
+  }
+}
+
+TEST_F(ApiTest, EmptyTiersRejectedWhenSavingOn) {
+  UserProfile user;
+  user.data_saving_on = true;
+  const std::vector<Tier> empty;
+  EXPECT_THROW((void)decide_version(user, empty), LogicError);
+}
+
+}  // namespace
+}  // namespace aw4a::core

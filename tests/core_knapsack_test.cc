@@ -1,0 +1,130 @@
+// Tests of the exact DP solver (Appendix A.2's bounded-knapsack mapping).
+#include "core/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "core/rbr.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace aw4a::core {
+namespace {
+
+web::WebPage rich_page(std::uint64_t seed, double mb = 0.9) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = seed, .rich = true});
+  Rng rng(seed);
+  return gen.make_page(rng, from_mb(mb), gen.global_profile());
+}
+
+TEST(Knapsack, TrivialTargetKeepsFullQuality) {
+  const web::WebPage page = rich_page(100);
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  const auto outcome = knapsack_optimize(served, page.transfer_size(), ladders);
+  EXPECT_TRUE(outcome.met_target);
+  EXPECT_DOUBLE_EQ(outcome.qss, 1.0);
+}
+
+TEST(Knapsack, FeasibleSolutionsRespectBudgetAndQt) {
+  const web::WebPage page = rich_page(101);
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  const Bytes target = page.transfer_size() * 80 / 100;
+  const auto outcome = knapsack_optimize(served, target, ladders);
+  if (outcome.met_target) {
+    EXPECT_LE(served.transfer_size(), target);
+    EXPECT_GE(outcome.qss, 0.9 - 1e-9);
+  }
+  for (const auto& [id, decision] : served.images) {
+    if (decision.variant) {
+      EXPECT_GE(decision.variant->ssim, 0.9 - 1e-9);
+    }
+  }
+}
+
+TEST(Knapsack, MatchesOrBeatsGridSearchOnSameCandidates) {
+  // Same candidate set, exact optimization: the DP can only lose to Grid
+  // Search through byte quantization, bounded by granularity per image.
+  for (std::uint64_t seed : {102ull, 103ull, 104ull}) {
+    const web::WebPage page = rich_page(seed);
+    LadderCache ladders;
+    const Bytes target = page.transfer_size() * 82 / 100;
+
+    web::ServedPage gs_served = web::serve_original(page);
+    GridSearchOptions gs_options;
+    gs_options.timeout_seconds = 20.0;
+    const auto gs = grid_search(gs_served, target, ladders, gs_options);
+
+    web::ServedPage dp_served = web::serve_original(page);
+    KnapsackOptions dp_options;
+    dp_options.byte_granularity = 1 * kKB;
+    const auto dp = knapsack_optimize(dp_served, target, ladders, dp_options);
+
+    if (gs.met_target && !gs.timed_out && dp.met_target) {
+      EXPECT_GE(dp.qss + 5e-3, gs.qss) << "seed " << seed;  // quantization slack
+    }
+  }
+}
+
+TEST(Knapsack, NeverWorseThanRbrOnItsOwnMoves) {
+  // RBR may still win overall (its resolution moves are outside the DP's
+  // candidate set), but whenever RBR's result uses only byte-heavier pages,
+  // the DP's QSS at the same budget is the exact ceiling of full-res moves.
+  const web::WebPage page = rich_page(105, 1.2);
+  LadderCache ladders;
+  const Bytes target = page.transfer_size() * 85 / 100;
+  web::ServedPage rbr_served = web::serve_original(page);
+  const auto rbr = rank_based_reduce(rbr_served, target, ladders);
+  web::ServedPage dp_served = web::serve_original(page);
+  const auto dp = knapsack_optimize(dp_served, target, ladders);
+  if (rbr.met_target && dp.met_target) {
+    EXPECT_GT(dp.qss, 0.9);
+    EXPECT_GT(compute_qss(rbr_served), 0.9);
+  }
+}
+
+TEST(Knapsack, InfeasibleTargetInstallsByteMinimalFloor) {
+  const web::WebPage page = rich_page(106);
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  const auto outcome = knapsack_optimize(served, 1, ladders);
+  EXPECT_FALSE(outcome.met_target);
+  EXPECT_LT(outcome.bytes_after, page.transfer_size());
+}
+
+TEST(Knapsack, FinerGranularityNeverHurts) {
+  const web::WebPage page = rich_page(107);
+  LadderCache ladders;
+  const Bytes target = page.transfer_size() * 85 / 100;
+  auto run = [&](Bytes granularity) {
+    web::ServedPage served = web::serve_original(page);
+    KnapsackOptions options;
+    options.byte_granularity = granularity;
+    return knapsack_optimize(served, target, ladders, options);
+  };
+  const auto coarse = run(16 * kKB);
+  const auto fine = run(1 * kKB);
+  if (coarse.met_target && fine.met_target) {
+    EXPECT_GE(fine.qss + 1e-9, coarse.qss);
+  }
+  EXPECT_GT(fine.cells, coarse.cells);  // the cost of precision
+}
+
+TEST(Knapsack, RoundingUpNeverViolatesBudget) {
+  // Bucketing rounds costs up, so a "met" verdict is trustworthy even at
+  // huge granularity.
+  const web::WebPage page = rich_page(108);
+  LadderCache ladders;
+  web::ServedPage served = web::serve_original(page);
+  KnapsackOptions options;
+  options.byte_granularity = 64 * kKB;
+  const Bytes target = page.transfer_size() * 90 / 100;
+  const auto outcome = knapsack_optimize(served, target, ladders, options);
+  if (outcome.met_target) {
+    EXPECT_LE(served.transfer_size(), target);
+  }
+}
+
+}  // namespace
+}  // namespace aw4a::core

@@ -1,0 +1,85 @@
+#include "core/paw.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace aw4a::core {
+namespace {
+
+TEST(Paw, PaperWorkedExample) {
+  // §3.1: W=1.5MB, P=5%, W_global=2.47MB, P_T=2% => PAW = 1.52.
+  const PawInputs in{.price_pct = 5.0, .avg_page_mb = 1.5, .global_avg_mb = 2.47,
+                     .target_pct = 2.0};
+  EXPECT_NEAR(paw_index(in), 1.52, 0.005);
+}
+
+TEST(Paw, UnitValueAtExactTarget) {
+  const PawInputs in{.price_pct = 2.0, .avg_page_mb = 2.47};
+  EXPECT_NEAR(paw_index(in), 1.0, 1e-12);
+}
+
+TEST(Paw, LinearInPriceAndSize) {
+  const PawInputs base{.price_pct = 4.0, .avg_page_mb = 2.0};
+  PawInputs doubled_price = base;
+  doubled_price.price_pct *= 2;
+  PawInputs doubled_size = base;
+  doubled_size.avg_page_mb *= 2;
+  EXPECT_NEAR(paw_index(doubled_price), 2 * paw_index(base), 1e-12);
+  EXPECT_NEAR(paw_index(doubled_size), 2 * paw_index(base), 1e-12);
+}
+
+TEST(Paw, RejectsNonPositiveInputs) {
+  EXPECT_THROW((void)paw_index(PawInputs{.price_pct = 0.0, .avg_page_mb = 1.0}), LogicError);
+  EXPECT_THROW((void)paw_index(PawInputs{.price_pct = 1.0, .avg_page_mb = 0.0}), LogicError);
+}
+
+TEST(Paw, CachedIndexBarelyMoves) {
+  // §3.2: caching rescales numerator and denominator almost equally, so the
+  // index is nearly unchanged. With our constants (0.413 country factor vs
+  // 1.02/2.47 global) the shift is a few percent.
+  const dataset::Country* c = dataset::find_country("Kenya");
+  ASSERT_NE(c, nullptr);
+  const double cold = paw_index(*c, net::PlanType::kDataOnly, false);
+  const double cached = paw_index(*c, net::PlanType::kDataOnly, true);
+  EXPECT_NEAR(cached / cold, 1.0, 0.05);
+}
+
+TEST(Paw, TargetAvgPageSize) {
+  // W_T = (P_T/P_i) * W_global: a country at 4% must halve its pages.
+  EXPECT_NEAR(target_avg_page_mb(4.0), 2.47 / 2.0, 1e-9);
+  EXPECT_NEAR(target_avg_page_mb(2.0), 2.47, 1e-9);
+  EXPECT_THROW((void)target_avg_page_mb(0.0), LogicError);
+}
+
+TEST(Paw, PerUrlTarget) {
+  EXPECT_EQ(per_url_target(1000000, 2.0), 500000u);
+  // PAW <= 1: no reduction required.
+  EXPECT_EQ(per_url_target(1000000, 0.8), 1000000u);
+  EXPECT_THROW((void)per_url_target(100, 0.0), LogicError);
+}
+
+TEST(Paw, AccessesWithinTarget) {
+  // At exactly the target price, a 2 GB plan and 2 MB pages: 1000 accesses.
+  EXPECT_NEAR(accesses_within_target(2.0, net::PlanType::kDataOnly, 2.0), 1000.0, 1e-6);
+  // Twice the price halves the affordable accesses.
+  EXPECT_NEAR(accesses_within_target(4.0, net::PlanType::kDataOnly, 2.0), 500.0, 1e-6);
+  // DVLU's 500 MB plan gives a quarter of DO's accesses.
+  EXPECT_NEAR(accesses_within_target(2.0, net::PlanType::kDataVoiceLowUsage, 2.0), 250.0,
+              1e-6);
+}
+
+TEST(Paw, ReductionByPawEqualizesAccess) {
+  // Reducing a failing country's pages by its PAW factor brings it to the
+  // target: PAW of the reduced world is 1.
+  const dataset::Country* honduras = dataset::find_country("Honduras");
+  ASSERT_NE(honduras, nullptr);
+  const double paw = paw_index(*honduras, net::PlanType::kDataOnly);
+  ASSERT_GT(paw, 1.0);
+  const PawInputs reduced{.price_pct = honduras->price_pct(net::PlanType::kDataOnly),
+                          .avg_page_mb = honduras->mean_page_mb / paw};
+  EXPECT_NEAR(paw_index(reduced), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aw4a::core

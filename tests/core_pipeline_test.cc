@@ -1,0 +1,108 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace aw4a::core {
+namespace {
+
+web::WebPage rich_page(std::uint64_t seed = 40, double mb = 1.6) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = seed, .rich = true});
+  Rng rng(seed);
+  return gen.make_page(rng, from_mb(mb), gen.global_profile());
+}
+
+TEST(Pipeline, Stage1AloneForMildTargets) {
+  const web::WebPage page = rich_page();
+  const Aw4aPipeline pipeline;
+  // A target Stage-1 can reach by itself (just under the original).
+  const Bytes target = page.transfer_size() * 97 / 100;
+  const auto result = pipeline.transcode_to_target(page, target);
+  EXPECT_TRUE(result.met_target);
+  EXPECT_EQ(result.algorithm, "stage1");
+  EXPECT_DOUBLE_EQ(result.quality.qfs, 1.0);
+}
+
+TEST(Pipeline, Stage2EngagesForDeepTargets) {
+  const web::WebPage page = rich_page();
+  const Aw4aPipeline pipeline;
+  const Bytes target = page.transfer_size() * 60 / 100;
+  const auto result = pipeline.transcode_to_target(page, target);
+  EXPECT_NE(result.algorithm.find("hbs"), std::string::npos);
+  if (result.met_target) {
+    EXPECT_LE(result.result_bytes, target);
+  }
+}
+
+TEST(Pipeline, GridSearchBackendSelectable) {
+  const web::WebPage page = rich_page(41, 0.8);
+  DeveloperConfig config;
+  config.stage2 = DeveloperConfig::Stage2::kGridSearch;
+  config.grid_timeout_seconds = 10.0;
+  const Aw4aPipeline pipeline(config);
+  // Deep enough that Stage-1 alone cannot satisfy it.
+  const Bytes target = page.transfer_size() * 55 / 100;
+  const auto result = pipeline.transcode_to_target(page, target);
+  EXPECT_NE(result.algorithm.find("grid-search"), std::string::npos);
+}
+
+TEST(Pipeline, QualityThresholdFlowsThrough) {
+  const web::WebPage page = rich_page(42);
+  DeveloperConfig config;
+  config.min_image_ssim = 0.95;
+  const Aw4aPipeline pipeline(config);
+  const auto result = pipeline.transcode_to_target(page, page.transfer_size() / 2);
+  EXPECT_GE(result.quality.qss, 0.95 - 1e-6);
+}
+
+TEST(Pipeline, CountryTargetUsesPaw) {
+  const web::WebPage page = rich_page(43);
+  const dataset::Country* honduras = dataset::find_country("Honduras");
+  ASSERT_NE(honduras, nullptr);
+  const double paw = paw_index(*honduras, net::PlanType::kDataOnly);
+  ASSERT_GT(paw, 1.0);
+  const Aw4aPipeline pipeline;
+  const auto result =
+      pipeline.transcode_for_country(page, *honduras, net::PlanType::kDataOnly);
+  EXPECT_EQ(result.target_bytes, per_url_target(page.transfer_size(), paw));
+}
+
+TEST(Pipeline, AffordableCountryGetsNoReductionTarget) {
+  const web::WebPage page = rich_page(44);
+  const dataset::Country* usa = dataset::find_country("United States");
+  ASSERT_NE(usa, nullptr);
+  const Aw4aPipeline pipeline;
+  const auto result = pipeline.transcode_for_country(page, *usa, net::PlanType::kDataOnly);
+  EXPECT_TRUE(result.met_target);
+  EXPECT_EQ(result.target_bytes, page.transfer_size());
+}
+
+TEST(Pipeline, BuildTiersCoversConfiguredReductions) {
+  const web::WebPage page = rich_page(45);
+  DeveloperConfig config;
+  config.tier_reductions = {1.25, 1.5, 3.0};
+  config.measure_qfs = false;  // keep the test fast
+  const Aw4aPipeline pipeline(config);
+  const auto tiers = pipeline.build_tiers(page);
+  ASSERT_EQ(tiers.size(), 3u);
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tiers[i].requested_reduction, config.tier_reductions[i]);
+    if (tiers[i].result.met_target) {
+      EXPECT_GE(tiers[i].achieved_reduction() + 1e-9, tiers[i].requested_reduction);
+      EXPECT_GT(tiers[i].savings_fraction(), 0.0);
+    }
+  }
+  // Tiers get progressively smaller (or equal when infeasible).
+  EXPECT_LE(tiers[2].result.result_bytes, tiers[0].result.result_bytes);
+}
+
+TEST(Pipeline, RejectsBadConfig) {
+  DeveloperConfig config;
+  config.min_image_ssim = 1.5;
+  EXPECT_THROW(Aw4aPipeline{config}, LogicError);
+}
+
+}  // namespace
+}  // namespace aw4a::core

@@ -1,0 +1,132 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hbs.h"
+#include "core/objective.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace aw4a::core {
+namespace {
+
+web::WebPage rich_page(std::uint64_t seed = 4) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = seed, .rich = true});
+  Rng rng(seed);
+  return gen.make_page(rng, from_mb(1.5), gen.global_profile());
+}
+
+TEST(Qss, OriginalPageScoresOne) {
+  const web::WebPage page = rich_page();
+  EXPECT_DOUBLE_EQ(compute_qss(web::serve_original(page)), 1.0);
+}
+
+TEST(Qss, DroppedImageScoresZeroWeightedByArea) {
+  const web::WebPage page = rich_page();
+  const auto images = rich_images(page);
+  ASSERT_GE(images.size(), 2u);
+  web::ServedPage served = web::serve_original(page);
+  served.images[images[0]->id] = web::ServedImage{.variant = std::nullopt, .dropped = true};
+  double total_area = 0;
+  for (const auto* img : images) total_area += img->image->display_area();
+  const double expected = 1.0 - images[0]->image->display_area() / total_area;
+  EXPECT_NEAR(compute_qss(served), expected, 1e-9);
+}
+
+TEST(Qss, VariantSsimEntersAreaWeighted) {
+  const web::WebPage page = rich_page();
+  const auto images = rich_images(page);
+  web::ServedPage served = web::serve_original(page);
+  imaging::ImageVariant v;
+  v.ssim = 0.8;
+  v.bytes = 100;
+  served.images[images[0]->id] = web::ServedImage{.variant = v, .dropped = false};
+  double total_area = 0;
+  for (const auto* img : images) total_area += img->image->display_area();
+  const double expected =
+      (total_area - 0.2 * images[0]->image->display_area()) / total_area;
+  EXPECT_NEAR(compute_qss(served), expected, 1e-9);
+}
+
+TEST(Qss, PageWithoutImagesScoresOne) {
+  web::WebPage page;
+  page.id = 1;
+  EXPECT_DOUBLE_EQ(compute_qss(web::serve_original(page)), 1.0);
+}
+
+TEST(Qfs, OriginalPageScoresOne) {
+  const web::WebPage page = rich_page();
+  EXPECT_DOUBLE_EQ(compute_qfs(web::serve_original(page)), 1.0);
+}
+
+TEST(Qfs, ImageOnlyReductionsScoreExactlyOne) {
+  // Paper §7.2: approach B (RBR only) always has QFS = 1.
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  for (const auto* img : rich_images(page)) {
+    imaging::ImageVariant v;
+    v.ssim = 0.5;
+    v.bytes = 10;
+    served.images[img->id] = web::ServedImage{.variant = v, .dropped = false};
+  }
+  EXPECT_DOUBLE_EQ(compute_qfs(served), 1.0);
+}
+
+TEST(Qfs, DroppingAllScriptsHurts) {
+  // Find a seed whose page draws at least one JS-controlled widget; dropping
+  // all scripts then visibly kills it (statically and per event).
+  for (std::uint64_t seed = 4; seed < 12; ++seed) {
+    const web::WebPage page = rich_page(seed);
+    const bool has_widget_block =
+        std::any_of(page.layout.begin(), page.layout.end(), [](const web::LayoutBlock& b) {
+          return b.kind == web::LayoutBlock::Kind::kWidget;
+        });
+    if (!has_widget_block || web::enumerate_events(page).empty()) continue;
+    web::ServedPage served = web::serve_original(page);
+    for (const auto& o : page.objects) {
+      if (o.type == web::ObjectType::kJs) served.dropped.insert(o.id);
+    }
+    EXPECT_LT(compute_qfs(served), 1.0) << "seed " << seed;
+    return;
+  }
+  FAIL() << "no seed produced a page with widgets";
+}
+
+TEST(Quality, OverallWeightsNormalize) {
+  EXPECT_DOUBLE_EQ(overall_quality(0.8, 0.6, {.qss = 1.0, .qfs = 1.0}), 0.7);
+  EXPECT_DOUBLE_EQ(overall_quality(0.8, 0.6, {.qss = 1.0, .qfs = 0.0}), 0.8);
+  EXPECT_DOUBLE_EQ(overall_quality(0.8, 0.6, {.qss = 3.0, .qfs = 1.0}), 0.75);
+  EXPECT_THROW((void)overall_quality(1, 1, {.qss = 0.0, .qfs = 0.0}), LogicError);
+}
+
+TEST(Quality, EvaluateBundlesBoth) {
+  const web::WebPage page = rich_page();
+  const QualityReport r = evaluate_quality(web::serve_original(page));
+  EXPECT_DOUBLE_EQ(r.qss, 1.0);
+  EXPECT_DOUBLE_EQ(r.qfs, 1.0);
+  EXPECT_DOUBLE_EQ(r.quality, 1.0);
+  const QualityReport skip = evaluate_quality(web::serve_original(page), {}, false);
+  EXPECT_DOUBLE_EQ(skip.qfs, 1.0);
+}
+
+TEST(Objective, WeightedQualityMatchesEq3) {
+  const std::vector<ObjectiveTerm> terms{{2.0, 1.0}, {1.0, 0.4}, {1.0, 0.8}};
+  EXPECT_NEAR(weighted_quality(terms), (2.0 + 0.4 + 0.8) / 4.0, 1e-12);
+  EXPECT_THROW((void)weighted_quality({}), LogicError);
+}
+
+TEST(Objective, LadderCacheMemoizes) {
+  const web::WebPage page = rich_page();
+  const auto images = rich_images(page);
+  ASSERT_FALSE(images.empty());
+  LadderCache cache;
+  auto& a = cache.ladder_for(*images[0]);
+  auto& b = cache.ladder_for(*images[0]);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW((void)cache.ladder_for(page.objects[0]), LogicError);  // html object
+}
+
+}  // namespace
+}  // namespace aw4a::core

@@ -1,0 +1,112 @@
+#include "core/stage1.h"
+
+#include <gtest/gtest.h>
+
+#include "core/quality.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace aw4a::core {
+namespace {
+
+web::WebPage rich_page(std::uint64_t seed = 6) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = seed, .rich = true});
+  Rng rng(seed);
+  return gen.make_page(rng, from_mb(2.0), gen.global_profile());
+}
+
+TEST(Stage1, SavesBytesWithoutQualityLoss) {
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  const Bytes saved = apply_stage1(served, ladders);
+  EXPECT_GT(saved, 0u);
+  EXPECT_EQ(served.transfer_size(), page.transfer_size() - saved);
+  // Lossless by contract: QFS exactly 1, QSS above the transcode floor.
+  EXPECT_DOUBLE_EQ(compute_qfs(served), 1.0);
+  EXPECT_GE(compute_qss(served), Stage1Options{}.min_transcode_ssim - 1e-9);
+}
+
+TEST(Stage1, MinifiesEveryTextObject) {
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  apply_stage1(served, ladders);
+  for (const auto& o : page.objects) {
+    if (o.type == web::ObjectType::kHtml || o.type == web::ObjectType::kCss ||
+        o.type == web::ObjectType::kJs || o.type == web::ObjectType::kFont) {
+      EXPECT_LT(served.object_transfer(o), o.transfer_bytes) << to_string(o.type);
+    }
+  }
+}
+
+TEST(Stage1, WebpTranscodeOnlyWhenSmallerAndEquivalent) {
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  apply_stage1(served, ladders);
+  for (const auto& [id, decision] : served.images) {
+    ASSERT_TRUE(decision.variant.has_value());
+    const web::WebObject* o = page.find(id);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(decision.variant->format, imaging::ImageFormat::kWebp);
+    EXPECT_LT(decision.variant->bytes, o->transfer_bytes);
+    EXPECT_GE(decision.variant->ssim, Stage1Options{}.min_transcode_ssim - 1e-9);
+  }
+}
+
+TEST(Stage1, DisablingMinifyLeavesTextAlone) {
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  Stage1Options options;
+  options.minify_gain = 1.0;
+  options.font_metadata_fraction = 0.0;
+  apply_stage1(served, ladders, options);
+  for (const auto& o : page.objects) {
+    if (o.type == web::ObjectType::kJs || o.type == web::ObjectType::kCss) {
+      EXPECT_EQ(served.object_transfer(o), o.transfer_bytes);
+    }
+  }
+}
+
+TEST(Stage1, SkipsDroppedObjectsAndExistingDecisions) {
+  const web::WebPage page = rich_page();
+  web::ServedPage served = web::serve_original(page);
+  // Pre-drop one text object and pre-decide one image.
+  const web::WebObject* text = nullptr;
+  const web::WebObject* image = nullptr;
+  for (const auto& o : page.objects) {
+    if (o.type == web::ObjectType::kCss && text == nullptr) text = &o;
+    if (o.type == web::ObjectType::kImage && o.image != nullptr && image == nullptr) {
+      image = &o;
+    }
+  }
+  ASSERT_NE(text, nullptr);
+  ASSERT_NE(image, nullptr);
+  served.dropped.insert(text->id);
+  imaging::ImageVariant pinned;
+  pinned.bytes = 77;
+  pinned.ssim = 0.5;
+  served.images[image->id] = web::ServedImage{.variant = pinned, .dropped = false};
+
+  LadderCache ladders;
+  apply_stage1(served, ladders);
+  EXPECT_EQ(served.object_transfer(*text), 0u);
+  EXPECT_EQ(served.images[image->id].variant->bytes, 77u);
+}
+
+TEST(Stage1, TypicalSavingsShareIsModest) {
+  // Stage-1 is the lossless pass: it trims single-digit-to-low-teens percent,
+  // not the multi-x reductions of Stage-2.
+  const web::WebPage page = rich_page(8);
+  web::ServedPage served = web::serve_original(page);
+  LadderCache ladders;
+  const Bytes saved = apply_stage1(served, ladders);
+  const double share = static_cast<double>(saved) / static_cast<double>(page.transfer_size());
+  EXPECT_GT(share, 0.02);
+  EXPECT_LT(share, 0.35);
+}
+
+}  // namespace
+}  // namespace aw4a::core

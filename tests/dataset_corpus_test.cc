@@ -1,0 +1,178 @@
+#include "dataset/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/httparchive.h"
+#include "util/stats.h"
+
+namespace aw4a::dataset {
+namespace {
+
+using web::ObjectType;
+
+TEST(Corpus, CountryMeanPinnedToTable) {
+  CorpusGenerator gen;
+  const Country* pk = find_country("Pakistan");
+  ASSERT_NE(pk, nullptr);
+  const auto pages = gen.country_pages(*pk, 80);
+  ASSERT_EQ(pages.size(), 80u);
+  double total = 0;
+  for (const auto& p : pages) total += to_mb(p.transfer_size());
+  EXPECT_NEAR(total / 80.0, pk->mean_page_mb, 0.05);
+}
+
+TEST(Corpus, GlobalMeanMatchesConstant) {
+  CorpusGenerator gen;
+  const auto pages = gen.global_pages(100);
+  double total = 0;
+  for (const auto& p : pages) total += to_mb(p.transfer_size());
+  EXPECT_NEAR(total / 100.0, kGlobalMeanPageMb, 0.05);
+}
+
+TEST(Corpus, DeterministicAcrossGenerators) {
+  CorpusGenerator a(CorpusOptions{.seed = 11});
+  CorpusGenerator b(CorpusOptions{.seed = 11});
+  const Country* india = find_country("India");
+  const auto pa = a.country_pages(*india, 5);
+  const auto pb = b.country_pages(*india, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(pa[i].transfer_size(), pb[i].transfer_size());
+    EXPECT_EQ(pa[i].objects.size(), pb[i].objects.size());
+  }
+}
+
+TEST(Corpus, ProfileSharesSumToOne) {
+  CorpusGenerator gen;
+  for (const Country& c : countries()) {
+    const CompositionProfile p = gen.country_profile(c);
+    double total = 0;
+    for (double s : p.share) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << c.name;
+  }
+}
+
+TEST(Corpus, ProfilesRespectWhatIfBands) {
+  // Images+JS must sit in the band that produces the paper's 3.1-8.8x
+  // removal ratios (68-89% of bytes).
+  CorpusGenerator gen;
+  for (const Country& c : countries()) {
+    const CompositionProfile p = gen.country_profile(c);
+    const double imgjs = p.of(ObjectType::kImage) + p.of(ObjectType::kJs);
+    EXPECT_GE(imgjs, 0.60) << c.name;
+    EXPECT_LE(imgjs, 0.90) << c.name;
+  }
+}
+
+TEST(Corpus, PageCompositionTracksProfile) {
+  CorpusGenerator gen;
+  const Country* kenya = find_country("Kenya");
+  ASSERT_NE(kenya, nullptr);
+  const CompositionProfile profile = gen.country_profile(*kenya);
+  const auto pages = gen.country_pages(*kenya, 60);
+  double img = 0;
+  double js = 0;
+  double total = 0;
+  for (const auto& p : pages) {
+    img += static_cast<double>(p.transfer_size(ObjectType::kImage));
+    js += static_cast<double>(p.transfer_size(ObjectType::kJs));
+    total += static_cast<double>(p.transfer_size());
+  }
+  EXPECT_NEAR(img / total, profile.of(ObjectType::kImage), 0.08);
+  EXPECT_NEAR(js / total, profile.of(ObjectType::kJs), 0.08);
+}
+
+TEST(Corpus, EveryPageHasOneHtmlDocument) {
+  CorpusGenerator gen;
+  const auto pages = gen.global_pages(20);
+  for (const auto& p : pages) {
+    EXPECT_EQ(p.count(ObjectType::kHtml), 1u);
+    EXPECT_GE(p.count(ObjectType::kImage), 1u);
+    EXPECT_GE(p.count(ObjectType::kJs), 2u);
+    EXPECT_FALSE(p.layout.empty());
+    EXPECT_GT(p.page_height, 0);
+  }
+}
+
+TEST(Corpus, InventoryModeAttachesNoPayloads) {
+  CorpusGenerator gen(CorpusOptions{.rich = false});
+  const auto pages = gen.global_pages(5);
+  for (const auto& p : pages) {
+    for (const auto& o : p.objects) {
+      EXPECT_EQ(o.image, nullptr);
+      EXPECT_EQ(o.script, nullptr);
+    }
+  }
+}
+
+TEST(Corpus, RichModeAttachesPayloads) {
+  CorpusGenerator gen(CorpusOptions{.rich = true});
+  const auto pages = gen.global_pages(3);
+  for (const auto& p : pages) {
+    for (const auto& o : p.objects) {
+      if (o.type == ObjectType::kImage) {
+        ASSERT_NE(o.image, nullptr);
+        EXPECT_EQ(o.image->wire_bytes, o.transfer_bytes);
+      }
+      if (o.type == ObjectType::kJs) {
+        ASSERT_NE(o.script, nullptr);
+        EXPECT_EQ(o.script->total_bytes(), o.raw_bytes);
+      }
+    }
+  }
+}
+
+TEST(Corpus, CachingReductionNearPaper) {
+  // Paper §2.2: caching cuts the average global page from 2.47 to 1.02 MB
+  // (58.7% reduction). Our type-aware Cache-Control mix should land nearby.
+  CorpusGenerator gen;
+  const auto pages = gen.global_pages(120);
+  double cold = 0;
+  double cached = 0;
+  for (const auto& p : pages) {
+    cold += static_cast<double>(p.transfer_size());
+    cached += p.cached_transfer_size();
+  }
+  const double reduction = 1.0 - cached / cold;
+  EXPECT_GT(reduction, 0.50);
+  EXPECT_LT(reduction, 0.70);
+}
+
+TEST(Corpus, UserStudySitesNamedAndDistinct) {
+  CorpusGenerator gen;
+  const auto pages = gen.user_study_pages();
+  ASSERT_EQ(pages.size(), 10u);
+  EXPECT_EQ(pages[8].url, "wikipedia.org");
+  // Wikipedia is far lighter and less image-heavy than youtube (Fig. 4b's
+  // graceful-vs-fragile contrast).
+  const auto* wiki = &pages[8];
+  const auto* yt = &pages[7];
+  EXPECT_EQ(yt->url, "youtube.com");
+  EXPECT_LT(wiki->transfer_size(), yt->transfer_size() / 2);
+  const double wiki_img = static_cast<double>(wiki->transfer_size(ObjectType::kImage)) /
+                          static_cast<double>(wiki->transfer_size());
+  const double yt_img = static_cast<double>(yt->transfer_size(ObjectType::kImage)) /
+                        static_cast<double>(yt->transfer_size());
+  EXPECT_LT(wiki_img, yt_img);
+}
+
+TEST(Corpus, HttpArchiveAnchors) {
+  // The Fig. 1 model must pass near the paper's quoted anchors: 145 KB
+  // (2011), 1569 KB (Jan 2018), 2007 KB (Jan 2023), a 13.8x decade growth.
+  EXPECT_NEAR(mobile_median_kb(2011.0), 145.0, 40.0);
+  EXPECT_NEAR(mobile_median_kb(2018.0), 1569.0, 160.0);
+  EXPECT_NEAR(mobile_median_kb(2023.0), 2007.0, 120.0);
+  // Desktop heavier than mobile early on; both series monotone.
+  EXPECT_GT(desktop_median_kb(2012.0), mobile_median_kb(2012.0));
+  const auto series = mobile_page_weight_series();
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].median_kb, series[i - 1].median_kb);
+    EXPECT_LT(series[i].p25_kb, series[i].median_kb);
+    EXPECT_GT(series[i].p75_kb, series[i].median_kb);
+  }
+}
+
+}  // namespace
+}  // namespace aw4a::dataset

@@ -1,0 +1,145 @@
+// Calibration tests: the embedded table must reproduce the aggregates the
+// paper reports (DESIGN.md §1 lists the full set).
+#include "dataset/countries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/paw.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace aw4a::dataset {
+namespace {
+
+TEST(Countries, StudySetComposition) {
+  const auto all = countries();
+  EXPECT_EQ(all.size(), 99u);
+  const auto developing = std::count_if(all.begin(), all.end(),
+                                        [](const Country& c) { return c.developing; });
+  EXPECT_EQ(developing, 82);
+  EXPECT_EQ(countries_with_prices().size(), 96u);
+}
+
+TEST(Countries, MissingPriceDataExactlySyriaTaiwanVenezuela) {
+  std::vector<std::string_view> missing;
+  for (const Country& c : countries()) {
+    if (!c.has_price_data) missing.push_back(c.name);
+  }
+  std::sort(missing.begin(), missing.end());
+  EXPECT_EQ(missing, (std::vector<std::string_view>{"Syria", "Taiwan", "Venezuela"}));
+}
+
+TEST(Countries, PakistanDataOnlyPriceMatchesPaper) {
+  const Country* pk = find_country("Pakistan");
+  ASSERT_NE(pk, nullptr);
+  EXPECT_NEAR(pk->price_do, 0.96, 1e-6);  // paper §3.2
+}
+
+TEST(Countries, NamedAnchorsPresent) {
+  for (const char* name : {"India", "Ethiopia", "United States", "Germany", "Canada"}) {
+    EXPECT_NE(find_country(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_country("Atlantis"), nullptr);
+}
+
+TEST(Countries, PageSizeDistributionMatchesPaper) {
+  std::vector<double> developing;
+  std::vector<double> developed;
+  std::vector<double> all;
+  for (const Country& c : countries()) {
+    (c.developing ? developing : developed).push_back(c.mean_page_mb);
+    all.push_back(c.mean_page_mb);
+  }
+  // Paper §2.2: developing 2.87 (sd 0.56), developed 2.64 (sd 0.46),
+  // overall 2.83 (sd 0.55).
+  EXPECT_NEAR(mean(developing), 2.87, 0.15);
+  EXPECT_NEAR(mean(developed), 2.64, 0.20);
+  EXPECT_NEAR(mean(all), 2.83, 0.15);
+  EXPECT_NEAR(stdev(all), 0.55, 0.25);
+  EXPECT_GT(mean(developing), mean(developed));
+}
+
+TEST(Countries, PriceRangesMatchPaper) {
+  // Paper §2.1: DO 0.07-41%, DVLU 0.13-38.4%, DVHU 0.13-56.9% over 206.
+  const auto check = [](net::PlanType plan, double lo, double hi) {
+    const auto prices = global_price_distribution(plan);
+    EXPECT_EQ(prices.size(), 206u);
+    EXPECT_NEAR(min_of(prices), lo, 0.08) << net::plan_code(plan);
+    EXPECT_NEAR(max_of(prices), hi, 0.5) << net::plan_code(plan);
+  };
+  check(net::PlanType::kDataOnly, 0.07, 41.0);
+  check(net::PlanType::kDataVoiceLowUsage, 0.13, 38.4);
+  check(net::PlanType::kDataVoiceHighUsage, 0.13, 56.9);
+}
+
+TEST(Countries, FractionAboveTargetMatchesPaper) {
+  // Paper: 41-52% of countries miss the 2% target across plans.
+  for (net::PlanType plan : net::kAllPlans) {
+    const auto prices = global_price_distribution(plan);
+    const double above =
+        static_cast<double>(std::count_if(prices.begin(), prices.end(),
+                                          [](double p) { return p > 2.0; })) /
+        static_cast<double>(prices.size());
+    EXPECT_GE(above, 0.40) << net::plan_code(plan);
+    EXPECT_LE(above, 0.53) << net::plan_code(plan);
+  }
+}
+
+TEST(Countries, Fig10SetOrderAndMembership) {
+  const auto fig10 = fig10_countries();
+  ASSERT_EQ(fig10.size(), 25u);
+  EXPECT_EQ(fig10.front()->name, "Uzbekistan");
+  EXPECT_EQ(fig10.back()->name, "Honduras");
+  // Ascending DVLU PAW, all > 1.
+  double prev = 0.0;
+  for (const Country* c : fig10) {
+    const double paw = core::paw_index(*c, net::PlanType::kDataVoiceLowUsage);
+    EXPECT_GT(paw, 1.0) << c->name;
+    EXPECT_GT(paw, prev) << c->name;
+    prev = paw;
+  }
+}
+
+TEST(Countries, PawMaximaMatchPaper) {
+  double max_do = 0;
+  double max_dvhu = 0;
+  for (const Country* c : countries_with_prices()) {
+    max_do = std::max(max_do, core::paw_index(*c, net::PlanType::kDataOnly));
+    max_dvhu = std::max(max_dvhu, core::paw_index(*c, net::PlanType::kDataVoiceHighUsage));
+  }
+  EXPECT_NEAR(max_do, 4.7, 0.1);     // paper §3.2
+  EXPECT_NEAR(max_dvhu, 13.2, 0.2);  // paper §3.2
+}
+
+TEST(Countries, FortyEightFailAtLeastOnePlan) {
+  int failing = 0;
+  for (const Country* c : countries_with_prices()) {
+    for (net::PlanType plan : net::kAllPlans) {
+      if (core::paw_index(*c, plan) > 1.0) {
+        ++failing;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(failing, 48);  // paper §3.2
+}
+
+TEST(Countries, DevelopedCountriesAllMeetTarget) {
+  for (const Country* c : countries_with_prices()) {
+    if (c->developing) continue;
+    for (net::PlanType plan : net::kAllPlans) {
+      EXPECT_LE(core::paw_index(*c, plan), 1.0) << c->name;
+    }
+  }
+}
+
+TEST(Countries, PriceAccessorRequiresData) {
+  const Country* syria = find_country("Syria");
+  ASSERT_NE(syria, nullptr);
+  EXPECT_THROW((void)syria->price_pct(net::PlanType::kDataOnly), aw4a::LogicError);
+}
+
+}  // namespace
+}  // namespace aw4a::dataset

@@ -1,0 +1,108 @@
+// Tests for the inner-pages extension (paper §10 future work).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/corpus.h"
+#include "net/cache.h"
+#include "util/rng.h"
+
+namespace aw4a::dataset {
+namespace {
+
+using web::ObjectType;
+
+CorpusGenerator::Site make_test_site(std::uint64_t seed = 5, int inner = 3) {
+  CorpusGenerator gen(CorpusOptions{.seed = seed});
+  Rng rng(seed);
+  return gen.make_site(rng, from_mb(2.4), gen.global_profile(), inner);
+}
+
+TEST(Site, InnerPagesCountAndUrls) {
+  const auto site = make_test_site();
+  ASSERT_EQ(site.inner.size(), 3u);
+  for (const auto& page : site.inner) {
+    EXPECT_NE(page.url.find("/inner-"), std::string::npos);
+  }
+}
+
+TEST(Site, InnerPagesAreLighter) {
+  const auto site = make_test_site();
+  for (const auto& page : site.inner) {
+    EXPECT_LT(page.transfer_size(), site.landing.transfer_size());
+    // Text-heavier: HTML share above the landing page's.
+    const double landing_html =
+        static_cast<double>(site.landing.transfer_size(ObjectType::kHtml)) /
+        static_cast<double>(site.landing.transfer_size());
+    const double inner_html = static_cast<double>(page.transfer_size(ObjectType::kHtml)) /
+                              static_cast<double>(page.transfer_size());
+    EXPECT_GT(inner_html, landing_html);
+  }
+}
+
+TEST(Site, SitewideAssetsShareObjectIds) {
+  const auto site = make_test_site();
+  std::set<std::uint64_t> landing_ids;
+  for (const auto& o : site.landing.objects) landing_ids.insert(o.id);
+  for (const auto& page : site.inner) {
+    int shared = 0;
+    for (const auto& o : page.objects) {
+      if (landing_ids.count(o.id)) {
+        ++shared;
+        // A shared object is byte-identical (same resource).
+        const web::WebObject* original = site.landing.find(o.id);
+        ASSERT_NE(original, nullptr);
+        EXPECT_EQ(o.transfer_bytes, original->transfer_bytes);
+        EXPECT_EQ(o.type, original->type);
+      }
+    }
+    EXPECT_GT(shared, 0) << "inner page shares nothing with the landing page";
+  }
+}
+
+TEST(Site, AllCssAndFontsAreShared) {
+  const auto site = make_test_site(7);
+  std::set<std::uint64_t> landing_ids;
+  for (const auto& o : site.landing.objects) landing_ids.insert(o.id);
+  for (const auto& page : site.inner) {
+    for (const auto& o : page.objects) {
+      if (o.type == ObjectType::kCss || o.type == ObjectType::kFont) {
+        // Sitewide by construction: these came from the landing page.
+        const bool from_landing = landing_ids.count(o.id) > 0;
+        if (from_landing) SUCCEED();
+      }
+    }
+    // At least one CSS object is the landing page's.
+    const bool any_css_shared =
+        std::any_of(page.objects.begin(), page.objects.end(), [&](const web::WebObject& o) {
+          return o.type == ObjectType::kCss && landing_ids.count(o.id);
+        });
+    EXPECT_TRUE(any_css_shared);
+  }
+}
+
+TEST(Site, SharingSavesSessionBytes) {
+  const auto site = make_test_site(8);
+  net::LruByteCache cache(512 * kMB);
+  Bytes with_sharing = 0;
+  Bytes without = site.landing.transfer_size();
+  for (const auto& o : site.landing.objects) {
+    with_sharing += cache.fetch(web::to_cache_item(o), 0);
+  }
+  for (const auto& page : site.inner) {
+    without += page.transfer_size();
+    for (const auto& o : page.objects) {
+      with_sharing += cache.fetch(web::to_cache_item(o), 1);
+    }
+  }
+  EXPECT_LT(with_sharing, without);
+}
+
+TEST(Site, ZeroInnerPagesAllowed) {
+  const auto site = make_test_site(9, 0);
+  EXPECT_TRUE(site.inner.empty());
+  EXPECT_GT(site.landing.transfer_size(), 0u);
+}
+
+}  // namespace
+}  // namespace aw4a::dataset

@@ -1,0 +1,132 @@
+#include "imaging/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/ssim.h"
+#include "imaging/synth.h"
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+namespace {
+
+Raster test_photo(std::uint64_t seed = 1, int w = 64, int h = 64) {
+  Rng rng(seed);
+  return synth_image(rng, ImageClass::kPhoto, w, h);
+}
+
+TEST(JpegCodec, QualityControlsBytes) {
+  const Raster img = test_photo();
+  const Encoded q90 = jpeg_encode(img, 90);
+  const Encoded q50 = jpeg_encode(img, 50);
+  const Encoded q10 = jpeg_encode(img, 10);
+  EXPECT_GT(q90.bytes, q50.bytes);
+  EXPECT_GT(q50.bytes, q10.bytes);
+}
+
+TEST(JpegCodec, QualityControlsFidelity) {
+  const Raster img = test_photo();
+  const double s90 = ssim(img, jpeg_encode(img, 90).decoded);
+  const double s30 = ssim(img, jpeg_encode(img, 30).decoded);
+  const double s5 = ssim(img, jpeg_encode(img, 5).decoded);
+  EXPECT_GT(s90, s30);
+  EXPECT_GT(s30, s5);
+  EXPECT_GT(s90, 0.9);
+}
+
+TEST(JpegCodec, DecodedDimensionsMatch) {
+  Rng rng(2);
+  const Raster img = synth_image(rng, ImageClass::kScreenshot, 41, 29);  // non-multiple of 8
+  const Encoded enc = jpeg_encode(img, 80);
+  EXPECT_EQ(enc.decoded.width(), 41);
+  EXPECT_EQ(enc.decoded.height(), 29);
+}
+
+TEST(JpegCodec, DropsAlpha) {
+  Rng rng(3);
+  Raster img = synth_image(rng, ImageClass::kLogo, 32, 32);
+  img.at(0, 0).a = 0;  // ensure transparency
+  const Encoded enc = jpeg_encode(img, 80);
+  EXPECT_FALSE(enc.decoded.has_alpha());
+}
+
+TEST(PngCodec, LosslessRoundTrip) {
+  Rng rng(4);
+  const Raster img = synth_image(rng, ImageClass::kLogo, 48, 48);
+  const Encoded enc = png_encode(img);
+  EXPECT_EQ(mean_abs_diff(img, enc.decoded), 0.0);
+  EXPECT_DOUBLE_EQ(ssim(img, enc.decoded), 1.0);
+}
+
+TEST(PngCodec, FlatArtSmallerThanJpegAtHighQuality) {
+  Rng rng(5);
+  Raster img(64, 64, Pixel{200, 30, 30, 255});
+  img.fill_rect(10, 10, 20, 20, Pixel{30, 30, 200, 255});
+  EXPECT_LT(png_encode(img).bytes, jpeg_encode(img, 95).bytes);
+}
+
+TEST(PngCodec, PhotoLargerThanJpeg) {
+  const Raster img = test_photo(6);
+  EXPECT_GT(png_encode(img).bytes, jpeg_encode(img, 85).bytes);
+}
+
+TEST(WebpCodec, BeatsJpegAtSameQuality) {
+  const Raster img = test_photo(7, 96, 96);
+  const Encoded jpeg = jpeg_encode(img, 80);
+  const Encoded webp = webp_encode(img, 80);
+  EXPECT_LT(webp.bytes, jpeg.bytes);
+  // And not at a big fidelity cost.
+  EXPECT_GT(ssim(img, webp.decoded), ssim(img, jpeg.decoded) - 0.05);
+}
+
+TEST(WebpCodec, PreservesAlpha) {
+  Rng rng(8);
+  Raster img = synth_image(rng, ImageClass::kLogo, 40, 40);
+  img.at(3, 3).a = 0;
+  const Encoded enc = webp_encode(img, 80);
+  EXPECT_TRUE(enc.decoded.has_alpha());
+}
+
+TEST(WebpCodec, LosslessBeatsPng) {
+  Rng rng(9);
+  const Raster img = synth_image(rng, ImageClass::kLogo, 48, 48);
+  EXPECT_LT(webp_lossless_encode(img).bytes, png_encode(img).bytes);
+  EXPECT_EQ(mean_abs_diff(img, webp_lossless_encode(img).decoded), 0.0);
+}
+
+TEST(CodecRegistry, FormatsAndAlphaSupport) {
+  EXPECT_EQ(codec_for(ImageFormat::kJpeg).format(), ImageFormat::kJpeg);
+  EXPECT_FALSE(codec_for(ImageFormat::kJpeg).supports_alpha());
+  EXPECT_TRUE(codec_for(ImageFormat::kPng).supports_alpha());
+  EXPECT_TRUE(codec_for(ImageFormat::kWebp).supports_alpha());
+}
+
+TEST(NaturalFormat, PhotosAreJpegFlatArtIsPng) {
+  EXPECT_EQ(natural_format(test_photo(10)), ImageFormat::kJpeg);
+  Rng rng(11);
+  Raster logo = synth_image(rng, ImageClass::kLogo, 48, 48);
+  EXPECT_EQ(natural_format(logo), ImageFormat::kPng);
+  // Anything transparent must be PNG.
+  Raster transparent = test_photo(12);
+  transparent.at(0, 0).a = 10;
+  EXPECT_EQ(natural_format(transparent), ImageFormat::kPng);
+}
+
+// Byte cost scales with content complexity: noisy photos cost more than
+// gradients at the same size/quality for every lossy codec.
+class LossyCostTest : public ::testing::TestWithParam<ImageFormat> {};
+
+TEST_P(LossyCostTest, ComplexityRaisesCost) {
+  if (GetParam() == ImageFormat::kPng) GTEST_SKIP();
+  Rng rng(13);
+  const Raster photo = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  const Raster gradient = synth_image(rng, ImageClass::kGradient, 64, 64);
+  const auto& codec = codec_for(GetParam());
+  EXPECT_GT(codec.encode(photo, 75).bytes, codec.encode(gradient, 75).bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, LossyCostTest,
+                         ::testing::Values(ImageFormat::kJpeg, ImageFormat::kWebp),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace aw4a::imaging

@@ -1,0 +1,69 @@
+#include "imaging/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+namespace {
+
+TEST(Dct, RoundTripIsIdentity) {
+  Rng rng(1);
+  Block8 block{};
+  for (auto& v : block) v = static_cast<float>(rng.uniform(-128, 128));
+  const Block8 rec = idct8x8(dct8x8(block));
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(rec[i], block[i], 1e-3f);
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  Block8 block{};
+  block.fill(50.0f);
+  const Block8 freq = dct8x8(block);
+  EXPECT_NEAR(freq[0], 50.0f * 8.0f, 1e-3f);  // DC = 8 * mean under this scaling
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(freq[i], 0.0f, 1e-3f);
+}
+
+TEST(Dct, LinearityAndParseval) {
+  Rng rng(2);
+  Block8 a{};
+  Block8 b{};
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-100, 100));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-100, 100));
+  Block8 sum{};
+  for (int i = 0; i < 64; ++i) sum[i] = a[i] + b[i];
+  const Block8 fa = dct8x8(a);
+  const Block8 fb = dct8x8(b);
+  const Block8 fsum = dct8x8(sum);
+  double energy_spatial = 0;
+  double energy_freq = 0;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(fsum[i], fa[i] + fb[i], 1e-2f);
+    energy_spatial += double(a[i]) * a[i];
+    energy_freq += double(fa[i]) * fa[i];
+  }
+  // Orthonormal transform preserves energy (Parseval).
+  EXPECT_NEAR(energy_freq / energy_spatial, 1.0, 1e-4);
+}
+
+TEST(Dct, HorizontalCosineHitsSingleCoefficient) {
+  // A pure cos((2x+1) * 3 * pi / 16) pattern lands entirely in u=3, v=0.
+  Block8 block{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      block[y * 8 + x] =
+          static_cast<float>(std::cos((2.0 * x + 1.0) * 3.0 * M_PI / 16.0));
+    }
+  }
+  const Block8 freq = dct8x8(block);
+  int nonzero = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (std::abs(freq[i]) > 1e-3f) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_GT(std::abs(freq[3]), 1.0f);  // row v=0, column u=3
+}
+
+}  // namespace
+}  // namespace aw4a::imaging

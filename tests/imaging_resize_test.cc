@@ -1,0 +1,94 @@
+#include "imaging/resize.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/ssim.h"
+#include "imaging/synth.h"
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+namespace {
+
+TEST(Resize, BoxProducesExactDimensions) {
+  Rng rng(1);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 64, 48);
+  const Raster small = resize_box(img, 17, 13);
+  EXPECT_EQ(small.width(), 17);
+  EXPECT_EQ(small.height(), 13);
+}
+
+TEST(Resize, BoxPreservesFlatColor) {
+  Raster img(32, 32, Pixel{77, 88, 99, 255});
+  const Raster small = resize_box(img, 8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(small.at(x, y), (Pixel{77, 88, 99, 255}));
+  }
+}
+
+TEST(Resize, BoxPreservesMeanBrightness) {
+  Rng rng(2);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  const Raster small = resize_box(img, 16, 16);
+  auto mean_luma = [](const Raster& r) {
+    const PlaneF luma = luma_plane(r);
+    double sum = 0;
+    for (float v : luma.v) sum += v;
+    return sum / static_cast<double>(luma.v.size());
+  };
+  EXPECT_NEAR(mean_luma(img), mean_luma(small), 2.0);
+}
+
+TEST(Resize, BilinearUpscaleSmooth) {
+  Raster img(2, 1);
+  img.at(0, 0) = Pixel{0, 0, 0, 255};
+  img.at(1, 0) = Pixel{200, 200, 200, 255};
+  const Raster big = resize_bilinear(img, 8, 1);
+  // Interpolated values are monotone left to right.
+  for (int x = 1; x < 8; ++x) EXPECT_GE(big.at(x, 0).r, big.at(x - 1, 0).r);
+}
+
+TEST(Resize, ReduceResolutionScalesDimensions) {
+  Rng rng(3);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 100, 60);
+  const Raster half = reduce_resolution(img, 0.5);
+  EXPECT_EQ(half.width(), 50);
+  EXPECT_EQ(half.height(), 30);
+  // Scale 1.0 is a no-op copy.
+  const Raster same = reduce_resolution(img, 1.0);
+  EXPECT_EQ(mean_abs_diff(img, same), 0.0);
+}
+
+TEST(Resize, ReduceResolutionNeverBelowOnePixel) {
+  Raster img(4, 4);
+  const Raster tiny = reduce_resolution(img, 0.01);
+  EXPECT_GE(tiny.width(), 1);
+  EXPECT_GE(tiny.height(), 1);
+}
+
+TEST(Resize, RejectsBadScale) {
+  Raster img(4, 4);
+  EXPECT_THROW((void)reduce_resolution(img, 0.0), LogicError);
+  EXPECT_THROW((void)reduce_resolution(img, 1.5), LogicError);
+}
+
+TEST(Resize, RedisplayRoundTripDegradesGracefully) {
+  Rng rng(4);
+  const Raster img = synth_image(rng, ImageClass::kTextBanner, 80, 80);
+  // Deeper reductions lose structure after redisplay — the physical basis of
+  // RBR's resolution ladder. Local non-monotone wiggles are allowed (they
+  // are the paper's Fig. 8 observation); the broad trend must hold.
+  const double s_mild = ssim(img, redisplay(reduce_resolution(img, 0.9), 80, 80));
+  const double s_deep = ssim(img, redisplay(reduce_resolution(img, 0.3), 80, 80));
+  EXPECT_LT(s_mild, 1.0);
+  EXPECT_LT(s_deep, s_mild);
+  EXPECT_GT(s_deep, 0.2);  // even 0.3x is recognizably the same image
+}
+
+TEST(Resize, RedisplayNoOpWhenSameSize) {
+  Rng rng(5);
+  const Raster img = synth_image(rng, ImageClass::kLogo, 30, 30);
+  EXPECT_EQ(mean_abs_diff(redisplay(img, 30, 30), img), 0.0);
+}
+
+}  // namespace
+}  // namespace aw4a::imaging

@@ -1,0 +1,103 @@
+#include "imaging/ssim.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/synth.h"
+#include "util/rng.h"
+
+namespace aw4a::imaging {
+namespace {
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  Rng rng(1);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  EXPECT_DOUBLE_EQ(ssim(img, img), 1.0);
+}
+
+TEST(Ssim, Symmetric) {
+  Rng rng(2);
+  const Raster a = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  const Raster b = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  EXPECT_DOUBLE_EQ(ssim(a, b), ssim(b, a));
+}
+
+TEST(Ssim, BoundedAndPenalizesDifference) {
+  Rng rng(3);
+  const Raster a = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  const Raster b = synth_image(rng, ImageClass::kTextBanner, 64, 64);
+  const double s = ssim(a, b);
+  EXPECT_LT(s, 0.9);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Ssim, MonotoneInNoiseLevel) {
+  Rng rng(4);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  auto noisy = [&](int amplitude) {
+    Raster out = img;
+    Rng noise_rng(99);
+    for (auto& p : out.pixels()) {
+      const int d = static_cast<int>(noise_rng.uniform_int(-amplitude, amplitude));
+      p.r = static_cast<std::uint8_t>(std::clamp(int(p.r) + d, 0, 255));
+      p.g = static_cast<std::uint8_t>(std::clamp(int(p.g) + d, 0, 255));
+      p.b = static_cast<std::uint8_t>(std::clamp(int(p.b) + d, 0, 255));
+    }
+    return out;
+  };
+  const double s5 = ssim(img, noisy(5));
+  const double s20 = ssim(img, noisy(20));
+  const double s60 = ssim(img, noisy(60));
+  EXPECT_GT(s5, s20);
+  EXPECT_GT(s20, s60);
+  EXPECT_GT(s5, 0.8);
+}
+
+TEST(Ssim, LuminanceShiftCostsLessThanStructureLoss) {
+  Rng rng(5);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, 64, 64);
+  Raster shifted = img;
+  for (auto& p : shifted.pixels()) {
+    p.r = static_cast<std::uint8_t>(std::min(255, p.r + 12));
+    p.g = static_cast<std::uint8_t>(std::min(255, p.g + 12));
+    p.b = static_cast<std::uint8_t>(std::min(255, p.b + 12));
+  }
+  Raster flat(64, 64, Pixel{128, 128, 128, 255});
+  EXPECT_GT(ssim(img, shifted), ssim(img, flat));
+}
+
+TEST(Ssim, RejectsMismatchedSizes) {
+  Raster a(10, 10);
+  Raster b(11, 10);
+  EXPECT_THROW((void)ssim(a, b), LogicError);
+}
+
+TEST(Ssim, HandlesImagesSmallerThanWindow) {
+  Raster a(5, 5, Pixel{100, 100, 100, 255});
+  Raster b = a;
+  EXPECT_DOUBLE_EQ(ssim(a, b), 1.0);
+  b.at(2, 2) = Pixel{0, 0, 0, 255};
+  EXPECT_LT(ssim(a, b), 1.0);
+}
+
+TEST(Ssim, StrideApproximatesDense) {
+  Rng rng(6);
+  const Raster a = synth_image(rng, ImageClass::kPhoto, 96, 96);
+  const Raster b = synth_image(rng, ImageClass::kPhoto, 96, 96);
+  const double dense = ssim(a, b, {.window = 8, .stride = 1});
+  const double strided = ssim(a, b, {.window = 8, .stride = 4});
+  EXPECT_NEAR(dense, strided, 0.03);
+}
+
+class SsimWindowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsimWindowTest, IdentityHoldsForAllWindows) {
+  Rng rng(7);
+  const Raster img = synth_image(rng, ImageClass::kScreenshot, 48, 48);
+  EXPECT_DOUBLE_EQ(ssim(img, img, {.window = GetParam(), .stride = 2}), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SsimWindowTest, ::testing::Values(4, 8, 11, 16));
+
+}  // namespace
+}  // namespace aw4a::imaging

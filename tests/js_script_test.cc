@@ -1,0 +1,105 @@
+#include "js/script.h"
+
+#include <gtest/gtest.h>
+
+#include "js/callgraph.h"
+#include "util/rng.h"
+
+namespace aw4a::js {
+namespace {
+
+Script make_script(Bytes target = 80 * kKB, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  ScriptSynthOptions options;
+  options.target_bytes = target;
+  return synth_script(rng, options);
+}
+
+TEST(Script, TotalBytesNearTarget) {
+  const Script s = make_script(100 * kKB);
+  const double ratio =
+      static_cast<double>(s.total_bytes()) / static_cast<double>(100 * kKB);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Script, FindLocatesFunctions) {
+  const Script s = make_script();
+  ASSERT_FALSE(s.functions.empty());
+  const FunctionId id = s.functions.front().id;
+  EXPECT_NE(s.find(id), nullptr);
+  EXPECT_EQ(s.find(id)->id, id);
+  EXPECT_EQ(s.find(999999), nullptr);
+}
+
+TEST(Script, HasRootsAndBindings) {
+  const Script s = make_script();
+  EXPECT_FALSE(s.init_functions.empty());
+  EXPECT_FALSE(s.bindings.empty());
+  for (const auto& b : s.bindings) EXPECT_NE(s.find(b.handler), nullptr);
+  for (FunctionId f : s.init_functions) EXPECT_NE(s.find(f), nullptr);
+}
+
+TEST(Script, AdScriptsBindOnlyTimers) {
+  Rng rng(3);
+  ScriptSynthOptions options;
+  options.target_bytes = 40 * kKB;
+  options.ad_related = true;
+  options.third_party = true;
+  const Script s = synth_script(rng, options);
+  EXPECT_TRUE(s.ad_related);
+  EXPECT_TRUE(s.third_party);
+  for (const auto& b : s.bindings) EXPECT_EQ(b.kind, EventKind::kTimer);
+}
+
+TEST(Script, DeadFractionProducesUnreachableCode) {
+  Rng rng(4);
+  ScriptSynthOptions options;
+  options.target_bytes = 120 * kKB;
+  options.dead_fraction = 0.5;
+  const Script s = synth_script(rng, options);
+  const auto live = reachable_runtime(s, all_roots(s));
+  EXPECT_LT(live.size(), s.functions.size());
+  const Bytes live_bytes = bytes_of(s, live);
+  EXPECT_LT(live_bytes, s.total_bytes());
+}
+
+TEST(Callgraph, StaticSubsetOfRuntime) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Script s = make_script(60 * kKB, seed);
+    const auto roots = all_roots(s);
+    const auto stat = reachable_static(s, roots);
+    const auto runtime = reachable_runtime(s, roots);
+    for (FunctionId f : stat) EXPECT_TRUE(runtime.count(f)) << "seed " << seed;
+  }
+}
+
+TEST(Callgraph, RootsAlwaysReachable) {
+  const Script s = make_script();
+  const auto roots = all_roots(s);
+  const auto live = reachable_static(s, roots);
+  for (FunctionId r : roots) EXPECT_TRUE(live.count(r));
+}
+
+TEST(Callgraph, UnknownRootsIgnored) {
+  const Script s = make_script();
+  const std::vector<FunctionId> bogus{424242};
+  EXPECT_TRUE(reachable_static(s, bogus).empty());
+}
+
+TEST(Callgraph, BytesOfSumsSelectedFunctions) {
+  const Script s = make_script();
+  std::set<FunctionId> all_ids;
+  for (const auto& f : s.functions) all_ids.insert(f.id);
+  EXPECT_EQ(bytes_of(s, all_ids), s.total_bytes());
+  EXPECT_EQ(bytes_of(s, {}), 0u);
+}
+
+TEST(EventKind, Names) {
+  EXPECT_STREQ(to_string(EventKind::kClick), "click");
+  EXPECT_STREQ(to_string(EventKind::kScroll), "scroll");
+  EXPECT_STREQ(to_string(EventKind::kKeypress), "keypress");
+}
+
+}  // namespace
+}  // namespace aw4a::js

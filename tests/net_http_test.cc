@@ -1,0 +1,101 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace aw4a::net {
+namespace {
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest request;
+  request.path = "/index.html";
+  request.headers.push_back({"Host", "example.com"});
+  request.headers.push_back({"Save-Data", "on"});
+  const std::string wire = serialize(request);
+  EXPECT_EQ(wire.substr(0, 31), "GET /index.html HTTP/1.1\r\nHost:");
+  const auto parsed = parse_request(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->path, "/index.html");
+  EXPECT_TRUE(parsed->save_data());
+}
+
+TEST(Http, HeaderLookupIsCaseInsensitive) {
+  HttpRequest request;
+  request.headers.push_back({"sAvE-dAtA", "On"});
+  EXPECT_TRUE(request.save_data());
+  EXPECT_NE(request.header("SAVE-DATA"), nullptr);
+  EXPECT_EQ(request.header("missing"), nullptr);
+}
+
+TEST(Http, SaveDataRequiresOn) {
+  HttpRequest request;
+  request.headers.push_back({"Save-Data", "off"});
+  EXPECT_FALSE(request.save_data());
+  request.headers[0].value = " on ";
+  EXPECT_TRUE(request.save_data());  // trimmed
+}
+
+TEST(Http, CountryHint) {
+  HttpRequest request;
+  EXPECT_FALSE(request.country_hint().has_value());
+  request.headers.push_back({"X-Geo-Country", "Pakistan"});
+  ASSERT_TRUE(request.country_hint().has_value());
+  EXPECT_EQ(*request.country_hint(), "Pakistan");
+}
+
+TEST(Http, SavingsHeaderValidation) {
+  HttpRequest request;
+  request.headers.push_back({"AW4A-Savings", "65"});
+  ASSERT_TRUE(request.preferred_savings_pct().has_value());
+  EXPECT_DOUBLE_EQ(*request.preferred_savings_pct(), 65.0);
+  request.headers[0].value = "abc";
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+  request.headers[0].value = "120";
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+  request.headers[0].value = "-3";
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+}
+
+TEST(Http, MalformedRequestsRejected) {
+  EXPECT_FALSE(parse_request("").has_value());
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n").has_value());               // no version
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1 junk\r\n\r\n").has_value()); // trailing junk
+  EXPECT_FALSE(parse_request("GET / FTP/1.0\r\n\r\n").has_value());       // bad scheme
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nBad Name: x\r\n\r\n").has_value());
+}
+
+TEST(Http, ResponseRoundTripWithContentLength) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_length = 123456;
+  response.headers.push_back({"AW4A-Tier", "2"});
+  const std::string wire = serialize(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 123456\r\n"), std::string::npos);
+  const auto parsed = parse_response(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->content_length, 123456u);
+  ASSERT_NE(parsed->header("aw4a-tier"), nullptr);
+  EXPECT_EQ(*parsed->header("aw4a-tier"), "2");
+}
+
+TEST(Http, ResponseReasonPreserved) {
+  const auto parsed = parse_response("HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 405);
+  EXPECT_EQ(parsed->reason, "Method Not Allowed");
+}
+
+TEST(Http, ExplicitContentLengthHeaderWins) {
+  HttpResponse response;
+  response.content_length = 999;  // would be auto-emitted...
+  response.headers.push_back({"Content-Length", "42"});  // ...but explicit wins
+  const std::string wire = serialize(response);
+  EXPECT_NE(wire.find("Content-Length: 42"), std::string::npos);
+  EXPECT_EQ(wire.find("999"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aw4a::net

@@ -1,0 +1,40 @@
+#include "net/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace aw4a::net {
+namespace {
+
+TEST(Plan, CodesAndNames) {
+  EXPECT_STREQ(plan_code(PlanType::kDataOnly), "DO");
+  EXPECT_STREQ(plan_code(PlanType::kDataVoiceLowUsage), "DVLU");
+  EXPECT_STREQ(plan_code(PlanType::kDataVoiceHighUsage), "DVHU");
+  EXPECT_EQ(plan_name(PlanType::kDataOnly), "Data-only Plan (2GB)");
+}
+
+TEST(Plan, Allowances) {
+  // ITU benchmark plans: DO and DVHU are 2 GB, DVLU is 500 MB.
+  EXPECT_EQ(plan_data_allowance(PlanType::kDataOnly), 2000 * kMB);
+  EXPECT_EQ(plan_data_allowance(PlanType::kDataVoiceHighUsage), 2000 * kMB);
+  EXPECT_EQ(plan_data_allowance(PlanType::kDataVoiceLowUsage), 500 * kMB);
+}
+
+TEST(Plan, AccessesPerMonth) {
+  // 2 GB at the 2.47 MB global mean page: ~810 accesses (paper §3.1 math).
+  const double accesses = accesses_per_month(2000 * kMB, 2.47e6);
+  EXPECT_NEAR(accesses, 809.7, 0.5);
+  EXPECT_THROW((void)accesses_per_month(kMB, 0.0), LogicError);
+}
+
+TEST(Plan, AffordabilityTargetIsTwoPercent) {
+  EXPECT_DOUBLE_EQ(kAffordabilityTargetPct, 2.0);
+}
+
+TEST(Plan, AllPlansEnumerated) {
+  EXPECT_EQ(kAllPlans.size(), 3u);
+}
+
+}  // namespace
+}  // namespace aw4a::net

@@ -1,0 +1,220 @@
+// Randomized property tests: cross-module invariants checked over many
+// seeded inputs. These are the "does the machinery ever lie" checks — byte
+// accounting, metric bounds, determinism, optimizer contracts — independent
+// of any calibration target.
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "core/paw.h"
+#include "core/pipeline.h"
+#include "core/rbr.h"
+#include "dataset/corpus.h"
+#include "net/compress.h"
+#include "net/http.h"
+#include "util/rng.h"
+
+namespace aw4a {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- byte accounting --------------------------------------------------------
+
+TEST_P(PropertyTest, ServedPageAccountingIsAdditiveUnderRandomDecisions) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam(), .rich = true});
+  Rng rng(GetParam());
+  const web::WebPage page = gen.make_page(rng, from_mb(1.2), gen.global_profile());
+  web::ServedPage served = web::serve_original(page);
+
+  // Random decisions of every kind.
+  for (const auto& o : page.objects) {
+    switch (static_cast<int>(rng.uniform_int(0, 4))) {
+      case 0:
+        served.dropped.insert(o.id);
+        break;
+      case 1:
+        served.retextured[o.id] = static_cast<Bytes>(rng.uniform_int(0, 5000));
+        break;
+      case 2:
+        if (o.type == web::ObjectType::kImage) {
+          imaging::ImageVariant v;
+          v.bytes = o.transfer_bytes / 2;
+          v.ssim = rng.uniform(0.5, 1.0);
+          served.images[o.id] = web::ServedImage{.variant = v, .dropped = false};
+        }
+        break;
+      default:
+        break;  // leave as-is
+    }
+  }
+  Bytes manual = 0;
+  for (const auto& o : page.objects) manual += served.object_transfer(o);
+  EXPECT_EQ(served.transfer_size(), manual);
+
+  Bytes by_type = 0;
+  for (web::ObjectType t : web::kAllObjectTypes) by_type += served.transfer_size(t);
+  EXPECT_EQ(by_type, manual);
+}
+
+// --- metric bounds -----------------------------------------------------------
+
+TEST_P(PropertyTest, QualityMetricsStayInUnitInterval) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam() ^ 7, .rich = true});
+  Rng rng(GetParam() ^ 7);
+  const web::WebPage page = gen.make_page(rng, from_mb(1.0), gen.global_profile());
+  web::ServedPage served = web::serve_original(page);
+  // Drop a random half of everything.
+  for (const auto& o : page.objects) {
+    if (rng.bernoulli(0.5)) served.dropped.insert(o.id);
+  }
+  const double qss = core::compute_qss(served);
+  const double qfs = core::compute_qfs(served);
+  EXPECT_GE(qss, 0.0);
+  EXPECT_LE(qss, 1.0);
+  EXPECT_GE(qfs, -1.0);  // SSIM can in principle dip below 0
+  EXPECT_LE(qfs, 1.0);
+}
+
+// --- optimizer contracts ------------------------------------------------------
+
+TEST_P(PropertyTest, RbrResultNeverExceedsOriginalAndHonorsQt) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam() ^ 99, .rich = true});
+  Rng rng(GetParam() ^ 99);
+  const web::WebPage page = gen.make_page(rng, from_mb(1.0), gen.global_profile());
+  core::LadderCache ladders;
+  core::RbrOptions options;
+  options.quality_threshold = rng.uniform(0.75, 0.95);
+  web::ServedPage served = web::serve_original(page);
+  const Bytes target =
+      static_cast<Bytes>(static_cast<double>(page.transfer_size()) * rng.uniform(0.3, 0.95));
+  const auto outcome = core::rank_based_reduce(served, target, ladders, options);
+  EXPECT_LE(outcome.bytes_after, page.transfer_size());
+  EXPECT_EQ(outcome.bytes_after, served.transfer_size());
+  if (outcome.met_target) {
+    EXPECT_LE(outcome.bytes_after, target);
+  }
+  for (const auto& [id, decision] : served.images) {
+    if (decision.variant) {
+      EXPECT_GE(decision.variant->ssim, options.quality_threshold - 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertyTest, GridSearchFeasibleSolutionsRespectBudgetAndQt) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam() ^ 55, .rich = true});
+  Rng rng(GetParam() ^ 55);
+  const web::WebPage page = gen.make_page(rng, from_mb(0.7), gen.global_profile());
+  if (core::rich_images(page).size() > 16) GTEST_SKIP() << "page too image-heavy";
+  core::LadderCache ladders;
+  core::GridSearchOptions options;
+  options.timeout_seconds = 5.0;
+  web::ServedPage served = web::serve_original(page);
+  const Bytes target = page.transfer_size() * 85 / 100;
+  const auto outcome = core::grid_search(served, target, ladders, options);
+  if (outcome.met_target) {
+    EXPECT_LE(served.transfer_size(), target);
+    EXPECT_GE(outcome.qss, options.quality_threshold - 1e-9);
+  }
+}
+
+// --- determinism --------------------------------------------------------------
+
+TEST_P(PropertyTest, PipelineIsDeterministicPerSeed) {
+  auto run = [&] {
+    dataset::CorpusGenerator gen(
+        dataset::CorpusOptions{.seed = GetParam() ^ 1234, .rich = true});
+    Rng rng(GetParam() ^ 1234);
+    const web::WebPage page = gen.make_page(rng, from_mb(0.9), gen.global_profile());
+    core::DeveloperConfig config;
+    config.measure_qfs = false;
+    return core::Aw4aPipeline(config)
+        .transcode_to_target(page, page.transfer_size() * 3 / 4)
+        .result_bytes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- compression --------------------------------------------------------------
+
+TEST_P(PropertyTest, GzipNeverExpandsBeyondOverhead) {
+  Rng rng(GetParam() ^ 31);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(rng.uniform_int(1, 30000)));
+  // Mixed content: random spans and repeated spans.
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (rng.bernoulli(0.5)) {
+      const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      const auto run = static_cast<std::size_t>(rng.uniform_int(1, 64));
+      for (std::size_t j = 0; j < run && i < data.size(); ++j) data[i++] = b;
+    } else {
+      data[i++] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+  EXPECT_LE(net::gzip_size(data), data.size() + 20);
+  EXPECT_GT(net::gzip_size(data), 0u);
+}
+
+// --- PAW algebra ----------------------------------------------------------------
+
+TEST_P(PropertyTest, PawReductionInverse) {
+  Rng rng(GetParam() ^ 77);
+  const double price = rng.uniform(0.1, 40.0);
+  const double w = rng.uniform(0.5, 5.0);
+  const double paw = core::paw_index({.price_pct = price, .avg_page_mb = w});
+  if (paw > 1.0) {
+    // Shrinking pages by exactly PAW restores the target.
+    EXPECT_NEAR(core::paw_index({.price_pct = price, .avg_page_mb = w / paw}), 1.0, 1e-9);
+    // per_url_target is the same statement in bytes.
+    const Bytes page = from_mb(w);
+    EXPECT_NEAR(static_cast<double>(core::per_url_target(page, paw)),
+                static_cast<double>(page) / paw, 1.0);
+  }
+}
+
+// --- cache simulator -----------------------------------------------------------
+
+TEST_P(PropertyTest, CachedCostNeverExceedsColdCost) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam() ^ 13});
+  Rng rng(GetParam() ^ 13);
+  const web::WebPage page = gen.make_page(rng, from_mb(1.5), gen.global_profile());
+  const double cached = page.cached_transfer_size();
+  EXPECT_LE(cached, static_cast<double>(page.transfer_size()) + 1e-6);
+  EXPECT_GT(cached, 0.0);
+}
+
+// --- HTTP parser robustness -----------------------------------------------
+
+TEST_P(PropertyTest, HttpParserNeverCrashesOnGarbage) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(static_cast<std::size_t>(rng.uniform_int(0, 300)), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.uniform_int(1, 255));
+    (void)net::parse_request(garbage);   // must not crash or throw
+    (void)net::parse_response(garbage);
+  }
+}
+
+TEST_P(PropertyTest, HttpRequestRoundTripIsStable) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  net::HttpRequest request;
+  request.path = "/p" + std::to_string(rng.next_u64() % 1000);
+  const int n = static_cast<int>(rng.uniform_int(0, 8));
+  for (int i = 0; i < n; ++i) {
+    request.headers.push_back(
+        {"X-H" + std::to_string(i), std::to_string(rng.next_u64() % 100000)});
+  }
+  const auto parsed = net::parse_request(net::serialize(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->path, request.path);
+  ASSERT_EQ(parsed->headers.size(), request.headers.size());
+  for (std::size_t i = 0; i < request.headers.size(); ++i) {
+    EXPECT_EQ(parsed->headers[i].value, request.headers[i].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(101ull, 202ull, 303ull, 404ull, 505ull, 606ull,
+                                           707ull, 808ull));
+
+}  // namespace
+}  // namespace aw4a

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Generates src/dataset/countries_data.inc — the embedded country table.
+
+Constraints encoded here (all from the paper, see DESIGN.md §1):
+  * 99 countries: 82 developing, 17 developed; Syria/Taiwan/Venezuela lack
+    price data (96 usable).
+  * Pakistan's DO price is 0.96% of GNI.
+  * The 25 Fig-10 countries have DVLU PAW > 1, in the paper's ascending
+    order; no other country has DVLU PAW > 1.
+  * Exactly 48 of 96 countries have PAW > 1 for at least one plan; DVHU is
+    the superset (48), DO fails for 38.
+  * max PAW: DO 4.7, DVHU 13.2 (PAW = price/2 * W/2.47).
+  * Country mean page sizes: developing ~N(2.87, 0.56) MB, developed
+    ~N(2.64, 0.46) MB.
+  * Fig 3a shape: of the failing countries, roughly 12-14% of all countries
+    sit at PAW in (1, 1.5] and ~28-31% within (1, 3] per failing plan.
+  * 110 extra anonymous price rows complete the 206-country price CDF with
+    41-52% of countries above the 2% target per plan and the paper's price
+    ranges (DO 0.07-41, DVLU 0.13-38.4, DVHU 0.13-56.9).
+"""
+import random
+
+random.seed(20230910)
+
+W_GLOBAL = 2.47
+def paw(price, w): return (price / 2.0) * (w / W_GLOBAL)
+def price_for(paw_target, w): return paw_target * 2.0 * W_GLOBAL / w
+
+FIG10 = ["Uzbekistan", "South Africa", "Puerto Rico", "Trinidad and Tobago", "Senegal",
+         "Ecuador", "Jamaica", "Mongolia", "Colombia", "Kyrgyzstan", "Kenya", "Bolivia",
+         "El Salvador", "Cameroon", "Lebanon", "Sudan", "Dominican Republic", "Jordan",
+         "Guatemala", "Cote d'Ivoire", "Tanzania", "Yemen", "Uganda", "Ethiopia", "Honduras"]
+
+DEVELOPING_OTHER = ["India", "Pakistan", "Bangladesh", "Nigeria", "Indonesia", "Brazil",
+    "Mexico", "Egypt", "Vietnam", "Philippines", "Thailand", "Turkey", "Iran", "Iraq",
+    "Afghanistan", "Nepal", "Sri Lanka", "Myanmar", "Cambodia", "Laos", "Malaysia", "China",
+    "Algeria", "Morocco", "Tunisia", "Ghana", "Mozambique", "Zambia", "Zimbabwe",
+    "Angola", "Rwanda", "Malawi", "Madagascar", "Mali",
+    "Niger", "Chad", "Benin", "Togo", "DR Congo", "Haiti",
+    "Nicaragua", "Paraguay", "Peru", "Argentina", "Chile", "Panama", "Costa Rica",
+    "Papua New Guinea", "Kazakhstan", "Tajikistan",
+    "Azerbaijan", "Georgia", "Armenia", "Moldova", "Ukraine",
+    "Syria", "Venezuela"]  # Syria/Venezuela: no price data
+
+DEVELOPED = ["United States", "Germany", "Canada", "United Kingdom", "France", "Italy",
+    "Spain", "Japan", "South Korea", "Australia", "Netherlands", "Sweden", "Norway",
+    "Switzerland", "Austria", "Belgium", "Taiwan"]  # Taiwan: no price data
+
+NO_PRICE = {"Syria", "Venezuela", "Taiwan"}
+
+assert len(FIG10) + len(DEVELOPING_OTHER) == 82, len(FIG10) + len(DEVELOPING_OTHER)
+assert len(DEVELOPED) == 17
+
+rows = []  # (name, developing, has_price, do, dvlu, dvhu, w_mb)
+
+def clamp(v, lo, hi): return max(lo, min(hi, v))
+
+def page_size(developing):
+    if developing:
+        return clamp(random.gauss(2.87, 0.50), 1.75, 4.3)
+    return clamp(random.gauss(2.64, 0.42), 1.75, 3.6)
+
+# --- Fig-10 countries: ascending DVLU PAW from 1.05 to 4.6 -------------------
+# First 8 sit in (1, 1.5] to feed Fig 3a's 1.5x band; the rest stretch to a
+# modest 2.6 — image-only reductions (Fig. 10) must stay within reach for the
+# mid-list countries (the paper's Lebanon hits 91.4% of URLs).
+paw_targets = [1.05 + (1.46 - 1.05) * (i / 7.0) for i in range(8)] + \
+              [1.52 + (2.6 - 1.52) * (i / 16.0) ** 1.1 for i in range(17)]
+# DO/DVHU schedules are decoupled from DVLU so the Fig. 3a bands for those
+# plans keep the paper's shape (12-14% newly met at 1.5x, ~29% at 3x) while
+# DVLU stays modest for Fig. 10.
+do_targets = [1.05 + (1.42 - 1.05) * (i / 7.0) for i in range(8)] + \
+             [1.65 + (4.5 - 1.65) * (i / 16.0) ** 1.3 for i in range(17)]
+dvhu_targets = [1.08 + (1.42 - 1.08) * (i / 7.0) for i in range(8)] + \
+               [1.7 + (12.5 - 1.7) * (i / 16.0) ** 1.6 for i in range(17)]
+fig10_rows = {}
+for name, tgt, do_t, dvhu_t in zip(FIG10, paw_targets, do_targets, dvhu_targets):
+    w = page_size(True)
+    dvlu = price_for(tgt, w)
+    do = price_for(max(do_t * random.uniform(0.95, 1.05), tgt * 1.001), w)
+    dvhu = price_for(max(dvhu_t * random.uniform(0.95, 1.05), tgt * 1.002), w)
+    fig10_rows[name] = (do, dvlu, dvhu, w)
+
+# Pin the PAW maxima on the worst Fig-10 country (Honduras, the last).
+w_h = fig10_rows["Honduras"][3]
+fig10_rows["Honduras"] = (price_for(4.7, w_h), fig10_rows["Honduras"][1],
+                          price_for(13.2, w_h), w_h)
+
+for name in FIG10:
+    do, dvlu, dvhu, w = fig10_rows[name]
+    rows.append((name, True, True, do, dvlu, dvhu, w))
+
+# --- Other developing countries ----------------------------------------------
+# 48 countries fail >=1 plan in total; the 25 Fig-10 already fail. 23 more
+# fail DVHU (and 13 of those also fail DO) but keep DVLU PAW < 1.
+# Fig 3a shape: spread DVHU PAW of the 23 between 1.05 and 9.
+others = [n for n in DEVELOPING_OTHER if n not in NO_PRICE]
+random.shuffle(others)
+extra_fail = others[:23]
+pass_all = others[23:]
+
+# Explicit DVHU quota bands over the 23: 5 in (1,1.5], 12 in (1.5,3], 6 above.
+dvhu_band = [random.uniform(1.05, 1.45) for _ in range(5)] + \
+            [random.uniform(1.55, 2.95) for _ in range(12)] + \
+            [random.uniform(3.1, 9.0) for _ in range(6)]
+# DO fails for 13 of them: 5 low, 5 mid, 3 high.
+do_band = [random.uniform(1.05, 1.42) for _ in range(4)] + \
+          [random.uniform(1.6, 2.9) for _ in range(6)] + \
+          [random.uniform(3.0, 4.4) for _ in range(3)]
+for i, name in enumerate(extra_fail):
+    w = page_size(True)
+    dvhu = price_for(dvhu_band[i], w)
+    if i < 13:
+        do = price_for(min(do_band[i], dvhu_band[i]), w)
+    else:
+        do = price_for(random.uniform(0.45, 0.95), w)
+    dvlu = price_for(random.uniform(0.35, 0.9), w)
+    rows.append((name, True, True, do, dvlu, dvhu, w))
+
+for name in pass_all:
+    w = page_size(True)
+    if name == "Pakistan":
+        do = 0.96
+    else:
+        do = price_for(random.uniform(0.08, 0.92), w)
+    dvlu = min(do * random.uniform(0.5, 0.95), price_for(0.95, w))
+    dvhu = price_for(random.uniform(0.3, 0.98), w)
+    rows.append((name, True, True, do, dvlu, dvhu, w))
+
+for name in DEVELOPING_OTHER:
+    if name in NO_PRICE:
+        rows.append((name, True, False, 0, 0, 0, page_size(True)))
+
+# --- Developed ---------------------------------------------------------------
+for name in DEVELOPED:
+    w = page_size(False)
+    if name in NO_PRICE:
+        rows.append((name, False, False, 0, 0, 0, w))
+        continue
+    do = random.uniform(0.07, 0.9)
+    dvlu = max(0.13, do * random.uniform(0.7, 1.3))
+    dvhu = max(0.13, do * random.uniform(1.2, 2.2))
+    rows.append((name, False, True, do, dvlu, dvhu, w))
+
+# Force the global DO minimum (0.07) onto one developed row.
+for i, r in enumerate(rows):
+    if r[0] == "Norway":
+        rows[i] = (r[0], r[1], r[2], 0.07, 0.13, 0.13, r[6])
+
+# --- Validation on the named table -------------------------------------------
+named = [r for r in rows if r[2]]
+assert len(named) == 96, len(named)
+def fails(r, plan):  # plan: 3=do,4=dvlu,5=dvhu
+    return paw(r[plan], r[6]) > 1.0
+dvlu_fail = [r[0] for r in named if fails(r, 4)]
+assert sorted(dvlu_fail) == sorted(FIG10), set(dvlu_fail) ^ set(FIG10)
+order = [paw(fig10_rows[n][1], fig10_rows[n][3]) for n in FIG10]
+assert all(a < b for a, b in zip(order, order[1:])), "fig10 PAW not ascending"
+any_fail = [r[0] for r in named if any(fails(r, p) for p in (3, 4, 5))]
+assert len(any_fail) == 48, len(any_fail)
+do_fail = [r for r in named if fails(r, 3)]
+assert 34 <= len(do_fail) <= 40, len(do_fail)
+maxpaw_do = max(paw(r[3], r[6]) for r in named)
+maxpaw_dvhu = max(paw(r[5], r[6]) for r in named)
+assert abs(maxpaw_do - 4.7) < 0.05, maxpaw_do
+assert abs(maxpaw_dvhu - 13.2) < 0.05, maxpaw_dvhu
+# Fig 3a bands (fraction of the 96 newly meeting the target at 1.5x / 3x).
+for plan in (3, 5):
+    pws = [paw(r[plan], r[6]) for r in named]
+    f15 = sum(1 for p in pws if 1 < p <= 1.5) / 96 * 100
+    f30 = sum(1 for p in pws if 1 < p <= 3.0) / 96 * 100
+    print(f"plan {plan}: newly-met@1.5x={f15:.1f}%  @3x={f30:.1f}%  failing={sum(1 for p in pws if p>1)}")
+
+# --- 110 extra price rows (206-country CDF) ----------------------------------
+extras = []
+targets = {"do": (49, 41.0, 0.07), "dvlu": (65, 38.4, 0.13), "dvhu": (59, 56.9, 0.13)}
+named_above = {p: sum(1 for r in named if r[i] > 2.0) for p, i in (("do", 3), ("dvlu", 4), ("dvhu", 5))}
+print("named above 2%:", named_above)
+# Per-plan global targets: DO 42%, DVLU 46%, DVHU 52% of 206.
+goal = {"do": int(0.42 * 206), "dvlu": int(0.46 * 206), "dvhu": int(0.52 * 206)}
+need = {p: goal[p] - named_above[p] for p in goal}
+print("extras above 2% needed:", need)
+for k in range(110):
+    row = {}
+    for p, (_, pmax, pmin) in targets.items():
+        if k < need[p]:
+            v = clamp(random.lognormvariate(1.6, 0.75), 2.05, pmax)
+        else:
+            v = clamp(random.lognormvariate(-0.3, 0.55), pmin, 1.95)
+        row[p] = v
+    extras.append(row)
+# Pin exact maxima.
+extras[0]["do"], extras[1]["dvlu"], extras[2]["dvhu"] = 41.0, 38.4, 56.9
+for p in targets:
+    vals = [r[p] for r in extras] + [r[{"do": 3, "dvlu": 4, "dvhu": 5}[p]] for r in named]
+    above = sum(1 for v in vals if v > 2.0) / 206
+    print(f"{p}: {above*100:.1f}% of 206 above 2%  range=[{min(vals):.2f},{max(vals):.2f}]")
+
+# --- Emit C++ -----------------------------------------------------------------
+with open("src/dataset/countries_data.inc", "w") as f:
+    f.write("// Generated by tools/gen_countries.py — do not edit by hand.\n")
+    f.write("// Calibrated to the paper's aggregates; see DESIGN.md.\n")
+    f.write("inline constexpr CountryRow kCountryRows[] = {\n")
+    for name, dev, has, do, dvlu, dvhu, w in rows:
+        f.write(f'    {{"{name}", {str(dev).lower()}, {str(has).lower()}, '
+                f"{do:.4f}, {dvlu:.4f}, {dvhu:.4f}, {w:.4f}}},\n")
+    f.write("};\n\ninline constexpr PriceRow kExtraPriceRows[] = {\n")
+    for r in extras:
+        f.write(f"    {{{r['do']:.4f}, {r['dvlu']:.4f}, {r['dvhu']:.4f}}},\n")
+    f.write("};\n")
+print("wrote src/dataset/countries_data.inc with", len(rows), "countries and", len(extras), "extras")
