@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_export_artifacts"
+  "../bench/bench_export_artifacts.pdb"
+  "CMakeFiles/bench_export_artifacts.dir/bench_export_artifacts.cc.o"
+  "CMakeFiles/bench_export_artifacts.dir/bench_export_artifacts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext01_inner_pages"
+  "../bench/bench_ext01_inner_pages.pdb"
+  "CMakeFiles/bench_ext01_inner_pages.dir/bench_ext01_inner_pages.cc.o"
+  "CMakeFiles/bench_ext01_inner_pages.dir/bench_ext01_inner_pages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext01_inner_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext02_lite_video"
+  "../bench/bench_ext02_lite_video.pdb"
+  "CMakeFiles/bench_ext02_lite_video.dir/bench_ext02_lite_video.cc.o"
+  "CMakeFiles/bench_ext02_lite_video.dir/bench_ext02_lite_video.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext02_lite_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext03_incentives"
+  "../bench/bench_ext03_incentives.pdb"
+  "CMakeFiles/bench_ext03_incentives.dir/bench_ext03_incentives.cc.o"
+  "CMakeFiles/bench_ext03_incentives.dir/bench_ext03_incentives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext03_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_page_evolution"
+  "../bench/bench_fig01_page_evolution.pdb"
+  "CMakeFiles/bench_fig01_page_evolution.dir/bench_fig01_page_evolution.cc.o"
+  "CMakeFiles/bench_fig01_page_evolution.dir/bench_fig01_page_evolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_page_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02a_prices"
+  "../bench/bench_fig02a_prices.pdb"
+  "CMakeFiles/bench_fig02a_prices.dir/bench_fig02a_prices.cc.o"
+  "CMakeFiles/bench_fig02a_prices.dir/bench_fig02a_prices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02a_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

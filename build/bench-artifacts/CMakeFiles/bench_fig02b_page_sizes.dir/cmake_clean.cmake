@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02b_page_sizes"
+  "../bench/bench_fig02b_page_sizes.pdb"
+  "CMakeFiles/bench_fig02b_page_sizes.dir/bench_fig02b_page_sizes.cc.o"
+  "CMakeFiles/bench_fig02b_page_sizes.dir/bench_fig02b_page_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02b_page_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02c_paw"
+  "../bench/bench_fig02c_paw.pdb"
+  "CMakeFiles/bench_fig02c_paw.dir/bench_fig02c_paw.cc.o"
+  "CMakeFiles/bench_fig02c_paw.dir/bench_fig02c_paw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02c_paw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03a_affordability"
+  "../bench/bench_fig03a_affordability.pdb"
+  "CMakeFiles/bench_fig03a_affordability.dir/bench_fig03a_affordability.cc.o"
+  "CMakeFiles/bench_fig03a_affordability.dir/bench_fig03a_affordability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03a_affordability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

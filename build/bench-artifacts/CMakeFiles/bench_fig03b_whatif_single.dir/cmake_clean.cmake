@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03b_whatif_single"
+  "../bench/bench_fig03b_whatif_single.pdb"
+  "CMakeFiles/bench_fig03b_whatif_single.dir/bench_fig03b_whatif_single.cc.o"
+  "CMakeFiles/bench_fig03b_whatif_single.dir/bench_fig03b_whatif_single.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03b_whatif_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

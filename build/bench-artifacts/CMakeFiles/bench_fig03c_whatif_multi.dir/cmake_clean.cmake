@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03c_whatif_multi"
+  "../bench/bench_fig03c_whatif_multi.pdb"
+  "CMakeFiles/bench_fig03c_whatif_multi.dir/bench_fig03c_whatif_multi.cc.o"
+  "CMakeFiles/bench_fig03c_whatif_multi.dir/bench_fig03c_whatif_multi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03c_whatif_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_object_bytes"
+  "../bench/bench_fig07_object_bytes.pdb"
+  "CMakeFiles/bench_fig07_object_bytes.dir/bench_fig07_object_bytes.cc.o"
+  "CMakeFiles/bench_fig07_object_bytes.dir/bench_fig07_object_bytes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_object_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_rbr_vs_grid"
+  "../bench/bench_fig09_rbr_vs_grid.pdb"
+  "CMakeFiles/bench_fig09_rbr_vs_grid.dir/bench_fig09_rbr_vs_grid.cc.o"
+  "CMakeFiles/bench_fig09_rbr_vs_grid.dir/bench_fig09_rbr_vs_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_rbr_vs_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

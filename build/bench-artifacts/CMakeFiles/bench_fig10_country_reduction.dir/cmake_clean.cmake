@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_country_reduction"
+  "../bench/bench_fig10_country_reduction.pdb"
+  "CMakeFiles/bench_fig10_country_reduction.dir/bench_fig10_country_reduction.cc.o"
+  "CMakeFiles/bench_fig10_country_reduction.dir/bench_fig10_country_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_country_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_blanket_reduction"
+  "../bench/bench_fig15_blanket_reduction.pdb"
+  "CMakeFiles/bench_fig15_blanket_reduction.dir/bench_fig15_blanket_reduction.cc.o"
+  "CMakeFiles/bench_fig15_blanket_reduction.dir/bench_fig15_blanket_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_blanket_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

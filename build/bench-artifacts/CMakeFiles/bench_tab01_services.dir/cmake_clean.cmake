@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab01_services"
+  "../bench/bench_tab01_services.pdb"
+  "CMakeFiles/bench_tab01_services.dir/bench_tab01_services.cc.o"
+  "CMakeFiles/bench_tab01_services.dir/bench_tab01_services.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

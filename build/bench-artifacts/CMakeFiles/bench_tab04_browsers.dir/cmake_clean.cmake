@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab04_browsers"
+  "../bench/bench_tab04_browsers.pdb"
+  "CMakeFiles/bench_tab04_browsers.dir/bench_tab04_browsers.cc.o"
+  "CMakeFiles/bench_tab04_browsers.dir/bench_tab04_browsers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_cli.dir/aw4a_cli.cpp.o"
+  "CMakeFiles/aw4a_cli.dir/aw4a_cli.cpp.o.d"
+  "aw4a_cli"
+  "aw4a_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_tiering.dir/country_tiering.cpp.o"
+  "CMakeFiles/country_tiering.dir/country_tiering.cpp.o.d"
+  "country_tiering"
+  "country_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcoding_server.dir/transcoding_server.cpp.o"
+  "CMakeFiles/transcoding_server.dir/transcoding_server.cpp.o.d"
+  "transcoding_server"
+  "transcoding_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcoding_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

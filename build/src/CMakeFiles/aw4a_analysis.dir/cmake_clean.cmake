@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_analysis.dir/analysis/experiments.cc.o"
+  "CMakeFiles/aw4a_analysis.dir/analysis/experiments.cc.o.d"
+  "CMakeFiles/aw4a_analysis.dir/analysis/export.cc.o"
+  "CMakeFiles/aw4a_analysis.dir/analysis/export.cc.o.d"
+  "CMakeFiles/aw4a_analysis.dir/analysis/report.cc.o"
+  "CMakeFiles/aw4a_analysis.dir/analysis/report.cc.o.d"
+  "libaw4a_analysis.a"
+  "libaw4a_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_baselines.dir/baselines/baseline.cc.o"
+  "CMakeFiles/aw4a_baselines.dir/baselines/baseline.cc.o.d"
+  "CMakeFiles/aw4a_baselines.dir/baselines/brave.cc.o"
+  "CMakeFiles/aw4a_baselines.dir/baselines/brave.cc.o.d"
+  "CMakeFiles/aw4a_baselines.dir/baselines/freebasics.cc.o"
+  "CMakeFiles/aw4a_baselines.dir/baselines/freebasics.cc.o.d"
+  "CMakeFiles/aw4a_baselines.dir/baselines/operamini.cc.o"
+  "CMakeFiles/aw4a_baselines.dir/baselines/operamini.cc.o.d"
+  "CMakeFiles/aw4a_baselines.dir/baselines/weblight.cc.o"
+  "CMakeFiles/aw4a_baselines.dir/baselines/weblight.cc.o.d"
+  "libaw4a_baselines.a"
+  "libaw4a_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

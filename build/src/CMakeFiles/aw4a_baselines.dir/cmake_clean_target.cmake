@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaw4a_baselines.a"
+)

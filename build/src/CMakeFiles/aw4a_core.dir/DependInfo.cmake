@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjustable_js.cc" "src/CMakeFiles/aw4a_core.dir/core/adjustable_js.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/adjustable_js.cc.o.d"
+  "/root/repo/src/core/api.cc" "src/CMakeFiles/aw4a_core.dir/core/api.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/api.cc.o.d"
+  "/root/repo/src/core/grid_search.cc" "src/CMakeFiles/aw4a_core.dir/core/grid_search.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/grid_search.cc.o.d"
+  "/root/repo/src/core/hbs.cc" "src/CMakeFiles/aw4a_core.dir/core/hbs.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/hbs.cc.o.d"
+  "/root/repo/src/core/knapsack.cc" "src/CMakeFiles/aw4a_core.dir/core/knapsack.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/knapsack.cc.o.d"
+  "/root/repo/src/core/media_reduction.cc" "src/CMakeFiles/aw4a_core.dir/core/media_reduction.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/media_reduction.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/CMakeFiles/aw4a_core.dir/core/objective.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/objective.cc.o.d"
+  "/root/repo/src/core/paw.cc" "src/CMakeFiles/aw4a_core.dir/core/paw.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/paw.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/aw4a_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/CMakeFiles/aw4a_core.dir/core/quality.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/quality.cc.o.d"
+  "/root/repo/src/core/rbr.cc" "src/CMakeFiles/aw4a_core.dir/core/rbr.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/rbr.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/aw4a_core.dir/core/server.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/server.cc.o.d"
+  "/root/repo/src/core/stage1.cc" "src/CMakeFiles/aw4a_core.dir/core/stage1.cc.o" "gcc" "src/CMakeFiles/aw4a_core.dir/core/stage1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

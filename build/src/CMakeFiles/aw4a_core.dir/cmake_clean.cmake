@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_core.dir/core/adjustable_js.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/adjustable_js.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/api.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/api.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/grid_search.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/grid_search.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/hbs.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/hbs.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/knapsack.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/knapsack.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/media_reduction.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/media_reduction.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/objective.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/objective.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/paw.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/paw.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/quality.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/quality.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/rbr.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/rbr.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/server.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/server.cc.o.d"
+  "CMakeFiles/aw4a_core.dir/core/stage1.cc.o"
+  "CMakeFiles/aw4a_core.dir/core/stage1.cc.o.d"
+  "libaw4a_core.a"
+  "libaw4a_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

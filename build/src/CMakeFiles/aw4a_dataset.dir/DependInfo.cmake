@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/corpus.cc" "src/CMakeFiles/aw4a_dataset.dir/dataset/corpus.cc.o" "gcc" "src/CMakeFiles/aw4a_dataset.dir/dataset/corpus.cc.o.d"
+  "/root/repo/src/dataset/countries.cc" "src/CMakeFiles/aw4a_dataset.dir/dataset/countries.cc.o" "gcc" "src/CMakeFiles/aw4a_dataset.dir/dataset/countries.cc.o.d"
+  "/root/repo/src/dataset/httparchive.cc" "src/CMakeFiles/aw4a_dataset.dir/dataset/httparchive.cc.o" "gcc" "src/CMakeFiles/aw4a_dataset.dir/dataset/httparchive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_dataset.dir/dataset/corpus.cc.o"
+  "CMakeFiles/aw4a_dataset.dir/dataset/corpus.cc.o.d"
+  "CMakeFiles/aw4a_dataset.dir/dataset/countries.cc.o"
+  "CMakeFiles/aw4a_dataset.dir/dataset/countries.cc.o.d"
+  "CMakeFiles/aw4a_dataset.dir/dataset/httparchive.cc.o"
+  "CMakeFiles/aw4a_dataset.dir/dataset/httparchive.cc.o.d"
+  "libaw4a_dataset.a"
+  "libaw4a_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

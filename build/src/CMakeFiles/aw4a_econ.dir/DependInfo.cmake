@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/incentives.cc" "src/CMakeFiles/aw4a_econ.dir/econ/incentives.cc.o" "gcc" "src/CMakeFiles/aw4a_econ.dir/econ/incentives.cc.o.d"
+  "/root/repo/src/econ/ratings.cc" "src/CMakeFiles/aw4a_econ.dir/econ/ratings.cc.o" "gcc" "src/CMakeFiles/aw4a_econ.dir/econ/ratings.cc.o.d"
+  "/root/repo/src/econ/user_study.cc" "src/CMakeFiles/aw4a_econ.dir/econ/user_study.cc.o" "gcc" "src/CMakeFiles/aw4a_econ.dir/econ/user_study.cc.o.d"
+  "/root/repo/src/econ/utility.cc" "src/CMakeFiles/aw4a_econ.dir/econ/utility.cc.o" "gcc" "src/CMakeFiles/aw4a_econ.dir/econ/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

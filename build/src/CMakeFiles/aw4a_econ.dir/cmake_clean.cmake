@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_econ.dir/econ/incentives.cc.o"
+  "CMakeFiles/aw4a_econ.dir/econ/incentives.cc.o.d"
+  "CMakeFiles/aw4a_econ.dir/econ/ratings.cc.o"
+  "CMakeFiles/aw4a_econ.dir/econ/ratings.cc.o.d"
+  "CMakeFiles/aw4a_econ.dir/econ/user_study.cc.o"
+  "CMakeFiles/aw4a_econ.dir/econ/user_study.cc.o.d"
+  "CMakeFiles/aw4a_econ.dir/econ/utility.cc.o"
+  "CMakeFiles/aw4a_econ.dir/econ/utility.cc.o.d"
+  "libaw4a_econ.a"
+  "libaw4a_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/codec.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec.cc.o.d"
+  "/root/repo/src/imaging/codec_jpeg.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_jpeg.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_jpeg.cc.o.d"
+  "/root/repo/src/imaging/codec_png.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_png.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_png.cc.o.d"
+  "/root/repo/src/imaging/codec_webp.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_webp.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/codec_webp.cc.o.d"
+  "/root/repo/src/imaging/dct.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/dct.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/dct.cc.o.d"
+  "/root/repo/src/imaging/raster.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/raster.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/raster.cc.o.d"
+  "/root/repo/src/imaging/resize.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/resize.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/resize.cc.o.d"
+  "/root/repo/src/imaging/ssim.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/ssim.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/ssim.cc.o.d"
+  "/root/repo/src/imaging/synth.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/synth.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/synth.cc.o.d"
+  "/root/repo/src/imaging/variants.cc" "src/CMakeFiles/aw4a_imaging.dir/imaging/variants.cc.o" "gcc" "src/CMakeFiles/aw4a_imaging.dir/imaging/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

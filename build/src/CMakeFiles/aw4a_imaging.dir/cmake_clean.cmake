@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_jpeg.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_jpeg.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_png.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_png.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_webp.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/codec_webp.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/dct.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/dct.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/raster.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/raster.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/resize.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/resize.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/ssim.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/ssim.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/synth.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/synth.cc.o.d"
+  "CMakeFiles/aw4a_imaging.dir/imaging/variants.cc.o"
+  "CMakeFiles/aw4a_imaging.dir/imaging/variants.cc.o.d"
+  "libaw4a_imaging.a"
+  "libaw4a_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/js/callgraph.cc" "src/CMakeFiles/aw4a_js.dir/js/callgraph.cc.o" "gcc" "src/CMakeFiles/aw4a_js.dir/js/callgraph.cc.o.d"
+  "/root/repo/src/js/muzeel.cc" "src/CMakeFiles/aw4a_js.dir/js/muzeel.cc.o" "gcc" "src/CMakeFiles/aw4a_js.dir/js/muzeel.cc.o.d"
+  "/root/repo/src/js/script.cc" "src/CMakeFiles/aw4a_js.dir/js/script.cc.o" "gcc" "src/CMakeFiles/aw4a_js.dir/js/script.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_js.dir/js/callgraph.cc.o"
+  "CMakeFiles/aw4a_js.dir/js/callgraph.cc.o.d"
+  "CMakeFiles/aw4a_js.dir/js/muzeel.cc.o"
+  "CMakeFiles/aw4a_js.dir/js/muzeel.cc.o.d"
+  "CMakeFiles/aw4a_js.dir/js/script.cc.o"
+  "CMakeFiles/aw4a_js.dir/js/script.cc.o.d"
+  "libaw4a_js.a"
+  "libaw4a_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cache.cc" "src/CMakeFiles/aw4a_net.dir/net/cache.cc.o" "gcc" "src/CMakeFiles/aw4a_net.dir/net/cache.cc.o.d"
+  "/root/repo/src/net/compress.cc" "src/CMakeFiles/aw4a_net.dir/net/compress.cc.o" "gcc" "src/CMakeFiles/aw4a_net.dir/net/compress.cc.o.d"
+  "/root/repo/src/net/http.cc" "src/CMakeFiles/aw4a_net.dir/net/http.cc.o" "gcc" "src/CMakeFiles/aw4a_net.dir/net/http.cc.o.d"
+  "/root/repo/src/net/plan.cc" "src/CMakeFiles/aw4a_net.dir/net/plan.cc.o" "gcc" "src/CMakeFiles/aw4a_net.dir/net/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_net.dir/net/cache.cc.o"
+  "CMakeFiles/aw4a_net.dir/net/cache.cc.o.d"
+  "CMakeFiles/aw4a_net.dir/net/compress.cc.o"
+  "CMakeFiles/aw4a_net.dir/net/compress.cc.o.d"
+  "CMakeFiles/aw4a_net.dir/net/http.cc.o"
+  "CMakeFiles/aw4a_net.dir/net/http.cc.o.d"
+  "CMakeFiles/aw4a_net.dir/net/plan.cc.o"
+  "CMakeFiles/aw4a_net.dir/net/plan.cc.o.d"
+  "libaw4a_net.a"
+  "libaw4a_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

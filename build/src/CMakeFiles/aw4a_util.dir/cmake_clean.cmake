@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_util.dir/util/parallel.cc.o"
+  "CMakeFiles/aw4a_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/aw4a_util.dir/util/rng.cc.o"
+  "CMakeFiles/aw4a_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/aw4a_util.dir/util/stats.cc.o"
+  "CMakeFiles/aw4a_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/aw4a_util.dir/util/table.cc.o"
+  "CMakeFiles/aw4a_util.dir/util/table.cc.o.d"
+  "libaw4a_util.a"
+  "libaw4a_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/bot.cc" "src/CMakeFiles/aw4a_web.dir/web/bot.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/bot.cc.o.d"
+  "/root/repo/src/web/dom.cc" "src/CMakeFiles/aw4a_web.dir/web/dom.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/dom.cc.o.d"
+  "/root/repo/src/web/media.cc" "src/CMakeFiles/aw4a_web.dir/web/media.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/media.cc.o.d"
+  "/root/repo/src/web/object.cc" "src/CMakeFiles/aw4a_web.dir/web/object.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/object.cc.o.d"
+  "/root/repo/src/web/page.cc" "src/CMakeFiles/aw4a_web.dir/web/page.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/page.cc.o.d"
+  "/root/repo/src/web/render.cc" "src/CMakeFiles/aw4a_web.dir/web/render.cc.o" "gcc" "src/CMakeFiles/aw4a_web.dir/web/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_js.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

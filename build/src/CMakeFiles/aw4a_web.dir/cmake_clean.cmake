@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw4a_web.dir/web/bot.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/bot.cc.o.d"
+  "CMakeFiles/aw4a_web.dir/web/dom.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/dom.cc.o.d"
+  "CMakeFiles/aw4a_web.dir/web/media.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/media.cc.o.d"
+  "CMakeFiles/aw4a_web.dir/web/object.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/object.cc.o.d"
+  "CMakeFiles/aw4a_web.dir/web/page.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/page.cc.o.d"
+  "CMakeFiles/aw4a_web.dir/web/render.cc.o"
+  "CMakeFiles/aw4a_web.dir/web/render.cc.o.d"
+  "libaw4a_web.a"
+  "libaw4a_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw4a_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adjustable_js_test.dir/core_adjustable_js_test.cc.o"
+  "CMakeFiles/core_adjustable_js_test.dir/core_adjustable_js_test.cc.o.d"
+  "core_adjustable_js_test"
+  "core_adjustable_js_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adjustable_js_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hbs_test.dir/core_hbs_test.cc.o"
+  "CMakeFiles/core_hbs_test.dir/core_hbs_test.cc.o.d"
+  "core_hbs_test"
+  "core_hbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

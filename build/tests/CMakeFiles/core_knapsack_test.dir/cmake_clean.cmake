@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_knapsack_test.dir/core_knapsack_test.cc.o"
+  "CMakeFiles/core_knapsack_test.dir/core_knapsack_test.cc.o.d"
+  "core_knapsack_test"
+  "core_knapsack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_knapsack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

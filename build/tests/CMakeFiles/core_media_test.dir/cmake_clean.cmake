@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_media_test.dir/core_media_test.cc.o"
+  "CMakeFiles/core_media_test.dir/core_media_test.cc.o.d"
+  "core_media_test"
+  "core_media_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_paw_test.dir/core_paw_test.cc.o"
+  "CMakeFiles/core_paw_test.dir/core_paw_test.cc.o.d"
+  "core_paw_test"
+  "core_paw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_paw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

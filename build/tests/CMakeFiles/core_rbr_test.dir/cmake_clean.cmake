@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rbr_test.dir/core_rbr_test.cc.o"
+  "CMakeFiles/core_rbr_test.dir/core_rbr_test.cc.o.d"
+  "core_rbr_test"
+  "core_rbr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

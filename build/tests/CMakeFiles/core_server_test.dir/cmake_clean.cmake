@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_server_test.dir/core_server_test.cc.o"
+  "CMakeFiles/core_server_test.dir/core_server_test.cc.o.d"
+  "core_server_test"
+  "core_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stage1_test.dir/core_stage1_test.cc.o"
+  "CMakeFiles/core_stage1_test.dir/core_stage1_test.cc.o.d"
+  "core_stage1_test"
+  "core_stage1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stage1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/econ_incentives_test.dir/econ_incentives_test.cc.o"
+  "CMakeFiles/econ_incentives_test.dir/econ_incentives_test.cc.o.d"
+  "econ_incentives_test"
+  "econ_incentives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/econ_incentives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

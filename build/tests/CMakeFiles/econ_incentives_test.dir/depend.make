@@ -1,0 +1,2 @@
+# Empty dependencies file for econ_incentives_test.
+# This may be replaced when dependencies are built.

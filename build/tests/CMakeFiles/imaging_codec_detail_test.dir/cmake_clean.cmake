@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_codec_detail_test.dir/imaging_codec_detail_test.cc.o"
+  "CMakeFiles/imaging_codec_detail_test.dir/imaging_codec_detail_test.cc.o.d"
+  "imaging_codec_detail_test"
+  "imaging_codec_detail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_codec_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_dct_test.dir/imaging_dct_test.cc.o"
+  "CMakeFiles/imaging_dct_test.dir/imaging_dct_test.cc.o.d"
+  "imaging_dct_test"
+  "imaging_dct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_dct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

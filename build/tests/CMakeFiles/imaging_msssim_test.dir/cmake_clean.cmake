@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_msssim_test.dir/imaging_msssim_test.cc.o"
+  "CMakeFiles/imaging_msssim_test.dir/imaging_msssim_test.cc.o.d"
+  "imaging_msssim_test"
+  "imaging_msssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_msssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

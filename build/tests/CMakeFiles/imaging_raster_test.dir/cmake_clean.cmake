@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_raster_test.dir/imaging_raster_test.cc.o"
+  "CMakeFiles/imaging_raster_test.dir/imaging_raster_test.cc.o.d"
+  "imaging_raster_test"
+  "imaging_raster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_raster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_resize_test.dir/imaging_resize_test.cc.o"
+  "CMakeFiles/imaging_resize_test.dir/imaging_resize_test.cc.o.d"
+  "imaging_resize_test"
+  "imaging_resize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

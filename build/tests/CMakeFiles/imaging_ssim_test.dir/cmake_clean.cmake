@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_ssim_test.dir/imaging_ssim_test.cc.o"
+  "CMakeFiles/imaging_ssim_test.dir/imaging_ssim_test.cc.o.d"
+  "imaging_ssim_test"
+  "imaging_ssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_ssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_variants_test.dir/imaging_variants_test.cc.o"
+  "CMakeFiles/imaging_variants_test.dir/imaging_variants_test.cc.o.d"
+  "imaging_variants_test"
+  "imaging_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_muzeel_test.dir/js_muzeel_test.cc.o"
+  "CMakeFiles/js_muzeel_test.dir/js_muzeel_test.cc.o.d"
+  "js_muzeel_test"
+  "js_muzeel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_muzeel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_script_test.dir/js_script_test.cc.o"
+  "CMakeFiles/js_script_test.dir/js_script_test.cc.o.d"
+  "js_script_test"
+  "js_script_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

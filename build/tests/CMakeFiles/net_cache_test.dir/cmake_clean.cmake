@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_cache_test.dir/net_cache_test.cc.o"
+  "CMakeFiles/net_cache_test.dir/net_cache_test.cc.o.d"
+  "net_cache_test"
+  "net_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

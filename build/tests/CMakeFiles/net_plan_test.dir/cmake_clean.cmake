@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_plan_test.dir/net_plan_test.cc.o"
+  "CMakeFiles/net_plan_test.dir/net_plan_test.cc.o.d"
+  "net_plan_test"
+  "net_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_dom_test.dir/web_dom_test.cc.o"
+  "CMakeFiles/web_dom_test.dir/web_dom_test.cc.o.d"
+  "web_dom_test"
+  "web_dom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/web_page_test.cc" "tests/CMakeFiles/web_page_test.dir/web_page_test.cc.o" "gcc" "tests/CMakeFiles/web_page_test.dir/web_page_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aw4a_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aw4a_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

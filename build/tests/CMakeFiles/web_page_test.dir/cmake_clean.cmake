@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_page_test.dir/web_page_test.cc.o"
+  "CMakeFiles/web_page_test.dir/web_page_test.cc.o.d"
+  "web_page_test"
+  "web_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_render_test.dir/web_render_test.cc.o"
+  "CMakeFiles/web_render_test.dir/web_render_test.cc.o.d"
+  "web_render_test"
+  "web_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
