@@ -6,6 +6,10 @@
 //   aw4a_cli transcode [--mb M] [--keep F] [--qt Q] [--grid] [--adjustable-js]
 //   aw4a_cli tiers [--mb M]                      build the default tier ladder
 //   aw4a_cli whatif <country>                    resource-removal estimates
+//
+// Any command accepts --faults SPEC (or the AW4A_FAULTS environment
+// variable) to arm deterministic fault injection, e.g.
+//   aw4a_cli tiers --faults codec.jpeg.encode:0.2,seed=7
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -13,6 +17,7 @@
 #include "analysis/experiments.h"
 #include "js/muzeel.h"
 #include "core/api.h"
+#include "util/fault.h"
 #include "util/table.h"
 
 namespace {
@@ -196,6 +201,16 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: aw4a_cli <countries|paw|transcode|tiers|whatif|coverage> [args]\n";
     return 1;
+  }
+  fault::configure_from_env();
+  for (int i = 2; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      std::string error;
+      if (!fault::configure_from_string(argv[i + 1], &error)) {
+        std::cerr << "bad --faults spec: " << error << '\n';
+        return 1;
+      }
+    }
   }
   const std::string cmd = argv[1];
   if (cmd == "countries") return cmd_countries(argc - 2, argv + 2);

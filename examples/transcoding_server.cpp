@@ -4,15 +4,21 @@
 // shown on the wire, exactly as a browser and a proxyless origin would
 // exchange them. The `Save-Data` client hint (RFC 8674), a CDN geo hint, and
 // the AW4A savings-preference header drive the Fig. 6 control flow.
+// Fault drills: set AW4A_FAULTS (e.g. AW4A_FAULTS=codec.jpeg.encode:0.1 or
+// solver.hbs:1.0) to inject deterministic failures and watch the server
+// degrade — fall back to Stage-1 tiers, borrow coarser tiers, or serve the
+// original page with an AW4A-Degraded header — instead of crashing.
 #include <iostream>
 
 #include "core/server.h"
 #include "dataset/corpus.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 int main() {
   using namespace aw4a;
+  fault::configure_from_env();
 
   dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 99, .rich = true});
   Rng rng(99);
@@ -25,7 +31,11 @@ int main() {
   const core::TranscodingServer server(page, config, net::PlanType::kDataVoiceLowUsage);
 
   std::cout << "origin holds " << format_bytes(page.transfer_size()) << " page + "
-            << server.tiers().size() << " pre-built tiers\n\n";
+            << server.tiers().size() << " pre-built tiers\n";
+  if (server.degraded()) {
+    std::cout << "!! running degraded: " << server.degraded_reason() << "\n";
+  }
+  std::cout << "\n";
 
   struct Scenario {
     const char* label;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace aw4a::core {
 namespace {
@@ -29,6 +30,7 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
   AW4A_EXPECTS(served.page != nullptr);
   AW4A_EXPECTS(options.levels >= 2);
   AW4A_EXPECTS(options.quality_threshold > 0.0 && options.quality_threshold < 1.0);
+  AW4A_FAULT_POINT("solver.grid_search");
 
   const auto started = std::chrono::steady_clock::now();
   GridSearchOutcome outcome;

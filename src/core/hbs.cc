@@ -5,6 +5,7 @@
 #include "core/adjustable_js.h"
 #include "js/muzeel.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace aw4a::core {
 
@@ -32,6 +33,7 @@ TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
                               Bytes target_bytes, LadderCache& ladders,
                               const HbsOptions& options) {
   AW4A_EXPECTS(base.page == &page);
+  AW4A_FAULT_POINT("solver.hbs");
   const auto started = std::chrono::steady_clock::now();
 
   auto finish = [&](web::ServedPage served, const char* algorithm) {

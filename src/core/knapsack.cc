@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace aw4a::core {
 namespace {
@@ -23,6 +24,7 @@ KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
   AW4A_EXPECTS(served.page != nullptr);
   AW4A_EXPECTS(options.levels >= 2);
   AW4A_EXPECTS(options.byte_granularity > 0);
+  AW4A_FAULT_POINT("solver.knapsack");
   KnapsackOutcome outcome;
 
   const auto images = rich_images(*served.page);

@@ -32,6 +32,10 @@ struct TranscodeResult {
   QualityReport quality;
   double elapsed_seconds = 0.0;
   std::string algorithm;
+  /// True when a Stage-2 failure or an exhausted deadline made the pipeline
+  /// fall back to its Stage-1 (anytime) result; `degradation_reason` says why.
+  bool degraded = false;
+  std::string degradation_reason;
 
   double reduction_factor() const {
     return result_bytes == 0

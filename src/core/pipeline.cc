@@ -1,18 +1,25 @@
 #include "core/pipeline.h"
 
 #include <chrono>
+#include <sstream>
 
 #include "util/error.h"
+#include "util/retry.h"
+#include "util/table.h"
 
 namespace aw4a::core {
 
 Aw4aPipeline::Aw4aPipeline(DeveloperConfig config) : config_(std::move(config)) {
   AW4A_EXPECTS(config_.min_image_ssim > 0.0 && config_.min_image_ssim < 1.0);
+  AW4A_EXPECTS(config_.tier_build_attempts >= 1);
 }
 
 TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page,
                                                   Bytes target_bytes) const {
   const auto started = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  };
   imaging::LadderOptions ladder_options;
   ladder_options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
   LadderCache ladders(ladder_options);
@@ -20,50 +27,86 @@ TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page,
   web::ServedPage served = web::serve_original(page);
   apply_stage1(served, ladders, config_.stage1);
 
-  if (served.transfer_size() <= target_bytes) {
+  // The Stage-1 state is the pipeline's anytime result: every path below —
+  // target already met, Stage-2 success, Stage-2 failure, exhausted deadline
+  // — serves either it or something strictly better.
+  auto stage1_result = [&](web::ServedPage snapshot, const char* algorithm) {
     TranscodeResult result;
-    result.served = std::move(served);
+    result.served = std::move(snapshot);
     result.result_bytes = result.served.transfer_size();
     result.target_bytes = target_bytes;
-    result.met_target = true;
+    result.met_target = result.result_bytes <= target_bytes;
     result.quality = evaluate_quality(result.served, config_.quality_weights,
                                       config_.measure_qfs);
-    result.algorithm = "stage1";
-    result.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    result.algorithm = algorithm;
+    result.elapsed_seconds = elapsed();
     return result;
+  };
+
+  if (served.transfer_size() <= target_bytes) {
+    return stage1_result(std::move(served), "stage1");
   }
 
-  if (config_.stage2 == DeveloperConfig::Stage2::kGridSearch) {
-    GridSearchOptions gs;
-    gs.quality_threshold = config_.min_image_ssim;
-    gs.timeout_seconds = config_.grid_timeout_seconds;
-    const GridSearchOutcome outcome = grid_search(served, target_bytes, ladders, gs);
-    TranscodeResult result;
-    result.served = std::move(served);
-    result.result_bytes = outcome.bytes_after;
-    result.target_bytes = target_bytes;
-    result.met_target = outcome.met_target;
-    result.quality = evaluate_quality(result.served, config_.quality_weights,
-                                      config_.measure_qfs);
-    result.algorithm = outcome.timed_out ? "stage1+grid-search(timeout)" : "stage1+grid-search";
-    result.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  const bool deadline_on = config_.stage2_deadline_seconds >= 0.0;
+  auto degrade = [&](const std::string& reason) {
+    TranscodeResult result = stage1_result(served, "stage1(degraded)");
+    result.degraded = true;
+    result.degradation_reason = reason;
     return result;
+  };
+  if (deadline_on && elapsed() >= config_.stage2_deadline_seconds) {
+    return degrade("stage-2 deadline exhausted after stage-1 (" +
+                   fmt(config_.stage2_deadline_seconds, 3) + "s)");
   }
 
-  HbsOptions hbs;
-  hbs.rbr.quality_threshold = config_.min_image_ssim;
-  hbs.rbr.area_weight = config_.rbr_area_weight;
-  hbs.rbr.bytes_efficiency_weight = config_.rbr_bytes_efficiency_weight;
-  hbs.quality_weights = config_.quality_weights;
-  hbs.measure_qfs = config_.measure_qfs;
-  hbs.js_strategy = config_.js_strategy;
-  TranscodeResult result = hbs_transcode(page, std::move(served), target_bytes, ladders, hbs);
-  result.algorithm = "stage1+" + result.algorithm;
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
-  return result;
+  try {
+    if (config_.stage2 == DeveloperConfig::Stage2::kGridSearch) {
+      GridSearchOptions gs;
+      gs.quality_threshold = config_.min_image_ssim;
+      gs.timeout_seconds = config_.grid_timeout_seconds;
+      if (deadline_on) {
+        // Grid Search is internally anytime: its timeout returns the best
+        // feasible combination found so far, which is exactly the deadline
+        // contract — so the deadline just tightens the solver budget.
+        const double remaining = config_.stage2_deadline_seconds - elapsed();
+        gs.timeout_seconds = gs.timeout_seconds <= 0.0
+                                 ? remaining
+                                 : std::min(gs.timeout_seconds, remaining);
+        gs.timeout_seconds = std::max(gs.timeout_seconds, 1e-6);
+      }
+      web::ServedPage working = served;
+      const GridSearchOutcome outcome = grid_search(working, target_bytes, ladders, gs);
+      TranscodeResult result;
+      result.served = std::move(working);
+      result.result_bytes = outcome.bytes_after;
+      result.target_bytes = target_bytes;
+      result.met_target = outcome.met_target;
+      result.quality = evaluate_quality(result.served, config_.quality_weights,
+                                        config_.measure_qfs);
+      result.algorithm =
+          outcome.timed_out ? "stage1+grid-search(timeout)" : "stage1+grid-search";
+      result.elapsed_seconds = elapsed();
+      return result;
+    }
+
+    HbsOptions hbs;
+    hbs.rbr.quality_threshold = config_.min_image_ssim;
+    hbs.rbr.area_weight = config_.rbr_area_weight;
+    hbs.rbr.bytes_efficiency_weight = config_.rbr_bytes_efficiency_weight;
+    hbs.quality_weights = config_.quality_weights;
+    hbs.measure_qfs = config_.measure_qfs;
+    hbs.js_strategy = config_.js_strategy;
+    web::ServedPage working = served;
+    TranscodeResult result =
+        hbs_transcode(page, std::move(working), target_bytes, ladders, hbs);
+    result.algorithm = "stage1+" + result.algorithm;
+    result.elapsed_seconds = elapsed();
+    return result;
+  } catch (const DeadlineExceeded& e) {
+    return degrade(e.what());
+  } catch (const Error& e) {
+    return degrade(std::string("stage-2 failed: ") + e.what());
+  }
 }
 
 TranscodeResult Aw4aPipeline::transcode_for_country(const web::WebPage& page,
@@ -78,14 +121,60 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
   std::vector<Tier> tiers;
   tiers.reserve(config_.tier_reductions.size());
   const Bytes original = page.transfer_size();
+  RetryOptions retry;
+  retry.max_attempts = config_.tier_build_attempts;
+
+  std::size_t built_count = 0;
   for (double reduction : config_.tier_reductions) {
     AW4A_EXPECTS(reduction >= 1.0);
     const Bytes target =
         static_cast<Bytes>(static_cast<double>(original) / reduction);
     Tier tier;
     tier.requested_reduction = reduction;
-    tier.result = transcode_to_target(page, target);
+    const std::string label = "tier " + fmt(reduction, 2) + "x";
+    try {
+      tier.result = retry_transient(
+          [&] { return with_context(label, [&] { return transcode_to_target(page, target); }); },
+          retry);
+      if (tier.result.degraded) tier.note = tier.result.degradation_reason;
+      ++built_count;
+    } catch (const Error& e) {
+      tier.built = false;
+      tier.note = e.what();
+    }
     tiers.push_back(std::move(tier));
+  }
+
+  if (built_count == 0) {
+    std::ostringstream all;
+    all << "all " << tiers.size() << " tiers failed to build:";
+    for (const Tier& tier : tiers) all << "\n  - " << tier.note;
+    throw Error(all.str());
+  }
+
+  // Degradation ladder: a failed tier serves the nearest coarser (milder)
+  // built tier's result — over-serving bytes is safe, under-serving quality
+  // is not. With no coarser tier built, the nearest deeper one steps in.
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].built) continue;
+    std::size_t source = tiers.size();
+    for (std::size_t j = i; j-- > 0;) {
+      if (tiers[j].built) {
+        source = j;
+        break;
+      }
+    }
+    if (source == tiers.size()) {
+      for (std::size_t j = i + 1; j < tiers.size(); ++j) {
+        if (tiers[j].built) {
+          source = j;
+          break;
+        }
+      }
+    }
+    tiers[i].result = tiers[source].result;
+    tiers[i].note = "fell back to tier " + fmt(tiers[source].requested_reduction, 2) +
+                    "x (" + tiers[i].note + ")";
   }
   return tiers;
 }

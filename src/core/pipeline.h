@@ -38,12 +38,25 @@ struct DeveloperConfig {
   bool measure_qfs = true;
   /// JS stage of HBS approach A (kAdjustable avoids Muzeel's overshoot).
   HbsOptions::JsStrategy js_strategy = HbsOptions::JsStrategy::kMuzeel;
+  /// Wall-clock budget for Stage-2 inside transcode_to_target; negative
+  /// disables the deadline. When exhausted (or when Stage-2 fails), the
+  /// Stage-1 anytime result is returned with `degraded` set — a deadline is
+  /// never surfaced as a DeadlineExceeded to the serving path.
+  double stage2_deadline_seconds = -1.0;
+  /// Attempts per tier in build_tiers (transient faults are retried with
+  /// deterministic backoff; see util/retry.h).
+  int tier_build_attempts = 2;
 };
 
 /// One pre-generated low-complexity version of a page.
 struct Tier {
   double requested_reduction = 1.0;
   TranscodeResult result;
+  /// False when this tier's own transcode failed and `result` was borrowed
+  /// from the nearest coarser built tier (the degradation ladder).
+  bool built = true;
+  /// Failure/fallback provenance when !built or result.degraded.
+  std::string note;
 
   double achieved_reduction() const {
     return result.result_bytes == 0 ? 0.0 : result.reduction_factor();
@@ -63,6 +76,11 @@ class Aw4aPipeline {
   const DeveloperConfig& config() const { return config_; }
 
   /// Fig. 5 end-to-end: Stage-1, then Stage-2 if the target is unmet.
+  /// Degradation contract: a Stage-2 failure (any aw4a::Error, e.g. an
+  /// injected codec fault) or an exhausted `stage2_deadline_seconds` returns
+  /// the Stage-1 result with `degraded` set instead of throwing. A Stage-1
+  /// failure still throws — there is no coarser anytime result to serve —
+  /// and is handled by build_tiers' ladder.
   TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes) const;
 
   /// Target from the PAW index of a country/plan: the page shrinks to 1/PAW
@@ -71,7 +89,11 @@ class Aw4aPipeline {
                                         const dataset::Country& country,
                                         net::PlanType plan) const;
 
-  /// Pre-generates the configured tiers of a page.
+  /// Pre-generates the configured tiers of a page. Each tier is built with
+  /// bounded retries; a tier that still fails borrows the result of the
+  /// nearest coarser built tier (marked !built). Throws aw4a::Error only
+  /// when *no* tier could be built at all, with every per-tier failure
+  /// aggregated into the message.
   std::vector<Tier> build_tiers(const web::WebPage& page) const;
 
  private:

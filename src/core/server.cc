@@ -4,15 +4,54 @@
 #include "util/table.h"
 
 namespace aw4a::core {
+namespace {
+
+bool known_path(const std::string& path) {
+  // The simulation models one page per origin; these are its addresses.
+  return path == "/" || path == "/index.html";
+}
+
+}  // namespace
 
 TranscodingServer::TranscodingServer(const web::WebPage& page, DeveloperConfig config,
                                      net::PlanType plan)
     : page_(&page), plan_(plan) {
-  tiers_ = Aw4aPipeline(std::move(config)).build_tiers(page);
-  AW4A_EXPECTS(!tiers_.empty());
+  try {
+    tiers_ = Aw4aPipeline(std::move(config)).build_tiers(page);
+  } catch (const Error& e) {
+    // Zero usable tiers: stay up and serve the original page (§5.2's origin
+    // must answer even when its optimizer cannot), flagged via AW4A-Degraded.
+    tiers_.clear();
+    degraded_reason_ = e.what();
+  }
+  if (tiers_.empty() && degraded_reason_.empty()) {
+    degraded_reason_ = "no tiers configured";
+  }
+}
+
+net::HttpResponse TranscodingServer::degraded_original(net::HttpResponse response,
+                                                       const std::string& reason) const {
+  response.content_length = page_->transfer_size();
+  response.headers.push_back({"AW4A-Tier", "none"});
+  // Header values travel on one wire line; keep the first line of the reason.
+  std::string summary = reason.substr(0, reason.find('\n'));
+  response.headers.push_back({"AW4A-Degraded", summary.empty() ? "degraded" : summary});
+  return response;
 }
 
 net::HttpResponse TranscodingServer::handle(const net::HttpRequest& request) const {
+  try {
+    return handle_checked(request);
+  } catch (const std::exception& e) {
+    // Belt and braces: no request may crash the origin. Serve the original
+    // page and say why we could not do better.
+    net::HttpResponse response;
+    response.headers.push_back({"Content-Type", "text/html"});
+    return degraded_original(std::move(response), e.what());
+  }
+}
+
+net::HttpResponse TranscodingServer::handle_checked(const net::HttpRequest& request) const {
   net::HttpResponse response;
   response.headers.push_back({"Content-Type", "text/html"});
   // The body varies with the data-saving hints; caches must key on them.
@@ -22,6 +61,12 @@ net::HttpResponse TranscodingServer::handle(const net::HttpRequest& request) con
     response.status = 405;
     response.reason = "Method Not Allowed";
     response.headers.push_back({"Allow", "GET"});
+    return response;
+  }
+  if (!known_path(request.path)) {
+    response.status = 404;
+    response.reason = "Not Found";
+    response.content_length = 0;
     return response;
   }
 
@@ -40,6 +85,11 @@ net::HttpResponse TranscodingServer::handle(const net::HttpRequest& request) con
   // explicit savings preference (Fig. 6 puts the browser setting in charge).
   if (request.preferred_savings_pct().has_value()) profile.country_sharing_on = false;
 
+  if (profile.data_saving_on && tiers_.empty()) {
+    // The user asked for savings but the tier build failed: degraded serve.
+    return degraded_original(std::move(response), degraded_reason_);
+  }
+
   const ServeDecision decision = decide_version(profile, tiers_);
   switch (decision.kind) {
     case ServeDecision::Kind::kOriginal:
@@ -53,6 +103,10 @@ net::HttpResponse TranscodingServer::handle(const net::HttpRequest& request) con
       response.headers.push_back({"AW4A-Tier", std::to_string(decision.tier_index)});
       response.headers.push_back(
           {"AW4A-Savings-Achieved", fmt(tier.savings_fraction() * 100.0, 1)});
+      if (!tier.built || tier.result.degraded) {
+        const std::string note = tier.note.substr(0, tier.note.find('\n'));
+        response.headers.push_back({"AW4A-Degraded", note.empty() ? "degraded" : note});
+      }
       break;
     }
   }

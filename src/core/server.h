@@ -9,6 +9,13 @@
 //   Save-Data: on + AW4A-Savings: P   -> the tier closest to P% savings
 // Responses carry Content-Length (the served bytes), Vary (caching
 // correctness for the hint-dependent body), and AW4A-Tier diagnostics.
+//
+// Failure contract: construction and handle() never throw. If the tier
+// build fails outright (codec faults, infeasible targets) the server comes
+// up degraded — data-saving requests get the original page with an
+// `AW4A-Degraded` header and `AW4A-Tier: none`, so clients can tell "the
+// user did not ask for savings" (AW4A-Tier: original) apart from "the
+// server could not honor the ask".
 #pragma once
 
 #include "core/api.h"
@@ -20,21 +27,34 @@ class TranscodingServer {
  public:
   /// Builds the tier ladder for `page` up front (the expensive part; serving
   /// is then a table lookup, as §5.3's "generated to be served whenever
-  /// requested" requires).
+  /// requested" requires). Never throws on tier-build failure: the server
+  /// starts degraded instead (see degraded()).
   TranscodingServer(const web::WebPage& page, DeveloperConfig config = {},
                     net::PlanType plan = net::PlanType::kDataOnly);
 
-  /// Answers one request. Only GETs for any path are modeled; other methods
-  /// get 405.
+  /// Answers one request. Only GETs for the page's paths ("/" and
+  /// "/index.html") are modeled; other paths get 404, other methods 405.
+  /// Never throws: internal failures serve the original page with an
+  /// AW4A-Degraded header.
   net::HttpResponse handle(const net::HttpRequest& request) const;
 
   std::span<const Tier> tiers() const { return tiers_; }
   const web::WebPage& page() const { return *page_; }
 
+  /// True when no usable tier could be built and every data-saving request
+  /// is served the original page.
+  bool degraded() const { return tiers_.empty(); }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
  private:
+  net::HttpResponse handle_checked(const net::HttpRequest& request) const;
+  net::HttpResponse degraded_original(net::HttpResponse response,
+                                      const std::string& reason) const;
+
   const web::WebPage* page_;
   net::PlanType plan_;
   std::vector<Tier> tiers_;
+  std::string degraded_reason_;
 };
 
 }  // namespace aw4a::core

@@ -7,6 +7,7 @@
 #include "js/callgraph.h"
 #include "web/dom.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace aw4a::dataset {
 
@@ -147,6 +148,7 @@ CompositionProfile CorpusGenerator::global_profile() const {
 WebPage CorpusGenerator::make_page(Rng& rng, Bytes target_transfer,
                                    const CompositionProfile& profile) const {
   AW4A_EXPECTS(target_transfer >= 100 * kKB);
+  AW4A_FAULT_POINT("dataset.corpus.make_page");
   WebPage page;
   page.id = rng.next_u64();
 

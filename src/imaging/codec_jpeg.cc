@@ -4,10 +4,12 @@
 // transcoding PNGs (transparency survives).
 #include "imaging/codec.h"
 #include "imaging/codec_detail.h"
+#include "util/fault.h"
 
 namespace aw4a::imaging {
 
 Encoded jpeg_encode(const Raster& img, int quality) {
+  AW4A_FAULT_POINT("codec.jpeg.encode");
   const detail::LossyParams params{
       .format = ImageFormat::kJpeg,
       .payload_scale = 1.0,

@@ -3,10 +3,12 @@
 #include "imaging/codec.h"
 #include "imaging/codec_detail.h"
 #include "net/compress.h"
+#include "util/fault.h"
 
 namespace aw4a::imaging {
 
 Encoded png_encode(const Raster& img) {
+  AW4A_FAULT_POINT("codec.png.encode");
   const auto stream = detail::png_filter_stream(img, img.has_alpha());
   Encoded out;
   out.format = ImageFormat::kPng;

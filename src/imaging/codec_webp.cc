@@ -5,10 +5,12 @@
 #include "imaging/codec.h"
 #include "imaging/codec_detail.h"
 #include "net/compress.h"
+#include "util/fault.h"
 
 namespace aw4a::imaging {
 
 Encoded webp_encode(const Raster& img, int quality) {
+  AW4A_FAULT_POINT("codec.webp.encode");
   const detail::LossyParams params{
       .format = ImageFormat::kWebp,
       .payload_scale = 0.72,
@@ -20,6 +22,7 @@ Encoded webp_encode(const Raster& img, int quality) {
 }
 
 Encoded webp_lossless_encode(const Raster& img) {
+  AW4A_FAULT_POINT("codec.webp.encode");
   // VP8L's predictors + color-cache beat PNG's five filters by ~20% on the
   // same content; model that as a scale on the filtered-LZ cost.
   const auto stream = detail::png_filter_stream(img, img.has_alpha());

@@ -6,6 +6,7 @@
 #include "imaging/resize.h"
 #include "imaging/ssim.h"
 #include "util/error.h"
+#include "util/retry.h"
 
 namespace aw4a::imaging {
 namespace {
@@ -37,6 +38,15 @@ int display_dim_for(ImageClass cls, Rng& rng) {
 
 std::size_t format_index(ImageFormat f) { return static_cast<std::size_t>(f); }
 
+// Every codec invocation funnels through here: a single transient encoder
+// fault (crashed worker, injected fault) is retried once before the error
+// escapes to the tier-build ladder.
+Encoded encode_retrying(ImageFormat format, const Raster& raster, int quality) {
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  return retry_transient([&] { return codec_for(format).encode(raster, quality); }, retry);
+}
+
 }  // namespace
 
 SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes) {
@@ -52,7 +62,7 @@ SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes)
   asset.display_w = display_dim_for(cls, rng);
   asset.display_h = std::max(24, static_cast<int>(asset.display_w * rng.uniform(0.5, 1.0)));
 
-  const Encoded shipped = codec_for(asset.format).encode(asset.original, asset.ship_quality);
+  const Encoded shipped = encode_retrying(asset.format, asset.original, asset.ship_quality);
   AW4A_EXPECTS(shipped.bytes > 0);
   // Calibrate on the payload: headers are a fixed real-world constant, not
   // something that scales with the proxy raster.
@@ -89,7 +99,7 @@ Bytes wire_header_bytes() { return 420; }
 ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
                              int quality) {
   const Raster reduced = reduce_resolution(asset.original, scale);
-  const Encoded enc = codec_for(format).encode(reduced, quality);
+  const Encoded enc = encode_retrying(format, reduced, quality);
   const Raster shown = redisplay(enc.decoded, asset.original.width(), asset.original.height());
   ImageVariant v;
   v.format = format;
@@ -108,7 +118,7 @@ ImageVariant VariantLadder::measure(ImageFormat format, double scale, int qualit
   }
   // Alternate metric: recompute the score with the configured comparator.
   const Raster reduced = reduce_resolution(asset_->original, scale);
-  const Encoded enc = codec_for(format).encode(reduced, quality);
+  const Encoded enc = encode_retrying(format, reduced, quality);
   const Raster shown = redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
   ImageVariant v;
   v.format = format;
@@ -229,7 +239,7 @@ Raster VariantLadder::render_variant(const ImageVariant& v) const {
 Raster render_variant(const SourceImage& asset, const ImageVariant& v) {
   if (v.is_original) return asset.original;
   const Raster reduced = reduce_resolution(asset.original, v.scale);
-  const Encoded enc = codec_for(v.format).encode(reduced, v.quality);
+  const Encoded enc = encode_retrying(v.format, reduced, v.quality);
   return redisplay(enc.decoded, asset.original.width(), asset.original.height());
 }
 

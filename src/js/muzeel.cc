@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "js/callgraph.h"
+#include "util/fault.h"
 
 namespace aw4a::js {
 
 MuzeelResult muzeel_eliminate(const Script& script) {
+  AW4A_FAULT_POINT("js.muzeel.eliminate");
   MuzeelResult result;
   const std::vector<FunctionId> roots = all_roots(script);
   result.kept = reachable_static(script, roots);

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace aw4a::net {
 namespace {
@@ -72,6 +73,7 @@ double distance_extra_bits(std::size_t dist) {
 }  // namespace
 
 Bytes gzip_size(std::span<const std::uint8_t> data) {
+  AW4A_FAULT_POINT("net.compress.gzip");
   constexpr Bytes kGzipOverhead = 20;  // header + CRC32 + ISIZE
   if (data.size() < kMinMatch) return data.size() + kGzipOverhead;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace aw4a::net {
@@ -34,21 +35,27 @@ bool valid_token(std::string_view name) {
   });
 }
 
+/// A head with more headers than any sane client sends is either corrupt or
+/// hostile; parsing is refused rather than buffering without bound.
+constexpr std::size_t kMaxHeaders = 100;
+
 /// Parses header lines shared by requests and responses. Returns false on a
-/// malformed line.
+/// malformed line, a missing blank-line terminator (truncated head), or an
+/// oversized header count.
 bool parse_headers(std::istringstream& in, std::vector<HttpHeader>& out) {
   std::string line;
   while (std::getline(in, line)) {
     std::string_view view = line;
     if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
     if (view.empty()) return true;  // blank line: end of head
+    if (out.size() >= kMaxHeaders) return false;
     const auto colon = view.find(':');
     if (colon == std::string_view::npos) return false;
     const std::string_view name = view.substr(0, colon);
     if (!valid_token(name)) return false;
     out.push_back(HttpHeader{std::string(name), std::string(trim(view.substr(colon + 1)))});
   }
-  return true;  // headers may end with EOF
+  return false;  // EOF before the CRLF terminator: truncated message
 }
 
 }  // namespace
@@ -78,6 +85,9 @@ std::optional<double> HttpRequest::preferred_savings_pct() const {
   double value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  // from_chars accepts "nan"/"inf"; a non-finite preference would poison the
+  // closest-tier comparisons downstream, so reject it with the other junk.
+  if (!std::isfinite(value)) return std::nullopt;
   if (value < 0.0 || value >= 100.0) return std::nullopt;
   return value;
 }

@@ -65,8 +65,10 @@ struct HttpResponse {
 std::string serialize(const HttpRequest& request);
 std::string serialize(const HttpResponse& response);
 
-/// Parses a request/response head. Returns nullopt on malformed input
-/// (bad request line, missing colon, embedded whitespace in names).
+/// Parses a request/response head. Returns nullopt on malformed input:
+/// bad request line, missing colon, embedded whitespace in names, a head
+/// that ends before its blank-line (CRLF) terminator, or more than 100
+/// header lines.
 std::optional<HttpRequest> parse_request(std::string_view text);
 std::optional<HttpResponse> parse_response(std::string_view text);
 

@@ -3,17 +3,34 @@
 // All recoverable failures are reported by throwing an exception derived from
 // aw4a::Error; programming-logic violations (broken preconditions) use
 // aw4a::LogicError so tests can distinguish the two.
+//
+// The taxonomy below drives the serving path's degradation ladder (see
+// DESIGN.md "Failure model"): TransientError is worth retrying,
+// DeadlineExceeded means "serve the best anytime result found so far", and
+// everything else fails the current work unit, whose caller falls back to a
+// coarser result. Every Error carries a context chain (`with_context`) so an
+// aggregated report names the tier/object/stage a failure came from.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace aw4a {
 
 /// Base class for all runtime failures raised by AW4A components.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what) : std::runtime_error(what), message_(what) {}
+
+  const char* what() const noexcept override { return message_.c_str(); }
+
+  /// Prepends a context frame ("tier 3.0x: codec fault ..."). Used by
+  /// with_context to build a chain while preserving the dynamic type.
+  void add_context(const std::string& context) { message_ = context + ": " + message_; }
+
+ private:
+  std::string message_;
 };
 
 /// A caller violated a documented precondition (e.g. a negative byte budget).
@@ -28,6 +45,34 @@ class Infeasible : public Error {
  public:
   explicit Infeasible(const std::string& what) : Error(what) {}
 };
+
+/// A failure that may succeed on retry (injected faults, exhausted scratch
+/// resources). retry_transient() in util/retry.h retries exactly this type.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A work unit ran out of wall-clock budget. Never retried (the budget will
+/// not come back); the pipeline converts it into the best anytime result.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Runs `fn`, prefixing any aw4a::Error that escapes with `context`. The
+/// exception's dynamic type is preserved (mutate + rethrow), so
+/// `with_context("tier 3.0x", ...)` around code throwing Infeasible still
+/// surfaces as Infeasible — with a readable provenance chain in what().
+template <typename F>
+auto with_context(const std::string& context, F&& fn) -> decltype(fn()) {
+  try {
+    return std::forward<F>(fn)();
+  } catch (Error& e) {
+    e.add_context(context);
+    throw;
+  }
+}
 
 namespace detail {
 [[noreturn]] inline void precondition_failed(const char* expr, const char* func) {

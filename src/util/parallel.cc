@@ -4,12 +4,36 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 
 namespace aw4a {
+namespace {
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+namespace {
+std::atomic<unsigned> g_worker_override{0};
+}  // namespace
 
 unsigned parallel_workers() {
+  const unsigned forced = g_worker_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+void set_parallel_workers(unsigned count) {
+  g_worker_override.store(count, std::memory_order_relaxed);
 }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
@@ -23,18 +47,21 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
+  std::vector<std::exception_ptr> errors;
   std::mutex error_mutex;
 
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      // A failure cancels items not yet claimed; workers mid-body finish (or
+      // fail) their current item, so concurrent failures are all collected.
       if (i >= count || failed.load(std::memory_order_relaxed)) return;
       try {
         body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        errors.push_back(std::current_exception());
+        failed.store(true, std::memory_order_relaxed);
         return;
       }
     }
@@ -44,7 +71,19 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   threads.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  if (errors.empty()) return;
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  // Several workers failed: one aggregate report instead of "first one wins".
+  // Messages are sorted so the report is independent of thread arrival order.
+  std::vector<std::string> messages;
+  messages.reserve(errors.size());
+  for (const auto& error : errors) messages.push_back(describe(error));
+  std::sort(messages.begin(), messages.end());
+  std::string report = std::to_string(errors.size()) + " of " + std::to_string(count) +
+                       " parallel work items failed:";
+  for (const std::string& message : messages) report += "\n  - " + message;
+  throw Error(report);
 }
 
 }  // namespace aw4a

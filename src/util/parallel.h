@@ -16,13 +16,21 @@
 
 namespace aw4a {
 
-/// Number of workers used by parallel_for (hardware concurrency, min 1).
+/// Number of workers used by parallel_for (hardware concurrency, min 1,
+/// unless overridden).
 unsigned parallel_workers();
+
+/// Overrides the worker count (0 restores hardware concurrency). Lets tests
+/// exercise the multi-worker failure paths on single-core machines.
+void set_parallel_workers(unsigned count);
 
 /// Runs body(i) for i in [0, count) across threads. The body must only touch
 /// state owned by index i (no locks are provided on purpose — the callers'
-/// work units are independent by construction). Exceptions thrown by the
-/// body are rethrown (first one wins) after all threads join.
+/// work units are independent by construction). A throwing body cancels all
+/// not-yet-claimed items; after all threads join, a single failure is
+/// rethrown with its type preserved, and multiple concurrent failures are
+/// aggregated into one aw4a::Error listing every message (sorted, so the
+/// report is deterministic).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
 /// Maps body over [0, count) into a vector, in index order.

@@ -1,0 +1,57 @@
+// Bounded retry with exponential backoff for TransientError.
+//
+// The serving path wraps flaky work units (codec encodes, tier builds) in
+// retry_transient: a TransientError (e.g. an injected fault) is retried up
+// to max_attempts times; every other exception — Infeasible, LogicError,
+// DeadlineExceeded — propagates immediately, because retrying cannot fix a
+// constraint, a bug, or an exhausted clock.
+//
+// Determinism: the backoff schedule is a pure function of the options, and
+// the "sleep" is an injected callback (null by default — this repository is
+// a simulation, real waiting would only slow tests down). A caller that
+// wants wall-clock backoff passes a sleeper; a test that wants to assert the
+// schedule passes a recorder.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace aw4a {
+
+struct RetryOptions {
+  /// Total tries, including the first (>= 1).
+  int max_attempts = 3;
+  /// Backoff before the second attempt; doubles (times multiplier) after.
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  /// Invoked with each backoff delay. Null = no waiting (simulation mode).
+  std::function<void(double)> sleep = {};
+};
+
+/// Runs `fn`, retrying on TransientError. On exhaustion the last transient
+/// error is rethrown (type preserved) with an "after N attempts" context
+/// frame. `backoffs_out`, when given, records the delays that were applied.
+template <typename F>
+auto retry_transient(F&& fn, const RetryOptions& options = {},
+                     std::vector<double>* backoffs_out = nullptr) -> decltype(fn()) {
+  AW4A_EXPECTS(options.max_attempts >= 1);
+  double backoff = options.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (TransientError& e) {
+      if (attempt >= options.max_attempts) {
+        e.add_context("gave up after " + std::to_string(attempt) + " attempts");
+        throw;
+      }
+      if (backoffs_out != nullptr) backoffs_out->push_back(backoff);
+      if (options.sleep) options.sleep(backoff);
+      backoff *= options.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace aw4a

@@ -96,11 +96,28 @@ TEST_F(ServerTest, NonGetRejected) {
   ASSERT_NE(response.header("Allow"), nullptr);
 }
 
+TEST_F(ServerTest, UnknownPathGets404) {
+  net::HttpRequest request;
+  request.path = "/news";
+  request.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}};
+  const auto response = server_->handle(request);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.content_length, 0u);
+}
+
+TEST_F(ServerTest, IndexAliasServesThePage) {
+  net::HttpRequest request;
+  request.path = "/index.html";
+  const auto response = server_->handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_length, page_->transfer_size());
+}
+
 TEST_F(ServerTest, EndToEndOverTheWire) {
   // Full loop: serialize a browser request, parse it server-side (as a
   // proxyless origin would), serialize the response, parse it client-side.
   net::HttpRequest browser;
-  browser.path = "/news";
+  browser.path = "/";
   browser.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}};
   const auto server_side = net::parse_request(net::serialize(browser));
   ASSERT_TRUE(server_side.has_value());

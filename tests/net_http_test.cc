@@ -65,6 +65,44 @@ TEST(Http, MalformedRequestsRejected) {
   EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nBad Name: x\r\n\r\n").has_value());
 }
 
+TEST(Http, MissingTerminatorRejected) {
+  // A head must end with its blank-line terminator; EOF mid-head means the
+  // message was truncated on the wire.
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nHost: example.com\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 200 OK\r\nAW4A-Tier: 1\r\n").has_value());
+  EXPECT_TRUE(parse_request("GET / HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_TRUE(parse_response("HTTP/1.1 200 OK\r\n\r\n").has_value());
+}
+
+TEST(Http, OversizedHeaderCountRejected) {
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 100; ++i) wire += "H" + std::to_string(i) + ": v\r\n";
+  EXPECT_TRUE(parse_request(wire + "\r\n").has_value());  // at the cap: fine
+  wire += "H100: one too many\r\n";
+  EXPECT_FALSE(parse_request(wire + "\r\n").has_value());
+}
+
+TEST(Http, NonFiniteSavingsRejected) {
+  HttpRequest request;
+  request.headers.push_back({"AW4A-Savings", "nan"});
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+  request.headers[0].value = "inf";
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+  request.headers[0].value = "-inf";
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+  request.headers[0].value = "1e999";  // overflows double
+  EXPECT_FALSE(request.preferred_savings_pct().has_value());
+}
+
+TEST(Http, MalformedSavingsOverTheWire) {
+  const auto parsed = parse_request(
+      "GET / HTTP/1.1\r\nSave-Data: on\r\nAW4A-Savings: 5O\r\n\r\n");  // typo'd "50"
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->save_data());
+  EXPECT_FALSE(parsed->preferred_savings_pct().has_value());
+}
+
 TEST(Http, ResponseRoundTripWithContentLength) {
   HttpResponse response;
   response.status = 200;

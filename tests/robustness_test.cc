@@ -1,0 +1,465 @@
+// Fault-injection and graceful-degradation coverage: the substrate every
+// perf PR uses to prove crash-freedom under failure.
+//
+//   - the fault framework itself (deterministic triggers, spec parsing),
+//   - retry_transient and the error-context chain,
+//   - parallel_for failure aggregation,
+//   - the pipeline's deadline/fallback ladder,
+//   - a sweep forcing every registered fault point to fire 100% of the time
+//     while the TranscodingServer answers the four transcoding_server.cpp
+//     scenarios — construction and handle() must never throw, responses must
+//     stay well-formed on the wire, and the degradation path must be
+//     byte-identical across two runs with the same seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/server.h"
+#include "dataset/corpus.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+#include "util/retry.h"
+#include "util/rng.h"
+
+namespace aw4a {
+namespace {
+
+// Every test starts and ends with a disarmed registry (tests in one binary
+// share the process-wide fault state).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultTest, DisarmedPointIsFree) {
+  for (int i = 0; i < 100; ++i) {
+    AW4A_FAULT_POINT("test.unit.disarmed");
+  }
+  EXPECT_EQ(fault::fire_count("test.unit.disarmed"), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityOneAlwaysFires) {
+  fault::configure("test.unit.always", {.probability = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(AW4A_FAULT_POINT("test.unit.always"), fault::InjectedFault);
+  }
+  EXPECT_EQ(fault::fire_count("test.unit.always"), 5u);
+}
+
+TEST_F(FaultTest, InjectedFaultIsTransient) {
+  fault::configure("test.unit.transient", {.probability = 1.0});
+  EXPECT_THROW(AW4A_FAULT_POINT("test.unit.transient"), TransientError);
+}
+
+TEST_F(FaultTest, EveryNthFiresOnSchedule) {
+  fault::configure("test.unit.nth", {.every_nth = 3});
+  int fired = 0;
+  for (int hit = 1; hit <= 9; ++hit) {
+    try {
+      AW4A_FAULT_POINT("test.unit.nth");
+    } catch (const fault::InjectedFault&) {
+      ++fired;
+      EXPECT_EQ(hit % 3, 0) << "fired off schedule at hit " << hit;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultTest, MaxFiresExhausts) {
+  fault::configure("test.unit.capped", {.probability = 1.0, .max_fires = 2});
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    try {
+      AW4A_FAULT_POINT("test.unit.capped");
+    } catch (const fault::InjectedFault&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(FaultTest, ProbabilityPatternIsSeedDeterministic) {
+  auto pattern = [] {
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        AW4A_FAULT_POINT("test.unit.coin");
+        fires.push_back(false);
+      } catch (const fault::InjectedFault&) {
+        fires.push_back(true);
+      }
+    }
+    return fires;
+  };
+  fault::set_seed(42);
+  fault::configure("test.unit.coin", {.probability = 0.5});
+  const auto first = pattern();
+  fault::set_seed(42);
+  fault::configure("test.unit.coin", {.probability = 0.5});
+  const auto second = pattern();
+  EXPECT_EQ(first, second);
+
+  fault::set_seed(43);
+  fault::configure("test.unit.coin", {.probability = 0.5});
+  EXPECT_NE(first, pattern()) << "different seed should reshuffle the pattern";
+
+  const int fires = static_cast<int>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 60);  // ~100 expected; loose bounds, the point is determinism
+  EXPECT_LT(fires, 140);
+}
+
+TEST_F(FaultTest, ConfigureFromString) {
+  std::string error;
+  EXPECT_TRUE(fault::configure_from_string(
+      "codec.jpeg.encode:0.25,js.muzeel.eliminate:every=7,seed=9,test.unit.once:once",
+      &error))
+      << error;
+  bool saw_jpeg = false, saw_muzeel = false, saw_once = false;
+  for (const auto& point : fault::stats()) {
+    if (point.name == "codec.jpeg.encode") {
+      saw_jpeg = true;
+      EXPECT_DOUBLE_EQ(point.spec.probability, 0.25);
+    }
+    if (point.name == "js.muzeel.eliminate") {
+      saw_muzeel = true;
+      EXPECT_EQ(point.spec.every_nth, 7u);
+    }
+    if (point.name == "test.unit.once") {
+      saw_once = true;
+      EXPECT_EQ(point.spec.max_fires, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_jpeg && saw_muzeel && saw_once);
+
+  EXPECT_FALSE(fault::configure_from_string("no-colon-here", &error));
+  EXPECT_FALSE(fault::configure_from_string("p:1.5", &error));      // prob > 1
+  EXPECT_FALSE(fault::configure_from_string("p:every=0", &error));  // zero period
+  EXPECT_FALSE(fault::configure_from_string("seed=xyz", &error));
+}
+
+TEST_F(FaultTest, KnownPointsIncludeProductionRegistrations) {
+  const auto points = fault::known_points();
+  for (const char* expected :
+       {"codec.jpeg.encode", "codec.png.encode", "codec.webp.encode",
+        "js.muzeel.eliminate", "dataset.corpus.make_page", "net.compress.gzip",
+        "solver.grid_search", "solver.hbs", "solver.knapsack"}) {
+    EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
+        << "missing " << expected;
+  }
+}
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  std::vector<double> backoffs;
+  const int result = retry_transient(
+      [&] {
+        if (++calls < 3) throw TransientError("flaky");
+        return 7;
+      },
+      RetryOptions{.max_attempts = 3}, &backoffs);
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(backoffs.size(), 2u);
+  EXPECT_DOUBLE_EQ(backoffs[0], 0.05);
+  EXPECT_DOUBLE_EQ(backoffs[1], 0.10);
+}
+
+TEST(Retry, NonTransientErrorsPropagateImmediately) {
+  int calls = 0;
+  EXPECT_THROW(retry_transient([&]() -> int {
+                 ++calls;
+                 throw Infeasible("cannot be retried away");
+               }),
+               Infeasible);
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  EXPECT_THROW(retry_transient([&]() -> int {
+                 ++calls;
+                 throw DeadlineExceeded("the clock will not come back");
+               }),
+               DeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ExhaustionRethrowsWithAttemptContext) {
+  try {
+    retry_transient([]() -> int { throw TransientError("still down"); },
+                    RetryOptions{.max_attempts = 4});
+    FAIL() << "should have thrown";
+  } catch (const TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 4 attempts"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("still down"), std::string::npos);
+  }
+}
+
+TEST(ErrorContext, ChainPreservesTypeAndAccumulates) {
+  try {
+    with_context("tier 3.00x", [] {
+      with_context("image 17", []() -> int { throw Infeasible("target below floor"); });
+      return 0;
+    });
+    FAIL() << "should have thrown";
+  } catch (const Infeasible& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tier 3.00x"), std::string::npos) << what;
+    EXPECT_NE(what.find("image 17"), std::string::npos);
+    EXPECT_NE(what.find("target below floor"), std::string::npos);
+    EXPECT_LT(what.find("tier 3.00x"), what.find("image 17")) << "outermost frame first";
+  }
+}
+
+TEST(ParallelFor, SingleFailurePreservesExceptionType) {
+  EXPECT_THROW(parallel_for(8,
+                            [](std::size_t i) {
+                              if (i == 3) throw Infeasible("only one item fails");
+                            }),
+               Infeasible);
+}
+
+// Forces a worker count for one test so multi-worker failure paths run even
+// on single-core machines.
+struct ScopedWorkers {
+  explicit ScopedWorkers(unsigned n) { set_parallel_workers(n); }
+  ~ScopedWorkers() { set_parallel_workers(0); }
+};
+
+TEST(ParallelFor, ConcurrentFailuresAggregateIntoOneReport) {
+  const ScopedWorkers forced(4);
+  const std::size_t workers = 4;
+  // count == workers, and every body blocks until all have started, so every
+  // worker is guaranteed to be mid-body (not yet cancelled) when it throws.
+  std::atomic<std::size_t> entered{0};
+  try {
+    parallel_for(workers, [&](std::size_t i) {
+      entered.fetch_add(1);
+      while (entered.load() < workers) std::this_thread::yield();
+      throw Error("worker " + std::to_string(i) + " failed");
+    });
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parallel work items failed"), std::string::npos) << what;
+    for (std::size_t i = 0; i < workers; ++i) {
+      EXPECT_NE(what.find("worker " + std::to_string(i) + " failed"), std::string::npos)
+          << "missing worker " << i << " in: " << what;
+    }
+  }
+}
+
+TEST(ParallelFor, FailureCancelsUnclaimedWork) {
+  const ScopedWorkers forced(4);
+  std::atomic<std::size_t> executed{0};
+  try {
+    parallel_for(10000, [&](std::size_t) {
+      executed.fetch_add(1);
+      throw Error("boom");
+    });
+    FAIL() << "should have thrown";
+  } catch (const Error&) {
+  }
+  // Each worker runs at most one body after the first failure lands.
+  EXPECT_LE(executed.load(), static_cast<std::size_t>(parallel_workers()));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline + server degradation
+// ---------------------------------------------------------------------------
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fault::reset();
+    dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 7, .rich = true});
+    Rng rng(7);
+    page_ = new web::WebPage(gen.make_page(rng, 600 * kKB, gen.global_profile()));
+  }
+  static void TearDownTestSuite() {
+    delete page_;
+    page_ = nullptr;
+  }
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  static core::DeveloperConfig config() {
+    core::DeveloperConfig config;
+    config.tier_reductions = {2.0, 4.0};
+    config.min_image_ssim = 0.8;
+    config.measure_qfs = false;
+    return config;
+  }
+
+  // The four scenarios of examples/transcoding_server.cpp, over the wire.
+  static std::vector<net::HttpRequest> scenarios() {
+    auto get = [](std::initializer_list<net::HttpHeader> headers) {
+      net::HttpRequest r;
+      r.headers = headers;
+      return r;
+    };
+    return {get({}),
+            get({{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}}),
+            get({{"Save-Data", "on"}, {"X-Geo-Country", "Germany"}}),
+            get({{"Save-Data", "on"}, {"AW4A-Savings", "70"}})};
+  }
+
+  static web::WebPage* page_;
+};
+
+web::WebPage* DegradationTest::page_ = nullptr;
+
+TEST_F(DegradationTest, ExhaustedDeadlineServesStage1Result) {
+  core::DeveloperConfig deadline_config = config();
+  deadline_config.stage2_deadline_seconds = 0.0;  // exhausted before Stage-2
+  const core::Aw4aPipeline pipeline(deadline_config);
+  core::TranscodeResult result;
+  ASSERT_NO_THROW(result = pipeline.transcode_to_target(*page_, page_->transfer_size() / 4));
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.algorithm, "stage1(degraded)");
+  EXPECT_NE(result.degradation_reason.find("deadline"), std::string::npos);
+  EXPECT_GT(result.result_bytes, 0u);
+  EXPECT_LE(result.result_bytes, page_->transfer_size());
+  // Stage-1 alone cannot reach a 4x cut on this page; the point is that the
+  // anytime result is served rather than DeadlineExceeded thrown.
+  EXPECT_FALSE(result.met_target);
+}
+
+TEST_F(DegradationTest, GenerousDeadlineStillRunsStage2) {
+  core::DeveloperConfig deadline_config = config();
+  deadline_config.stage2_deadline_seconds = 3600.0;
+  const auto result = core::Aw4aPipeline(deadline_config)
+                          .transcode_to_target(*page_, page_->transfer_size() / 4);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_NE(result.algorithm.find("hbs"), std::string::npos) << result.algorithm;
+}
+
+TEST_F(DegradationTest, Stage2FaultFallsBackToStage1PerTier) {
+  fault::configure("solver.hbs", {.probability = 1.0});
+  const auto tiers = core::Aw4aPipeline(config()).build_tiers(*page_);
+  ASSERT_EQ(tiers.size(), 2u);
+  for (const auto& tier : tiers) {
+    EXPECT_TRUE(tier.built);
+    EXPECT_TRUE(tier.result.degraded);
+    EXPECT_EQ(tier.result.algorithm, "stage1(degraded)");
+    EXPECT_NE(tier.note.find("injected fault"), std::string::npos) << tier.note;
+  }
+}
+
+TEST_F(DegradationTest, RetryAbsorbsASingleTransientCodecFault) {
+  // One codec fire, then clean: the codec-site retry absorbs it invisibly —
+  // no tier degrades, no tier fails.
+  fault::configure("codec.webp.encode", {.probability = 1.0, .max_fires = 1});
+  const auto tiers = core::Aw4aPipeline(config()).build_tiers(*page_);
+  EXPECT_EQ(fault::fire_count("codec.webp.encode"), 1u);
+  for (const auto& tier : tiers) {
+    EXPECT_TRUE(tier.built);
+    EXPECT_FALSE(tier.result.degraded) << tier.note;
+  }
+}
+
+TEST_F(DegradationTest, FailedTierBorrowsNearestCoarserBuiltTier) {
+  // Count the webp-encode hits one 2.0x tier build consumes (armed with a
+  // never-firing rule so hits are tallied), then arm a persistent fault that
+  // skips exactly that many hits: tier 1 builds clean, tier 2's Stage-1
+  // faults on every encode (past any retry), fails outright, and must borrow
+  // tier 1's result.
+  core::DeveloperConfig one_tier = config();
+  one_tier.tier_reductions = {2.0};
+  fault::configure("codec.webp.encode", {.every_nth = std::uint64_t{1} << 62});
+  core::Aw4aPipeline(one_tier).build_tiers(*page_);
+  std::uint64_t hits_per_tier = 0;
+  for (const auto& point : fault::stats()) {
+    if (point.name == "codec.webp.encode") hits_per_tier = point.hits;
+  }
+  ASSERT_GT(hits_per_tier, 0u);
+
+  fault::configure("codec.webp.encode",
+                   {.probability = 1.0, .skip_first = hits_per_tier});
+  const auto tiers = core::Aw4aPipeline(config()).build_tiers(*page_);
+  ASSERT_EQ(tiers.size(), 2u);
+  EXPECT_TRUE(tiers[0].built);
+  EXPECT_FALSE(tiers[1].built);
+  EXPECT_EQ(tiers[1].result.result_bytes, tiers[0].result.result_bytes)
+      << "failed tier should borrow the coarser built tier's result";
+  EXPECT_NE(tiers[1].note.find("fell back to tier"), std::string::npos) << tiers[1].note;
+}
+
+TEST_F(DegradationTest, ZeroTiersServerServesDegradedOriginal) {
+  // Stage-1 needs webp for the transcode rule on every tier: 100% codec
+  // failure means no tier can ever build.
+  fault::configure("codec.webp.encode", {.probability = 1.0});
+  const core::TranscodingServer server(*page_, config(), net::PlanType::kDataVoiceLowUsage);
+  EXPECT_TRUE(server.degraded());
+  EXPECT_TRUE(server.tiers().empty());
+  EXPECT_NE(server.degraded_reason().find("tiers failed"), std::string::npos)
+      << server.degraded_reason();
+
+  net::HttpRequest saver;
+  saver.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}};
+  const auto degraded = server.handle(saver);
+  EXPECT_EQ(degraded.status, 200);
+  EXPECT_EQ(degraded.content_length, page_->transfer_size());
+  ASSERT_NE(degraded.header("AW4A-Tier"), nullptr);
+  EXPECT_EQ(*degraded.header("AW4A-Tier"), "none");
+  EXPECT_NE(degraded.header("AW4A-Degraded"), nullptr);
+
+  // An unconstrained user sees a normal original-page response.
+  const auto plain = server.handle(net::HttpRequest{});
+  EXPECT_EQ(plain.status, 200);
+  ASSERT_NE(plain.header("AW4A-Tier"), nullptr);
+  EXPECT_EQ(*plain.header("AW4A-Tier"), "original");
+  EXPECT_EQ(plain.header("AW4A-Degraded"), nullptr);
+}
+
+TEST_F(DegradationTest, SweepEveryFaultPointServerNeverThrows) {
+  // The headline guarantee: with ANY single registered fault point firing
+  // 100% of the time, server construction + all four scenarios answer with
+  // well-formed responses, deterministically for a fixed seed.
+  auto run_scenarios = [&]() -> std::vector<std::string> {
+    const core::TranscodingServer server(*page_, config(),
+                                         net::PlanType::kDataVoiceLowUsage);
+    std::vector<std::string> wires;
+    for (const auto& request : scenarios()) {
+      const auto parsed = net::parse_request(net::serialize(request));
+      EXPECT_TRUE(parsed.has_value());
+      wires.push_back(net::serialize(server.handle(*parsed)));
+    }
+    return wires;
+  };
+
+  for (const std::string& point : fault::known_points()) {
+    if (point.rfind("test.", 0) == 0) continue;  // unit-test scratch points
+    SCOPED_TRACE("fault point: " + point);
+
+    fault::reset();
+    fault::set_seed(11);
+    fault::configure(point, {.probability = 1.0});
+    std::vector<std::string> first;
+    ASSERT_NO_THROW(first = run_scenarios());
+
+    fault::reset();
+    fault::set_seed(11);
+    fault::configure(point, {.probability = 1.0});
+    std::vector<std::string> second;
+    ASSERT_NO_THROW(second = run_scenarios());
+
+    EXPECT_EQ(first, second) << "degradation path must be deterministic";
+
+    ASSERT_EQ(first.size(), 4u);
+    for (const std::string& wire : first) {
+      const auto response = net::parse_response(wire);
+      ASSERT_TRUE(response.has_value()) << "unparsable wire response:\n" << wire;
+      EXPECT_EQ(response->status, 200) << wire;
+      // Either a real tier/original, or an explicitly degraded original.
+      ASSERT_NE(response->header("AW4A-Tier"), nullptr) << wire;
+      if (*response->header("AW4A-Tier") == "none") {
+        EXPECT_NE(response->header("AW4A-Degraded"), nullptr) << wire;
+      }
+      EXPECT_GT(response->content_length, 0u) << wire;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aw4a

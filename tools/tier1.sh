@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test suite in the standard configuration, plus the
+# robustness suite under ASan+UBSan (fault injection exercises the error
+# paths — exactly where lifetime and UB bugs hide).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
+cmake --build build-asan -j --target robustness_test >/dev/null
+(cd build-asan && ctest --output-on-failure -R '^robustness_test$')
+
+echo "tier1: OK"
