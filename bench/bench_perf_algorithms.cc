@@ -97,7 +97,7 @@ void BM_HttpParseRequest(benchmark::State& state) {
   request.path = "/index.html";
   request.headers = {{"Host", "example.com"},
                      {"Save-Data", "on"},
-                     {"X-Geo-Country", "Pakistan"},
+                     {"X-Geo-Country", "PK"},
                      {"Accept", "text/html"},
                      {"User-Agent", "aw4a-bench/1.0"}};
   const std::string wire = net::serialize(request);

@@ -1,0 +1,201 @@
+// Serving-path benchmark: closed-loop load over a multi-site origin, with
+// Zipf(1.0) site popularity, comparing three configurations of the tier
+// cache subsystem:
+//
+//   cache+single-flight   the production configuration
+//   cache, no collapsing  concurrent misses all build (duplicate work)
+//   no cache              every data-saving request builds its ladder
+//
+// Reported per mode: throughput, p50/p99 request latency (measured around
+// handle(), bench-side), cache hit rate, ladder builds, and duplicate
+// builds — the last is the single-flight story in one number: 0 with it on,
+// measurably > 0 with it off under a cold-start herd.
+//
+//   build/bench/bench_serve_cache [--sites=50] [--threads=8] [--seconds=4]
+//                                 [--zipf=1.0]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "serving/origin.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aw4a;
+
+struct BenchOptions {
+  std::size_t sites = 50;
+  std::size_t threads = 8;
+  double seconds = 4.0;
+  double zipf_s = 1.0;
+};
+
+struct ModeResult {
+  std::string name;
+  std::uint64_t requests = 0;
+  double elapsed_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t builds = 0;
+  std::uint64_t duplicate_builds = 0;
+
+  double throughput() const {
+    return elapsed_seconds == 0.0 ? 0.0 : static_cast<double>(requests) / elapsed_seconds;
+  }
+};
+
+std::vector<serving::OriginSite> make_corpus(const BenchOptions& options) {
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 1729, .rich = true});
+  Rng rng(1729);
+  core::DeveloperConfig config;
+  config.tier_reductions = {2.0};
+  config.min_image_ssim = 0.8;
+  config.measure_qfs = false;
+  std::vector<serving::OriginSite> sites;
+  sites.reserve(options.sites);
+  for (std::size_t i = 0; i < options.sites; ++i) {
+    const Bytes target = from_kb(rng.uniform(150.0, 400.0));
+    sites.push_back(serving::OriginSite{
+        "site-" + std::to_string(i) + ".example",
+        gen.make_page(rng, target, gen.global_profile()),
+        config,
+        net::PlanType::kDataVoiceLowUsage,
+    });
+  }
+  return sites;
+}
+
+net::HttpRequest make_request(const std::string& host, int variant) {
+  net::HttpRequest request;
+  request.headers.push_back({"Host", host});
+  request.headers.push_back({"Save-Data", "on"});
+  switch (variant % 3) {
+    case 0: request.headers.push_back({"X-Geo-Country", "ET"}); break;
+    case 1: request.headers.push_back({"X-Geo-Country", "PK"}); break;
+    default: request.headers.push_back({"AW4A-Savings", "50"}); break;
+  }
+  return request;
+}
+
+ModeResult run_mode(const std::string& name, const std::vector<serving::OriginSite>& sites,
+                    serving::OriginOptions origin_options, const BenchOptions& options) {
+  const serving::OriginServer origin(sites, std::move(origin_options));
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> latencies_ms(options.threads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng = Rng(42).fork(t);
+      auto& samples = latencies_ms[t];
+      samples.reserve(4096);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(options.seconds);
+      int variant = static_cast<int>(t);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::size_t rank = rng.zipf(sites.size(), options.zipf_s);
+        const auto started = std::chrono::steady_clock::now();
+        const auto response = origin.handle(make_request(sites[rank - 1].host, variant++));
+        const auto finished = std::chrono::steady_clock::now();
+        if (response.status != 200) std::abort();  // the bench serves no errors
+        samples.push_back(std::chrono::duration<double, std::milli>(finished - started).count());
+      }
+    });
+  }
+  const auto bench_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_start).count();
+
+  std::vector<double> all;
+  for (const auto& samples : latencies_ms) all.insert(all.end(), samples.begin(), samples.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    const auto index = static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+    return all[index];
+  };
+
+  ModeResult result;
+  result.name = name;
+  result.requests = all.size();
+  result.elapsed_seconds = elapsed;
+  result.p50_ms = pct(0.50);
+  result.p99_ms = pct(0.99);
+  result.hit_rate = origin.cache_stats().hit_rate();
+  const serving::MetricsSnapshot metrics = origin.metrics();
+  result.builds = metrics.builds_started;
+  result.duplicate_builds = metrics.duplicate_builds;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) -> const char* {
+      return arg.substr(prefix.size()).data();
+    };
+    if (arg.starts_with("--sites=")) {
+      options.sites = static_cast<std::size_t>(std::strtoul(value("--sites="), nullptr, 10));
+    } else if (arg.starts_with("--threads=")) {
+      options.threads = static_cast<std::size_t>(std::strtoul(value("--threads="), nullptr, 10));
+    } else if (arg.starts_with("--seconds=")) {
+      options.seconds = std::strtod(value("--seconds="), nullptr);
+    } else if (arg.starts_with("--zipf=")) {
+      options.zipf_s = std::strtod(value("--zipf="), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("# bench_serve_cache: %zu sites, %zu threads, %.2fs per mode, Zipf(%.2f)\n",
+              options.sites, options.threads, options.seconds, options.zipf_s);
+  std::printf("# generating corpus...\n");
+  const auto sites = make_corpus(options);
+
+  std::vector<ModeResult> results;
+  {
+    serving::OriginOptions mode;  // the production configuration
+    results.push_back(run_mode("cache+single-flight", sites, std::move(mode), options));
+  }
+  {
+    serving::OriginOptions mode;
+    mode.single_flight = false;
+    results.push_back(run_mode("cache,no-collapse", sites, std::move(mode), options));
+  }
+  {
+    serving::OriginOptions mode;
+    mode.cache_enabled = false;
+    results.push_back(run_mode("no-cache", sites, std::move(mode), options));
+  }
+
+  std::printf("\n%-20s %10s %12s %10s %10s %9s %8s %6s\n", "mode", "requests", "req/s",
+              "p50(ms)", "p99(ms)", "hit_rate", "builds", "dups");
+  for (const ModeResult& r : results) {
+    std::printf("%-20s %10llu %12.0f %10.3f %10.2f %9.3f %8llu %6llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.requests), r.throughput(), r.p50_ms, r.p99_ms,
+                r.hit_rate, static_cast<unsigned long long>(r.builds),
+                static_cast<unsigned long long>(r.duplicate_builds));
+  }
+  const double speedup =
+      results.back().throughput() == 0.0 ? 0.0 : results[0].throughput() / results.back().throughput();
+  std::printf("\ncached throughput / uncached throughput: %.1fx\n", speedup);
+  std::printf("duplicate builds: %llu with single-flight, %llu without\n",
+              static_cast<unsigned long long>(results[0].duplicate_builds),
+              static_cast<unsigned long long>(results[1].duplicate_builds));
+  return 0;
+}

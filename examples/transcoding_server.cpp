@@ -50,13 +50,13 @@ int main() {
   {
     net::HttpRequest r;
     r.path = "/";
-    r.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}};
+    r.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}};
     scenarios.push_back({"data saver in Ethiopia (country sharing on)", r});
   }
   {
     net::HttpRequest r;
     r.path = "/";
-    r.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Germany"}};
+    r.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "DE"}};
     scenarios.push_back({"data saver in Germany (already affordable)", r});
   }
   {

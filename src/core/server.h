@@ -23,6 +23,35 @@
 
 namespace aw4a::core {
 
+/// Outcome of answering a routed page request: the response plus which kind
+/// of decision was served, so the serving layer can aggregate metrics
+/// without re-parsing its own headers.
+struct ServeOutcome {
+  enum class Served { kOriginal, kPawTier, kPreferenceTier, kDegraded };
+  Served served = Served::kOriginal;
+  net::HttpResponse response;
+};
+
+/// A 200 response skeleton with the Content-Type and Vary headers every page
+/// answer carries (the body varies with the data-saving hints, so caches
+/// must key on them).
+net::HttpResponse page_response_skeleton();
+
+/// True for the modeled page addresses ("/" and "/index.html") — the
+/// simulation hosts one page per origin. Shared with serving::OriginServer
+/// so single-site and multi-site routing cannot drift apart.
+bool known_page_path(const std::string& path);
+
+/// The Fig. 6 control flow over a pre-built tier ladder — the one serving
+/// core shared by the single-page TranscodingServer and the multi-site
+/// serving::OriginServer. Routing (method, path, host) must already have
+/// happened. Never throws: any internal failure serves the original page
+/// with an AW4A-Degraded header. When `tiers` is empty, data-saving
+/// requests get the degraded original carrying `degraded_reason`.
+ServeOutcome answer_page_request(const web::WebPage& page, std::span<const Tier> tiers,
+                                 const std::string& degraded_reason, net::PlanType plan,
+                                 const net::HttpRequest& request);
+
 class TranscodingServer {
  public:
   /// Builds the tier ladder for `page` up front (the expensive part; serving
@@ -47,10 +76,6 @@ class TranscodingServer {
   const std::string& degraded_reason() const { return degraded_reason_; }
 
  private:
-  net::HttpResponse handle_checked(const net::HttpRequest& request) const;
-  net::HttpResponse degraded_original(net::HttpResponse response,
-                                      const std::string& reason) const;
-
   const web::WebPage* page_;
   net::PlanType plan_;
   std::vector<Tier> tiers_;

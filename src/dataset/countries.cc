@@ -25,11 +25,62 @@ struct PriceRow {
 
 #include "dataset/countries_data.inc"
 
+// ISO 3166-1 alpha-2 codes for the 99 study countries. Kept beside the
+// generated rows (not in the .inc) so the calibrated numeric table never
+// needs regenerating for a naming concern.
+struct CodeRow {
+  const char* name;
+  const char* code;
+};
+constexpr CodeRow kIso2Codes[] = {
+    {"Uzbekistan", "UZ"}, {"South Africa", "ZA"}, {"Puerto Rico", "PR"},
+    {"Trinidad and Tobago", "TT"}, {"Senegal", "SN"}, {"Ecuador", "EC"},
+    {"Jamaica", "JM"}, {"Mongolia", "MN"}, {"Colombia", "CO"},
+    {"Kyrgyzstan", "KG"}, {"Kenya", "KE"}, {"Bolivia", "BO"},
+    {"El Salvador", "SV"}, {"Cameroon", "CM"}, {"Lebanon", "LB"},
+    {"Sudan", "SD"}, {"Dominican Republic", "DO"}, {"Jordan", "JO"},
+    {"Guatemala", "GT"}, {"Cote d'Ivoire", "CI"}, {"Tanzania", "TZ"},
+    {"Yemen", "YE"}, {"Uganda", "UG"}, {"Ethiopia", "ET"},
+    {"Honduras", "HN"}, {"Armenia", "AM"}, {"Georgia", "GE"},
+    {"Haiti", "HT"}, {"Cambodia", "KH"}, {"Mali", "ML"},
+    {"Costa Rica", "CR"}, {"Togo", "TG"}, {"Thailand", "TH"},
+    {"Vietnam", "VN"}, {"Zimbabwe", "ZW"}, {"China", "CN"},
+    {"Madagascar", "MG"}, {"Iran", "IR"}, {"India", "IN"},
+    {"DR Congo", "CD"}, {"Tajikistan", "TJ"}, {"Papua New Guinea", "PG"},
+    {"Sri Lanka", "LK"}, {"Egypt", "EG"}, {"Philippines", "PH"},
+    {"Chad", "TD"}, {"Mozambique", "MZ"}, {"Chile", "CL"},
+    {"Ukraine", "UA"}, {"Panama", "PA"}, {"Malaysia", "MY"},
+    {"Azerbaijan", "AZ"}, {"Iraq", "IQ"}, {"Brazil", "BR"},
+    {"Mexico", "MX"}, {"Angola", "AO"}, {"Benin", "BJ"},
+    {"Bangladesh", "BD"}, {"Kazakhstan", "KZ"}, {"Laos", "LA"},
+    {"Ghana", "GH"}, {"Nicaragua", "NI"}, {"Algeria", "DZ"},
+    {"Rwanda", "RW"}, {"Zambia", "ZM"}, {"Tunisia", "TN"},
+    {"Peru", "PE"}, {"Indonesia", "ID"}, {"Moldova", "MD"},
+    {"Nigeria", "NG"}, {"Myanmar", "MM"}, {"Turkey", "TR"},
+    {"Pakistan", "PK"}, {"Morocco", "MA"}, {"Afghanistan", "AF"},
+    {"Niger", "NE"}, {"Nepal", "NP"}, {"Argentina", "AR"},
+    {"Paraguay", "PY"}, {"Malawi", "MW"}, {"Syria", "SY"},
+    {"Venezuela", "VE"}, {"United States", "US"}, {"Germany", "DE"},
+    {"Canada", "CA"}, {"United Kingdom", "GB"}, {"France", "FR"},
+    {"Italy", "IT"}, {"Spain", "ES"}, {"Japan", "JP"},
+    {"South Korea", "KR"}, {"Australia", "AU"}, {"Netherlands", "NL"},
+    {"Sweden", "SE"}, {"Norway", "NO"}, {"Switzerland", "CH"},
+    {"Austria", "AT"}, {"Belgium", "BE"}, {"Taiwan", "TW"},
+};
+
+std::string_view iso2_code(std::string_view name) {
+  for (const CodeRow& row : kIso2Codes) {
+    if (name == row.name) return row.code;
+  }
+  return {};
+}
+
 std::vector<Country> build_table() {
   std::vector<Country> out;
   out.reserve(std::size(kCountryRows));
   for (const CountryRow& row : kCountryRows) {
     out.push_back(Country{.name = row.name,
+                          .code = iso2_code(row.name),
                           .developing = row.developing,
                           .has_price_data = row.has_price,
                           .price_do = row.price_do,
@@ -88,6 +139,13 @@ std::vector<const Country*> fig10_countries() {
 const Country* find_country(std::string_view name) {
   for (const Country& c : table()) {
     if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Country* find_country_by_code(std::string_view code) {
+  for (const Country& c : table()) {
+    if (c.code == code && !c.code.empty()) return &c;
   }
   return nullptr;
 }

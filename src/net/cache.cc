@@ -63,40 +63,26 @@ LruByteCache::LruByteCache(Bytes capacity) : capacity_(capacity) {
 }
 
 Bytes LruByteCache::fetch(const CacheItem& item, std::uint64_t now_seconds) {
-  ++clock_;
-  for (auto& e : entries_) {
-    if (e.item.id == item.id) {
-      const bool stale =
-          item.policy.no_store || now_seconds - e.fetched_at > item.policy.max_age_seconds;
-      e.last_used = clock_;
-      if (!stale) return 0;
-      e.fetched_at = now_seconds;
-      return item.transfer_bytes;
-    }
+  // Every access — fresh or stale — refreshes recency, exactly as the old
+  // last_used tick did.
+  if (Stored* stored = lru_.touch(item.id)) {
+    const bool stale = item.policy.no_store ||
+                       now_seconds - stored->fetched_at > item.policy.max_age_seconds;
+    if (!stale) return 0;
+    stored->fetched_at = now_seconds;
+    return item.transfer_bytes;
   }
   // Miss: admit unless the object alone exceeds capacity (browsers skip those).
   if (item.transfer_bytes <= capacity_) {
-    evict_to_fit(item.transfer_bytes);
-    entries_.push_back({item, now_seconds, clock_});
-    used_ += item.transfer_bytes;
+    while (lru_.total_cost() + item.transfer_bytes > capacity_ && !lru_.empty()) {
+      lru_.evict_lru();
+    }
+    lru_.insert(item.id, Stored{item, now_seconds}, item.transfer_bytes);
   }
   return item.transfer_bytes;
 }
 
-void LruByteCache::clear() {
-  entries_.clear();
-  used_ = 0;
-}
-
-void LruByteCache::evict_to_fit(Bytes incoming) {
-  while (used_ + incoming > capacity_ && !entries_.empty()) {
-    auto victim = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    used_ -= victim->item.transfer_bytes;
-    entries_.erase(victim);
-  }
-}
+void LruByteCache::clear() { lru_.clear(); }
 
 DeviceProfile nexus5() { return {"Nexus 5 (2 GB RAM)", 256 * kMB, 0.03}; }
 DeviceProfile nokia1() { return {"Nokia 1 (1 GB RAM)", 96 * kMB, 0.62}; }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/lru.h"
 #include "util/rng.h"
 
 namespace aw4a::net {
@@ -78,24 +79,22 @@ class LruByteCache {
   /// (0 on a fresh hit, the transfer size on miss/stale/no-store).
   Bytes fetch(const CacheItem& item, std::uint64_t now_seconds);
 
-  Bytes used() const { return used_; }
+  Bytes used() const { return lru_.total_cost(); }
   Bytes capacity() const { return capacity_; }
 
   /// Empties the cache (models an OS-initiated clear under memory pressure).
   void clear();
 
  private:
-  struct Entry {
+  struct Stored {
     CacheItem item;
     std::uint64_t fetched_at = 0;
-    std::uint64_t last_used = 0;
   };
-  void evict_to_fit(Bytes incoming);
 
   Bytes capacity_;
-  Bytes used_ = 0;
-  std::uint64_t clock_ = 0;               // monotone LRU tick
-  std::vector<Entry> entries_;            // small N: linear scan is fine
+  // Shared O(1) eviction core (util/lru.h); recency is the list order, so no
+  // explicit LRU tick is needed. serving::TierCache runs on the same core.
+  LruMap<std::uint64_t, Stored> lru_;
 };
 
 /// Device profiles from the paper's smartphone experiment. Two effects bound

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 
 namespace aw4a::net {
@@ -72,10 +73,34 @@ bool HttpRequest::save_data() const {
   return v != nullptr && iequals(trim(*v), "on");
 }
 
+std::optional<std::string> HttpRequest::host() const {
+  const std::string* v = header("Host");
+  if (v == nullptr) return std::nullopt;
+  std::string_view s = trim(*v);
+  // Strip a :port suffix; hostnames are compared case-insensitively (RFC
+  // 9110), so normalize to lowercase once here.
+  const auto colon = s.rfind(':');
+  if (colon != std::string_view::npos && s.find(':') == colon) s = s.substr(0, colon);
+  if (s.empty()) return std::nullopt;
+  std::string host(s);
+  for (char& c : host) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return host;
+}
+
 std::optional<std::string> HttpRequest::country_hint() const {
   const std::string* v = header("X-Geo-Country");
-  if (v == nullptr || v->empty()) return std::nullopt;
-  return *v;
+  if (v == nullptr) return std::nullopt;
+  const std::string_view s = trim(*v);
+  // Anything but exactly two ASCII letters is junk (full names, numbers,
+  // empty) — degrade to "country unknown" rather than fail a lookup later.
+  if (s.size() != 2) return std::nullopt;
+  std::string code;
+  for (const char c : s) {
+    const bool ascii_alpha = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+    if (!ascii_alpha) return std::nullopt;
+    code += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return code;
 }
 
 std::optional<double> HttpRequest::preferred_savings_pct() const {
@@ -108,9 +133,11 @@ std::string serialize(const HttpResponse& response) {
     if (iequals(h.name, "Content-Length")) has_length = true;
   }
   if (!has_length) {
-    out += "Content-Length: " + std::to_string(response.content_length) + "\r\n";
+    const Bytes length = response.body.empty() ? response.content_length : response.body.size();
+    out += "Content-Length: " + std::to_string(length) + "\r\n";
   }
   out += "\r\n";
+  out += response.body;
   return out;
 }
 
@@ -144,6 +171,8 @@ std::optional<HttpResponse> parse_response(std::string_view text) {
   const std::string_view reason_trimmed = trim(response.reason);
   response.reason = std::string(reason_trimmed);
   if (!parse_headers(in, response.headers)) return std::nullopt;
+  // Whatever follows the head is the body (this layer never chunk-encodes).
+  response.body.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
   if (const std::string* v = response.header("Content-Length")) {
     Bytes length = 0;
     const std::string_view s = trim(*v);

@@ -39,8 +39,14 @@ struct HttpRequest {
   /// RFC 8674: `Save-Data: on` — the user opted into data saving.
   bool save_data() const;
 
-  /// CDN-convention country hint (e.g. `X-Geo-Country: PK`); AW4A uses the
-  /// full country name in this simulation.
+  /// `Host` header, lowercased with any `:port` suffix stripped — the
+  /// multi-site origin's routing key. nullopt when absent or empty.
+  std::optional<std::string> host() const;
+
+  /// CDN-convention country hint (e.g. `X-Geo-Country: PK`), normalized to
+  /// uppercase ISO-2. Values that are not exactly two ASCII letters (junk,
+  /// full names, empty) return nullopt, so a bad hint degrades to "country
+  /// unknown" instead of poisoning the lookup downstream.
   std::optional<std::string> country_hint() const;
 
   /// Extension header `AW4A-Savings: <pct>` — the §5.5 "percentage savings"
@@ -53,8 +59,12 @@ struct HttpResponse {
   std::string reason = "OK";
   std::string version = "HTTP/1.1";
   std::vector<HttpHeader> headers;
-  /// Body size only — this simulation never materializes page bodies.
+  /// Body size only — page bodies are never materialized in this simulation.
+  /// Ignored when `body` is non-empty.
   Bytes content_length = 0;
+  /// Materialized body for the few endpoints that carry real content (the
+  /// serving stats endpoint). Empty for simulated page responses.
+  std::string body;
 
   const std::string* header(std::string_view name) const {
     return find_header(headers, name);
@@ -62,13 +72,15 @@ struct HttpResponse {
 };
 
 /// Serializes to wire format (CRLF line endings, blank-line terminator).
+/// A non-empty response body follows the terminator, with Content-Length set
+/// to its size (unless an explicit Content-Length header overrides).
 std::string serialize(const HttpRequest& request);
 std::string serialize(const HttpResponse& response);
 
 /// Parses a request/response head. Returns nullopt on malformed input:
 /// bad request line, missing colon, embedded whitespace in names, a head
 /// that ends before its blank-line (CRLF) terminator, or more than 100
-/// header lines.
+/// header lines. Response text after the terminator becomes `body`.
 std::optional<HttpRequest> parse_request(std::string_view text);
 std::optional<HttpResponse> parse_response(std::string_view text);
 

@@ -1,0 +1,108 @@
+// Serving-path observability: lock-cheap counters plus log-bucketed
+// histograms, aggregated into one snapshot and the /aw4a/stats JSON body.
+//
+// Everything here is safe to record from many serving threads at once. A
+// counter bump is one relaxed atomic add; a histogram record is one relaxed
+// add plus CAS loops on the running sum and max — no mutex anywhere, so the
+// metrics never serialize the serving threads they observe.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace aw4a::serving {
+
+/// Point-in-time view of one Histogram. Percentiles are bucket estimates
+/// (the geometric midpoint of the log2 bucket holding the rank), accurate
+/// to the bucket width: right for "is p99 build latency milliseconds or
+/// seconds", not for microbenchmark deltas.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Concurrent log2-bucketed histogram. One bucket per power of two covers
+/// microsecond latencies and multi-gigabyte sizes with the same 64 slots.
+class Histogram {
+ public:
+  /// Records one sample. Values <= 0 land in the lowest bucket; values
+  /// above the top bucket clamp into it (sum and max stay exact).
+  void record(double value);
+
+  /// Consistent within a bucket, not across fields: samples recorded while
+  /// snapshotting may appear in count but not yet in sum.
+  HistogramSnapshot snapshot() const;
+
+ private:
+  /// Bucket b spans [2^(b+kMinExp), 2^(b+1+kMinExp)): from 2^-20 (~1 us in
+  /// seconds, sub-byte in bytes) to 2^44 (~17 TB) — both units this
+  /// subsystem records fit without configuration.
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -20;
+  static int bucket_of(double value);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Counter totals of one OriginServer in plain ints (see
+/// ServingMetrics::snapshot). The four served_* rows partition the page
+/// answers; the non-page rows (stats_requests .. internal_errors) account
+/// for the rest of requests_total.
+struct MetricsSnapshot {
+  std::uint64_t requests_total = 0;
+  // Page answers by decision kind (core::ServeOutcome::Served).
+  std::uint64_t served_original = 0;
+  std::uint64_t served_paw_tier = 0;
+  std::uint64_t served_preference_tier = 0;
+  std::uint64_t served_degraded = 0;
+  // Non-page answers.
+  std::uint64_t stats_requests = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t bad_method = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t internal_errors = 0;
+  // Tier-ladder builds.
+  std::uint64_t builds_started = 0;
+  std::uint64_t builds_failed = 0;
+  /// Builds whose result was already cached by a concurrent builder when
+  /// they tried to admit it — stays 0 with single-flight on.
+  std::uint64_t duplicate_builds = 0;
+  /// Requests that served around the cache after a shard fault.
+  std::uint64_t cache_bypasses = 0;
+  HistogramSnapshot build_seconds;
+  HistogramSnapshot served_page_bytes;
+};
+
+/// The atomic counters behind MetricsSnapshot. Fields are public by design:
+/// call sites bump them with fetch_add(1, relaxed) where the event happens.
+struct ServingMetrics {
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> served_original{0};
+  std::atomic<std::uint64_t> served_paw_tier{0};
+  std::atomic<std::uint64_t> served_preference_tier{0};
+  std::atomic<std::uint64_t> served_degraded{0};
+  std::atomic<std::uint64_t> stats_requests{0};
+  std::atomic<std::uint64_t> not_found{0};
+  std::atomic<std::uint64_t> bad_method{0};
+  std::atomic<std::uint64_t> bad_request{0};
+  std::atomic<std::uint64_t> internal_errors{0};
+  std::atomic<std::uint64_t> builds_started{0};
+  std::atomic<std::uint64_t> builds_failed{0};
+  std::atomic<std::uint64_t> duplicate_builds{0};
+  std::atomic<std::uint64_t> cache_bypasses{0};
+  Histogram build_seconds;
+  Histogram served_page_bytes;
+
+  /// Each field is individually exact; cross-field identities can be off by
+  /// whatever requests are in flight during the read.
+  MetricsSnapshot snapshot() const;
+};
+
+}  // namespace aw4a::serving

@@ -1,0 +1,306 @@
+#include "serving/origin.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace aw4a::serving {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+void bump(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Append-only JSON emitter — objects and scalar fields, nothing else.
+/// Exactly what /aw4a/stats needs, without a JSON dependency.
+class JsonWriter {
+ public:
+  void begin(const char* name = nullptr) {
+    comma();
+    if (name != nullptr) key(name);
+    out_ += '{';
+    fresh_ = true;
+  }
+  void end() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void field(const char* name, std::uint64_t value) {
+    comma();
+    key(name);
+    out_ += std::to_string(value);
+  }
+  void field(const char* name, double value) {
+    comma();
+    key(name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ += buf;
+  }
+  void field(const char* name, bool value) {
+    comma();
+    key(name);
+    out_ += value ? "true" : "false";
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void key(const char* name) {
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+  }
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+void histogram_json(JsonWriter& json, const char* name, const HistogramSnapshot& h) {
+  json.begin(name);
+  json.field("count", h.count);
+  json.field("mean", h.mean);
+  json.field("p50", h.p50);
+  json.field("p99", h.p99);
+  json.field("max", h.max);
+  json.end();
+}
+
+}  // namespace
+
+OriginServer::OriginServer(std::vector<OriginSite> sites, OriginOptions options)
+    : cache_enabled_(options.cache_enabled),
+      single_flight_(options.single_flight),
+      clock_(options.clock ? std::move(options.clock) : std::function<double()>(steady_seconds)),
+      cache_(options.cache) {
+  sites_.reserve(sites.size());
+  for (OriginSite& origin : sites) {
+    origin.host = lower(origin.host);
+    AW4A_EXPECTS(!origin.host.empty());
+    Site site;
+    site.id = sites_.size();
+    site.fingerprint = config_fingerprint(origin.config);
+    site.origin = std::move(origin);
+    const bool unique = by_host_.emplace(site.origin.host, site.id).second;
+    AW4A_EXPECTS(unique);
+    sites_.push_back(std::move(site));
+  }
+}
+
+net::HttpResponse OriginServer::handle(const net::HttpRequest& request) const {
+  bump(metrics_.requests_total);
+  try {
+    return handle_checked(request);
+  } catch (const std::exception& e) {
+    // Nothing below is expected to reach here (build failures degrade in
+    // handle_checked); this is the "no request crashes the origin" backstop.
+    bump(metrics_.internal_errors);
+    net::HttpResponse response;
+    response.status = 500;
+    response.reason = "Internal Server Error";
+    response.content_length = 0;
+    const std::string what = e.what();
+    response.headers.push_back({"AW4A-Error", what.substr(0, what.find('\n'))});
+    return response;
+  }
+}
+
+net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) const {
+  if (request.method != "GET") {
+    bump(metrics_.bad_method);
+    net::HttpResponse response;
+    response.status = 405;
+    response.reason = "Method Not Allowed";
+    response.content_length = 0;
+    response.headers.push_back({"Allow", "GET"});
+    return response;
+  }
+  if (request.path == kStatsPath) {
+    bump(metrics_.stats_requests);
+    return stats_response();
+  }
+  const auto host = request.host();
+  if (!host.has_value()) {
+    bump(metrics_.bad_request);
+    net::HttpResponse response;
+    response.status = 400;
+    response.reason = "Bad Request";
+    response.content_length = 0;
+    response.headers.push_back({"AW4A-Error", "multi-site origin requires a Host header"});
+    return response;
+  }
+  const auto routed = by_host_.find(*host);
+  if (routed == by_host_.end() || !core::known_page_path(request.path)) {
+    bump(metrics_.not_found);
+    net::HttpResponse response;
+    response.status = 404;
+    response.reason = "Not Found";
+    response.content_length = 0;
+    return response;
+  }
+  const Site& site = sites_[routed->second];
+
+  core::ServeOutcome outcome;
+  if (!request.save_data()) {
+    // Laziness is the point: the original needs no ladder, so a site that
+    // never sees a data-saving request never pays for a build.
+    outcome = core::answer_page_request(site.origin.page, {}, "", site.origin.plan, request);
+  } else {
+    LadderPtr ladder;
+    std::string degraded_reason;
+    try {
+      ladder = ladder_for(site);
+    } catch (const Error& e) {
+      degraded_reason = e.what();
+    }
+    outcome = core::answer_page_request(
+        site.origin.page,
+        ladder ? std::span<const core::Tier>(ladder->tiers) : std::span<const core::Tier>{},
+        degraded_reason, site.origin.plan, request);
+  }
+  switch (outcome.served) {
+    case core::ServeOutcome::Served::kOriginal: bump(metrics_.served_original); break;
+    case core::ServeOutcome::Served::kPawTier: bump(metrics_.served_paw_tier); break;
+    case core::ServeOutcome::Served::kPreferenceTier:
+      bump(metrics_.served_preference_tier);
+      break;
+    case core::ServeOutcome::Served::kDegraded: bump(metrics_.served_degraded); break;
+  }
+  metrics_.served_page_bytes.record(static_cast<double>(outcome.response.content_length));
+  return outcome.response;
+}
+
+LadderPtr OriginServer::ladder_for(const Site& site) const {
+  const TierKey key{site.id, site.fingerprint, site.origin.plan};
+  if (!cache_enabled_) return build_ladder(site);
+  try {
+    if (LadderPtr resident = cache_.fetch(key, clock_())) return resident;
+  } catch (const TransientError&) {
+    // Shard poisoned: serve around the cache rather than failing the
+    // request. The build is not shared, but the user still gets a tier.
+    bump(metrics_.cache_bypasses);
+    return build_ladder(site);
+  }
+  const auto build_and_admit = [&]() -> LadderPtr {
+    // Double-check on entry: between our miss and winning the flight (or,
+    // with single-flight off, losing the race), another build may have
+    // landed. This is what makes "one build per key" exact under
+    // single-flight instead of merely likely.
+    try {
+      if (LadderPtr resident = cache_.fetch(key, clock_())) return resident;
+    } catch (const TransientError&) {
+      bump(metrics_.cache_bypasses);
+      return build_ladder(site);
+    }
+    LadderPtr built = build_ladder(site);
+    try {
+      if (!cache_.insert(key, built, clock_())) bump(metrics_.duplicate_builds);
+    } catch (const TransientError&) {
+      bump(metrics_.cache_bypasses);
+    }
+    return built;
+  };
+  if (single_flight_) return flight_.run(key, build_and_admit);
+  return build_and_admit();
+}
+
+LadderPtr OriginServer::build_ladder(const Site& site) const {
+  bump(metrics_.builds_started);
+  const double started = clock_();
+  try {
+    AW4A_FAULT_POINT("serving.build.leader");
+    auto ladder = std::make_shared<TierLadder>();
+    ladder->tiers = core::Aw4aPipeline(site.origin.config).build_tiers(site.origin.page);
+    for (const core::Tier& tier : ladder->tiers) ladder->cost_bytes += tier.result.result_bytes;
+    ladder->build_seconds = clock_() - started;
+    metrics_.build_seconds.record(ladder->build_seconds);
+    return ladder;
+  } catch (...) {
+    bump(metrics_.builds_failed);
+    throw;
+  }
+}
+
+std::size_t OriginServer::invalidate_host(std::string_view host) {
+  const auto routed = by_host_.find(lower(host));
+  if (routed == by_host_.end()) return 0;
+  return cache_.invalidate_site(sites_[routed->second].id);
+}
+
+net::HttpResponse OriginServer::stats_response() const {
+  net::HttpResponse response;
+  response.headers.push_back({"Content-Type", "application/json"});
+  response.headers.push_back({"Cache-Control", "no-store"});
+  response.body = stats_json();
+  response.content_length = response.body.size();
+  return response;
+}
+
+std::string OriginServer::stats_json() const {
+  const MetricsSnapshot m = metrics_.snapshot();
+  const TierCacheStats c = cache_.stats();
+  const SingleFlightStats f = flight_.stats();
+  JsonWriter json;
+  json.begin();
+  json.field("sites", static_cast<std::uint64_t>(sites_.size()));
+  json.begin("requests");
+  json.field("total", m.requests_total);
+  json.field("original", m.served_original);
+  json.field("paw_tier", m.served_paw_tier);
+  json.field("preference_tier", m.served_preference_tier);
+  json.field("degraded", m.served_degraded);
+  json.field("stats", m.stats_requests);
+  json.field("not_found", m.not_found);
+  json.field("bad_method", m.bad_method);
+  json.field("bad_request", m.bad_request);
+  json.field("internal_errors", m.internal_errors);
+  json.end();
+  json.begin("cache");
+  json.field("enabled", cache_enabled_);
+  json.field("shards", static_cast<std::uint64_t>(cache_.shard_count()));
+  json.field("capacity_bytes", cache_.capacity_bytes());
+  json.field("hits", c.hits);
+  json.field("misses", c.misses);
+  json.field("hit_rate", c.hit_rate());
+  json.field("inserts", c.inserts);
+  json.field("evictions", c.evictions);
+  json.field("expirations", c.expirations);
+  json.field("invalidations", c.invalidations);
+  json.field("admission_rejects", c.admission_rejects);
+  json.field("resident_entries", c.resident_entries);
+  json.field("resident_bytes", c.resident_bytes);
+  json.field("bypasses", m.cache_bypasses);
+  json.end();
+  json.begin("builds");
+  json.field("started", m.builds_started);
+  json.field("failed", m.builds_failed);
+  json.field("duplicates", m.duplicate_builds);
+  json.field("single_flight", single_flight_);
+  json.field("leads", f.leads);
+  json.field("joins", f.joins);
+  histogram_json(json, "latency_seconds", m.build_seconds);
+  json.end();
+  histogram_json(json, "served_page_bytes", m.served_page_bytes);
+  json.end();
+  return json.take();
+}
+
+}  // namespace aw4a::serving

@@ -1,0 +1,112 @@
+// OriginServer: a multi-site AW4A origin in front of the single-page
+// serving core (core/server.h).
+//
+// Where TranscodingServer models one page with its ladder built up front,
+// OriginServer hosts a corpus of sites behind Host-header routing and builds
+// each site's ladder lazily — on the first data-saving request — through a
+// sharded TierCache and a SingleFlight group, so a popular site is built
+// once and served from cache while an unpopular one costs nothing until
+// asked for savings.
+//
+// Request flow (handle(), thread-safe, never throws):
+//   non-GET                     -> 405
+//   GET /aw4a/stats             -> metrics snapshot as JSON (any/no Host)
+//   no Host header              -> 400 (multi-site routing needs one)
+//   unknown Host / unknown path -> 404
+//   Save-Data absent/off        -> the site's original page, no build
+//   Save-Data: on               -> ladder via cache + single-flight, then
+//                                  the Fig. 6 decision (core::answer_page_request)
+//
+// Failure containment mirrors PR 1's contract: a failed ladder build serves
+// the degraded original for that request and is NOT cached (the next
+// request retries); a faulted cache shard ("serving.cache.shard") is
+// bypassed, trading duplicate build work for availability; a failed build
+// leader ("serving.build.leader") fails its whole flight once, degraded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/server.h"
+#include "serving/metrics.h"
+#include "serving/single_flight.h"
+#include "serving/tier_cache.h"
+
+namespace aw4a::serving {
+
+/// One hosted site: its routing key, content, and serving configuration.
+struct OriginSite {
+  std::string host;  ///< matched against the request's Host (case-insensitive)
+  web::WebPage page;
+  core::DeveloperConfig config;
+  /// Plan assumed for PAW decisions at this site.
+  net::PlanType plan = net::PlanType::kDataOnly;
+};
+
+struct OriginOptions {
+  TierCacheOptions cache;
+  /// Off: every data-saving request builds (the bench's baseline mode).
+  bool cache_enabled = true;
+  /// Off: concurrent misses on one key all build (duplicate_builds > 0
+  /// under load — the bench quantifies the waste).
+  bool single_flight = true;
+  /// Monotonic seconds for TTL and build timing; null = steady_clock.
+  /// Injectable so TTL tests don't sleep.
+  std::function<double()> clock;
+};
+
+class OriginServer {
+ public:
+  static constexpr std::string_view kStatsPath = "/aw4a/stats";
+
+  /// Hosts are normalized to lowercase and must be unique and non-empty.
+  /// Construction builds nothing (ladders are lazy) and never throws on
+  /// content problems — only on precondition violations (LogicError).
+  explicit OriginServer(std::vector<OriginSite> sites, OriginOptions options = {});
+
+  /// Answers one request. Safe to call from many threads; never throws.
+  net::HttpResponse handle(const net::HttpRequest& request) const;
+
+  /// Drops the cached ladders of one host (content push). Returns the
+  /// number of cache entries dropped; 0 for an unknown host.
+  std::size_t invalidate_host(std::string_view host);
+
+  std::size_t site_count() const { return sites_.size(); }
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  TierCacheStats cache_stats() const { return cache_.stats(); }
+  SingleFlightStats single_flight_stats() const { return flight_.stats(); }
+
+  /// The /aw4a/stats body: one JSON object over metrics(), cache_stats()
+  /// and single_flight_stats().
+  std::string stats_json() const;
+
+ private:
+  struct Site {
+    OriginSite origin;
+    std::uint64_t id = 0;           ///< index into sites_
+    std::uint64_t fingerprint = 0;  ///< config_fingerprint(origin.config)
+  };
+
+  net::HttpResponse handle_checked(const net::HttpRequest& request) const;
+  net::HttpResponse stats_response() const;
+  /// Cache -> single-flight -> build. Throws aw4a::Error when the build
+  /// (or its flight leader) failed; the caller degrades per request.
+  LadderPtr ladder_for(const Site& site) const;
+  /// One real pipeline build, metered. Throws on failure.
+  LadderPtr build_ladder(const Site& site) const;
+
+  std::vector<Site> sites_;
+  std::unordered_map<std::string, std::size_t> by_host_;
+  bool cache_enabled_;
+  bool single_flight_;
+  std::function<double()> clock_;
+  mutable TierCache cache_;
+  mutable SingleFlight<TierKey, TierLadder, TierKeyHash> flight_;
+  mutable ServingMetrics metrics_;
+};
+
+}  // namespace aw4a::serving

@@ -1,0 +1,98 @@
+// Single-flight build collapsing — the thundering-herd guard in front of
+// TierCache. When N threads miss on the same key at once, exactly one (the
+// leader) runs the expensive build; the other N-1 join the flight, block,
+// and share the leader's result. A leader failure is propagated through a
+// shared exception_ptr to every member of that flight and the flight
+// dissolves, so the next request elects a fresh leader: one failure is
+// observed once per waiting request, never retried N times concurrently.
+//
+// The registry lock is held only to find/erase flights and publish results;
+// the build itself runs unlocked, so flights for different keys proceed in
+// parallel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace aw4a::serving {
+
+struct SingleFlightStats {
+  std::uint64_t leads = 0;  ///< calls that ran the build themselves
+  std::uint64_t joins = 0;  ///< calls that waited on another call's flight
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleFlight {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// Returns `build()`'s value, running it at most once across all calls
+  /// that overlap on `key`. Rethrows the leader's exception in every member
+  /// of a failed flight.
+  ValuePtr run(const Key& key, const std::function<ValuePtr()>& build) {
+    std::unique_lock lock(mutex_);
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+      const std::shared_ptr<Flight> flight = it->second;
+      joins_.fetch_add(1, std::memory_order_relaxed);
+      flight->done_cv.wait(lock, [&] { return flight->done; });
+      if (flight->error) std::rethrow_exception(flight->error);
+      return flight->value;
+    }
+    const auto flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+    leads_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+
+    ValuePtr value;
+    std::exception_ptr error;
+    try {
+      value = build();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    flight->value = std::move(value);
+    flight->error = error;
+    flight->done = true;
+    flights_.erase(key);
+    lock.unlock();
+    // Waiters hold their own shared_ptr to the flight, so notifying after
+    // the erase (and outside the lock) is safe and wakes them uncontended.
+    flight->done_cv.notify_all();
+
+    if (error) std::rethrow_exception(error);
+    return flight->value;
+  }
+
+  /// Flights currently in progress (0 when idle); diagnostics and tests.
+  std::size_t in_flight() const {
+    const std::lock_guard lock(mutex_);
+    return flights_.size();
+  }
+
+  SingleFlightStats stats() const {
+    return {leads_.load(std::memory_order_relaxed), joins_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Flight {
+    bool done = false;         // guarded by mutex_
+    ValuePtr value;            // written once, before done flips
+    std::exception_ptr error;  // likewise
+    std::condition_variable done_cv;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, Hash> flights_;
+  std::atomic<std::uint64_t> leads_{0};
+  std::atomic<std::uint64_t> joins_{0};
+};
+
+}  // namespace aw4a::serving

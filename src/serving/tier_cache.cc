@@ -1,0 +1,161 @@
+#include "serving/tier_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace aw4a::serving {
+namespace {
+
+/// splitmix64-style avalanche of `v`, folded into the running digest `h`.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return (h ^ v) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::size_t TierKeyHash::operator()(const TierKey& key) const {
+  std::uint64_t h = mix(0x6177346153525620ULL, key.site_id);
+  h = mix(h, key.config_fingerprint);
+  h = mix(h, static_cast<std::uint64_t>(key.plan));
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t config_fingerprint(const core::DeveloperConfig& config) {
+  std::uint64_t h = 0x4157344143464721ULL;
+  h = mix(h, static_cast<std::uint64_t>(config.tier_reductions.size()));
+  for (const double reduction : config.tier_reductions) h = mix(h, reduction);
+  h = mix(h, config.min_image_ssim);
+  h = mix(h, config.quality_weights.qss);
+  h = mix(h, config.quality_weights.qfs);
+  h = mix(h, config.rbr_area_weight);
+  h = mix(h, config.rbr_bytes_efficiency_weight);
+  h = mix(h, static_cast<std::uint64_t>(config.stage2));
+  h = mix(h, config.grid_timeout_seconds);
+  h = mix(h, config.stage1.min_transcode_ssim);
+  h = mix(h, config.stage1.minify_gain);
+  h = mix(h, config.stage1.font_metadata_fraction);
+  h = mix(h, static_cast<std::uint64_t>(config.measure_qfs));
+  h = mix(h, static_cast<std::uint64_t>(config.js_strategy));
+  h = mix(h, config.stage2_deadline_seconds);
+  h = mix(h, static_cast<std::uint64_t>(config.tier_build_attempts));
+  return h;
+}
+
+TierCacheStats& TierCacheStats::operator+=(const TierCacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  inserts += other.inserts;
+  evictions += other.evictions;
+  expirations += other.expirations;
+  invalidations += other.invalidations;
+  admission_rejects += other.admission_rejects;
+  resident_entries += other.resident_entries;
+  resident_bytes += other.resident_bytes;
+  return *this;
+}
+
+TierCache::TierCache(TierCacheOptions options)
+    : options_(options),
+      shards_(std::bit_ceil(std::max<std::size_t>(std::size_t{1}, options.shards))) {
+  AW4A_EXPECTS(options_.capacity_bytes >= shards_.size());
+  shard_capacity_ = options_.capacity_bytes / shards_.size();
+}
+
+TierCache::Shard& TierCache::shard_of(const TierKey& key) {
+  return shards_[TierKeyHash{}(key) & (shards_.size() - 1)];
+}
+
+LadderPtr TierCache::fetch(const TierKey& key, double now_seconds) {
+  // Outside the lock: a poisoned shard fails the lookup, never deadlocks it.
+  AW4A_FAULT_POINT("serving.cache.shard");
+  Shard& shard = shard_of(key);
+  const std::lock_guard lock(shard.mutex);
+  Resident* resident = shard.lru.touch(key);
+  if (resident == nullptr) {
+    ++shard.counters.misses;
+    return nullptr;
+  }
+  if (options_.ttl_seconds > 0.0 &&
+      now_seconds - resident->inserted_at >= options_.ttl_seconds) {
+    shard.lru.erase(key);
+    ++shard.counters.expirations;
+    ++shard.counters.misses;
+    return nullptr;
+  }
+  ++shard.counters.hits;
+  return resident->ladder;
+}
+
+bool TierCache::insert(const TierKey& key, LadderPtr ladder, double now_seconds) {
+  AW4A_EXPECTS(ladder != nullptr && !ladder->tiers.empty());
+  AW4A_FAULT_POINT("serving.cache.shard");
+  Shard& shard = shard_of(key);
+  const std::lock_guard lock(shard.mutex);
+  if (shard.lru.peek(key) != nullptr) return false;  // lost the build race
+  // Charge at least one byte so a pathological zero-cost ladder still
+  // participates in eviction accounting.
+  const Bytes cost = std::max<Bytes>(ladder->cost_bytes, 1);
+  if (cost > shard_capacity_) {
+    ++shard.counters.admission_rejects;
+    return true;
+  }
+  while (shard.lru.total_cost() + cost > shard_capacity_ && !shard.lru.empty()) {
+    shard.lru.evict_lru();
+    ++shard.counters.evictions;
+  }
+  shard.lru.insert(key, Resident{std::move(ladder), now_seconds}, cost);
+  ++shard.counters.inserts;
+  return true;
+}
+
+std::size_t TierCache::invalidate_site(std::uint64_t site_id) {
+  std::size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    const std::size_t n = shard.lru.erase_if(
+        [site_id](const TierKey& key, const Resident&) { return key.site_id == site_id; });
+    shard.counters.invalidations += n;
+    dropped += n;
+  }
+  return dropped;
+}
+
+void TierCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    shard.counters.invalidations += shard.lru.size();
+    shard.lru.clear();
+  }
+}
+
+std::vector<TierCacheStats> TierCache::shard_stats() const {
+  std::vector<TierCacheStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    TierCacheStats stats = shard.counters;
+    stats.resident_entries = shard.lru.size();
+    stats.resident_bytes = shard.lru.total_cost();
+    out.push_back(stats);
+  }
+  return out;
+}
+
+TierCacheStats TierCache::stats() const {
+  TierCacheStats total;
+  for (const TierCacheStats& shard : shard_stats()) total += shard;
+  return total;
+}
+
+}  // namespace aw4a::serving

@@ -44,6 +44,30 @@ TEST(Countries, NamedAnchorsPresent) {
   EXPECT_EQ(find_country("Atlantis"), nullptr);
 }
 
+TEST(Countries, EveryCountryHasAUniqueIso2Code) {
+  std::vector<std::string_view> codes;
+  for (const Country& c : countries()) {
+    ASSERT_EQ(c.code.size(), 2u) << c.name << " lacks an ISO-2 code";
+    for (const char ch : c.code) {
+      EXPECT_TRUE(ch >= 'A' && ch <= 'Z') << c.name << ": " << c.code;
+    }
+    codes.push_back(c.code);
+  }
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(std::adjacent_find(codes.begin(), codes.end()), codes.end())
+      << "duplicate ISO-2 code in the table";
+}
+
+TEST(Countries, LookupByCode) {
+  const Country* et = find_country_by_code("ET");
+  ASSERT_NE(et, nullptr);
+  EXPECT_EQ(et->name, "Ethiopia");
+  EXPECT_EQ(find_country_by_code("et"), nullptr);  // lookups are exact; the
+  // HTTP layer normalizes to uppercase before calling.
+  EXPECT_EQ(find_country_by_code("XX"), nullptr);
+  EXPECT_EQ(find_country_by_code(""), nullptr);
+}
+
 TEST(Countries, PageSizeDistributionMatchesPaper) {
   std::vector<double> developing;
   std::vector<double> developed;

@@ -106,6 +106,27 @@ TEST(LruByteCache, OversizedObjectNeverAdmitted) {
   EXPECT_EQ(cache.used(), 0u);
 }
 
+TEST(LruByteCache, SharedCoreKeepsSimulationByteIdentical) {
+  // Regression pin for the O(n)-scan -> util/lru.h rewrite: an adversarial
+  // mix of hits, stale refetches, no-store items, evictions and clears must
+  // reproduce the exact pre-rewrite transfer sequence.
+  LruByteCache cache(10000);
+  Rng rng(7);
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    CacheItem item;
+    item.id = static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+    item.transfer_bytes = static_cast<Bytes>(500 + 250 * item.id);
+    item.policy = {.max_age_seconds = (item.id % 3 == 0) ? 0u : 3600u * item.id,
+                   .no_store = item.id % 5 == 0};
+    const std::uint64_t now = static_cast<std::uint64_t>(i) * 700;
+    checksum = checksum * 1099511628211ULL + cache.fetch(item, now);
+    if (i % 977 == 0) cache.clear();
+  }
+  EXPECT_EQ(checksum, 15391330069952582146ULL);
+  EXPECT_EQ(cache.used(), 8500u);
+}
+
 TEST(DeviceCache, BiggerDeviceSavesMore) {
   Rng rng(2);
   // 25 synthetic pages of ~40 x 60KB objects with the sampled policy mix.
@@ -128,6 +149,10 @@ TEST(DeviceCache, BiggerDeviceSavesMore) {
   EXPECT_LT(nexus, 0.75);
   EXPECT_GT(nokia, 0.08);
   EXPECT_LT(nokia, 0.40);
+  // Exact pins (captured before the util/lru.h rewrite): the refactor must
+  // keep the simulation byte-identical, not merely in-band.
+  EXPECT_DOUBLE_EQ(nexus, 0.66588748463276248);
+  EXPECT_DOUBLE_EQ(nokia, 0.18808137021032711);
 }
 
 }  // namespace

@@ -35,12 +35,37 @@ TEST(Http, SaveDataRequiresOn) {
   EXPECT_TRUE(request.save_data());  // trimmed
 }
 
-TEST(Http, CountryHint) {
+TEST(Http, CountryHintNormalizesToUppercaseIso2) {
   HttpRequest request;
   EXPECT_FALSE(request.country_hint().has_value());
-  request.headers.push_back({"X-Geo-Country", "Pakistan"});
+  request.headers.push_back({"X-Geo-Country", "PK"});
   ASSERT_TRUE(request.country_hint().has_value());
-  EXPECT_EQ(*request.country_hint(), "Pakistan");
+  EXPECT_EQ(*request.country_hint(), "PK");
+  request.headers[0].value = "pk";
+  EXPECT_EQ(*request.country_hint(), "PK");
+  request.headers[0].value = " et ";  // trimmed, then normalized
+  EXPECT_EQ(*request.country_hint(), "ET");
+}
+
+TEST(Http, CountryHintRejectsNonIso2Junk) {
+  HttpRequest request;
+  request.headers.push_back({"X-Geo-Country", ""});
+  for (const char* junk : {"", "Pakistan", "P", "PAK", "P1", "1K", "--", "p k", "\xC3\x89T"}) {
+    request.headers[0].value = junk;
+    EXPECT_FALSE(request.country_hint().has_value()) << "accepted junk hint: " << junk;
+  }
+}
+
+TEST(Http, HostIsLowercasedAndPortStripped) {
+  HttpRequest request;
+  EXPECT_FALSE(request.host().has_value());
+  request.headers.push_back({"Host", "News.Example.COM:8080"});
+  ASSERT_TRUE(request.host().has_value());
+  EXPECT_EQ(*request.host(), "news.example.com");
+  request.headers[0].value = "plain.example";
+  EXPECT_EQ(*request.host(), "plain.example");
+  request.headers[0].value = "  ";
+  EXPECT_FALSE(request.host().has_value());
 }
 
 TEST(Http, SavingsHeaderValidation) {
@@ -124,6 +149,29 @@ TEST(Http, ResponseReasonPreserved) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->status, 405);
   EXPECT_EQ(parsed->reason, "Method Not Allowed");
+}
+
+TEST(Http, ResponseBodyRoundTrip) {
+  HttpResponse response;
+  response.headers.push_back({"Content-Type", "application/json"});
+  response.body = "{\"requests\":{\"total\":12}}";
+  const std::string wire = serialize(response);
+  EXPECT_NE(wire.find("Content-Length: 25\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - response.body.size()), response.body);
+  const auto parsed = parse_response(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, response.body);
+  EXPECT_EQ(parsed->content_length, 25u);
+}
+
+TEST(Http, EmptyBodyLeavesSimulatedLength) {
+  HttpResponse response;
+  response.content_length = 777;  // simulated page bytes, no materialized body
+  const std::string wire = serialize(response);
+  EXPECT_NE(wire.find("Content-Length: 777\r\n"), std::string::npos);
+  const auto parsed = parse_response(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
 }
 
 TEST(Http, ExplicitContentLengthHeaderWins) {

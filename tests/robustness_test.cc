@@ -18,6 +18,7 @@
 
 #include "core/server.h"
 #include "dataset/corpus.h"
+#include "serving/origin.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/retry.h"
@@ -145,7 +146,8 @@ TEST_F(FaultTest, KnownPointsIncludeProductionRegistrations) {
   for (const char* expected :
        {"codec.jpeg.encode", "codec.png.encode", "codec.webp.encode",
         "js.muzeel.eliminate", "dataset.corpus.make_page", "net.compress.gzip",
-        "solver.grid_search", "solver.hbs", "solver.knapsack"}) {
+        "solver.grid_search", "solver.hbs", "solver.knapsack",
+        "serving.build.leader", "serving.cache.shard"}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << "missing " << expected;
   }
@@ -299,8 +301,8 @@ class DegradationTest : public ::testing::Test {
       return r;
     };
     return {get({}),
-            get({{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}}),
-            get({{"Save-Data", "on"}, {"X-Geo-Country", "Germany"}}),
+            get({{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}),
+            get({{"Save-Data", "on"}, {"X-Geo-Country", "DE"}}),
             get({{"Save-Data", "on"}, {"AW4A-Savings", "70"}})};
   }
 
@@ -396,7 +398,7 @@ TEST_F(DegradationTest, ZeroTiersServerServesDegradedOriginal) {
       << server.degraded_reason();
 
   net::HttpRequest saver;
-  saver.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "Ethiopia"}};
+  saver.headers = {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}};
   const auto degraded = server.handle(saver);
   EXPECT_EQ(degraded.status, 200);
   EXPECT_EQ(degraded.content_length, page_->transfer_size());
@@ -452,6 +454,66 @@ TEST_F(DegradationTest, SweepEveryFaultPointServerNeverThrows) {
       ASSERT_TRUE(response.has_value()) << "unparsable wire response:\n" << wire;
       EXPECT_EQ(response->status, 200) << wire;
       // Either a real tier/original, or an explicitly degraded original.
+      ASSERT_NE(response->header("AW4A-Tier"), nullptr) << wire;
+      if (*response->header("AW4A-Tier") == "none") {
+        EXPECT_NE(response->header("AW4A-Degraded"), nullptr) << wire;
+      }
+      EXPECT_GT(response->content_length, 0u) << wire;
+    }
+  }
+}
+
+TEST_F(DegradationTest, SweepEveryFaultPointOriginServerNeverThrows) {
+  // Same guarantee one layer up: the multi-site origin (lazy builds, tier
+  // cache, single flight) absorbs every fault point — including its own
+  // serving.* family — and degrades instead of erroring. The cache means a
+  // point that fires during the one build poisons at most that build; the
+  // per-request degradation path covers the rest.
+  auto run_scenarios = [&]() -> std::vector<std::string> {
+    std::vector<serving::OriginSite> sites;
+    sites.push_back(serving::OriginSite{"paper.example", *page_, config(),
+                                        net::PlanType::kDataVoiceLowUsage});
+    const serving::OriginServer origin(std::move(sites));
+    std::vector<std::string> wires;
+    for (auto& request : scenarios()) {
+      request.headers.push_back({"Host", "paper.example"});
+      const auto parsed = net::parse_request(net::serialize(request));
+      EXPECT_TRUE(parsed.has_value());
+      wires.push_back(net::serialize(origin.handle(*parsed)));
+    }
+    // The stats endpoint must stay reachable under any fault; its body is
+    // timing-dependent, so only its status joins the determinism check.
+    net::HttpRequest stats;
+    stats.path = "/aw4a/stats";
+    const auto stats_response = origin.handle(stats);
+    EXPECT_EQ(stats_response.status, 200);
+    EXPECT_EQ(origin.metrics().internal_errors, 0u);
+    return wires;
+  };
+
+  for (const std::string& point : fault::known_points()) {
+    if (point.rfind("test.", 0) == 0) continue;  // unit-test scratch points
+    SCOPED_TRACE("fault point: " + point);
+
+    fault::reset();
+    fault::set_seed(11);
+    fault::configure(point, {.probability = 1.0});
+    std::vector<std::string> first;
+    ASSERT_NO_THROW(first = run_scenarios());
+
+    fault::reset();
+    fault::set_seed(11);
+    fault::configure(point, {.probability = 1.0});
+    std::vector<std::string> second;
+    ASSERT_NO_THROW(second = run_scenarios());
+
+    EXPECT_EQ(first, second) << "degradation path must be deterministic";
+
+    ASSERT_EQ(first.size(), 4u);
+    for (const std::string& wire : first) {
+      const auto response = net::parse_response(wire);
+      ASSERT_TRUE(response.has_value()) << "unparsable wire response:\n" << wire;
+      EXPECT_EQ(response->status, 200) << wire;
       ASSERT_NE(response->header("AW4A-Tier"), nullptr) << wire;
       if (*response->header("AW4A-Tier") == "none") {
         EXPECT_NE(response->header("AW4A-Degraded"), nullptr) << wire;

@@ -1,0 +1,468 @@
+// The multi-site serving subsystem: TierCache policy (LRU bytes, TTL,
+// admission, invalidation), config fingerprinting, SingleFlight semantics,
+// and OriginServer routing / lazy builds / metrics / the stats endpoint.
+// Concurrency hammering lives in serving_stress_test.cc; this file pins the
+// single-threaded contracts.
+#include "serving/origin.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "serving/single_flight.h"
+#include "serving/tier_cache.h"
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace aw4a::serving {
+namespace {
+
+LadderPtr fake_ladder(Bytes cost_bytes) {
+  auto ladder = std::make_shared<TierLadder>();
+  ladder->tiers.resize(1);
+  ladder->cost_bytes = cost_bytes;
+  return ladder;
+}
+
+TierKey key_of(std::uint64_t site, std::uint64_t fingerprint = 1,
+               net::PlanType plan = net::PlanType::kDataOnly) {
+  return TierKey{site, fingerprint, plan};
+}
+
+// ---------------------------------------------------------------------------
+// TierCache
+// ---------------------------------------------------------------------------
+
+TEST(TierCache, MissInsertHitRoundTrip) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 2});
+  EXPECT_EQ(cache.fetch(key_of(1), 0.0), nullptr);
+  const LadderPtr ladder = fake_ladder(100);
+  EXPECT_TRUE(cache.insert(key_of(1), ladder, 0.0));
+  EXPECT_EQ(cache.fetch(key_of(1), 1.0).get(), ladder.get());
+  const TierCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.resident_entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, 100u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(TierCache, KeysSeparateSitesConfigsAndPlans) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 1});
+  ASSERT_TRUE(cache.insert(key_of(1, 10, net::PlanType::kDataOnly), fake_ladder(1), 0.0));
+  EXPECT_EQ(cache.fetch(key_of(2, 10, net::PlanType::kDataOnly), 0.0), nullptr);
+  EXPECT_EQ(cache.fetch(key_of(1, 11, net::PlanType::kDataOnly), 0.0), nullptr);
+  EXPECT_EQ(cache.fetch(key_of(1, 10, net::PlanType::kDataVoiceHighUsage), 0.0), nullptr);
+  EXPECT_NE(cache.fetch(key_of(1, 10, net::PlanType::kDataOnly), 0.0), nullptr);
+}
+
+TEST(TierCache, EvictsLeastRecentlyUsedByBytes) {
+  // One shard so the byte budget is a single pool.
+  TierCache cache(TierCacheOptions{.capacity_bytes = 1000, .shards = 1});
+  ASSERT_TRUE(cache.insert(key_of(1), fake_ladder(600), 0.0));
+  ASSERT_TRUE(cache.insert(key_of(2), fake_ladder(300), 0.0));
+  ASSERT_NE(cache.fetch(key_of(1), 0.0), nullptr);  // 1 is now most recent
+  ASSERT_TRUE(cache.insert(key_of(3), fake_ladder(300), 0.0));
+  EXPECT_EQ(cache.fetch(key_of(2), 0.0), nullptr) << "LRU entry should be gone";
+  EXPECT_NE(cache.fetch(key_of(1), 0.0), nullptr);
+  EXPECT_NE(cache.fetch(key_of(3), 0.0), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().resident_bytes, 1000u);
+}
+
+TEST(TierCache, TtlExpiresAtFetchTime) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 1, .ttl_seconds = 10.0});
+  ASSERT_TRUE(cache.insert(key_of(1), fake_ladder(10), /*now=*/100.0));
+  EXPECT_NE(cache.fetch(key_of(1), 105.0), nullptr) << "within TTL";
+  EXPECT_EQ(cache.fetch(key_of(1), 110.0), nullptr) << "TTL boundary is exclusive";
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  // The expired slot is free again.
+  EXPECT_TRUE(cache.insert(key_of(1), fake_ladder(10), 110.0));
+  EXPECT_NE(cache.fetch(key_of(1), 115.0), nullptr);
+}
+
+TEST(TierCache, DuplicateInsertKeepsTheResidentLadder) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 1});
+  const LadderPtr first = fake_ladder(10);
+  ASSERT_TRUE(cache.insert(key_of(1), first, 0.0));
+  EXPECT_FALSE(cache.insert(key_of(1), fake_ladder(10), 0.0));
+  EXPECT_EQ(cache.fetch(key_of(1), 0.0).get(), first.get());
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(TierCache, OversizeLadderIsRejectedNotThrashed) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = 1000, .shards = 1});
+  ASSERT_TRUE(cache.insert(key_of(1), fake_ladder(500), 0.0));
+  // Larger than the whole shard: admitting it would evict everything and
+  // still not fit. insert() reports success-without-residency.
+  EXPECT_TRUE(cache.insert(key_of(2), fake_ladder(5000), 0.0));
+  EXPECT_EQ(cache.fetch(key_of(2), 0.0), nullptr);
+  EXPECT_NE(cache.fetch(key_of(1), 0.0), nullptr) << "resident entries untouched";
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(TierCache, AdmissionRequiresABuiltLadder) {
+  TierCache cache;
+  EXPECT_THROW(cache.insert(key_of(1), nullptr, 0.0), LogicError);
+  EXPECT_THROW(cache.insert(key_of(1), std::make_shared<TierLadder>(), 0.0), LogicError);
+}
+
+TEST(TierCache, InvalidateSiteDropsEveryConfigAndPlan) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 4});
+  ASSERT_TRUE(cache.insert(key_of(1, 10, net::PlanType::kDataOnly), fake_ladder(1), 0.0));
+  ASSERT_TRUE(cache.insert(key_of(1, 11, net::PlanType::kDataVoiceLowUsage), fake_ladder(1), 0.0));
+  ASSERT_TRUE(cache.insert(key_of(2, 10, net::PlanType::kDataOnly), fake_ladder(1), 0.0));
+  EXPECT_EQ(cache.invalidate_site(1), 2u);
+  EXPECT_EQ(cache.fetch(key_of(1, 10, net::PlanType::kDataOnly), 0.0), nullptr);
+  EXPECT_EQ(cache.fetch(key_of(1, 11, net::PlanType::kDataVoiceLowUsage), 0.0), nullptr);
+  EXPECT_NE(cache.fetch(key_of(2, 10, net::PlanType::kDataOnly), 0.0), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.invalidate_site(99), 0u);
+}
+
+TEST(TierCache, ClearDropsEverything) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 2});
+  ASSERT_TRUE(cache.insert(key_of(1), fake_ladder(1), 0.0));
+  ASSERT_TRUE(cache.insert(key_of(2), fake_ladder(1), 0.0));
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_entries, 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(TierCache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TierCache(TierCacheOptions{.shards = 1}).shard_count(), 1u);
+  EXPECT_EQ(TierCache(TierCacheOptions{.shards = 3}).shard_count(), 4u);
+  EXPECT_EQ(TierCache(TierCacheOptions{.shards = 8}).shard_count(), 8u);
+  EXPECT_EQ(TierCache(TierCacheOptions{.shards = 0}).shard_count(), 1u);
+}
+
+TEST(ConfigFingerprint, StableForEqualConfigsSensitiveToEveryKnob) {
+  const core::DeveloperConfig base;
+  EXPECT_EQ(config_fingerprint(base), config_fingerprint(core::DeveloperConfig{}));
+
+  std::vector<core::DeveloperConfig> variants(9, base);
+  variants[0].tier_reductions = {1.25, 1.5, 3.0};
+  variants[1].tier_reductions = {1.25, 1.5, 3.0, 6.5};
+  variants[2].min_image_ssim = 0.8;
+  variants[3].quality_weights.qss = 0.7;
+  variants[4].stage2 = core::DeveloperConfig::Stage2::kGridSearch;
+  variants[5].measure_qfs = false;
+  variants[6].js_strategy = core::HbsOptions::JsStrategy::kAdjustable;
+  variants[7].stage2_deadline_seconds = 30.0;
+  variants[8].tier_build_attempts = 3;
+  std::vector<std::uint64_t> prints{config_fingerprint(base)};
+  for (const auto& variant : variants) prints.push_back(config_fingerprint(variant));
+  for (std::size_t i = 0; i < prints.size(); ++i) {
+    for (std::size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j]) << "variants " << i << " and " << j << " collide";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight
+// ---------------------------------------------------------------------------
+
+TEST(SingleFlight, SoloCallRunsTheBuild) {
+  SingleFlight<int, int> flight;
+  int builds = 0;
+  const auto value = flight.run(7, [&] {
+    ++builds;
+    return std::make_shared<const int>(42);
+  });
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(flight.stats().leads, 1u);
+  EXPECT_EQ(flight.stats().joins, 0u);
+  EXPECT_EQ(flight.in_flight(), 0u);
+}
+
+TEST(SingleFlight, WaitersShareTheLeadersBuild) {
+  SingleFlight<int, int> flight;
+  constexpr std::uint64_t kWaiters = 3;
+  std::atomic<int> builds{0};
+  const auto build = [&]() -> std::shared_ptr<const int> {
+    builds.fetch_add(1);
+    // Hold the flight open until every other thread has joined it, so the
+    // collapse is guaranteed rather than racy-probable.
+    while (flight.stats().joins < kWaiters) std::this_thread::yield();
+    return std::make_shared<const int>(99);
+  };
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const int>> results(kWaiters + 1);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] { results[i] = flight.run(5, build); });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(*result, 99);
+    EXPECT_EQ(result.get(), results[0].get()) << "all callers share one value";
+  }
+  EXPECT_EQ(flight.stats().leads, 1u);
+  EXPECT_EQ(flight.stats().joins, kWaiters);
+}
+
+TEST(SingleFlight, LeaderFailurePropagatesOnceToEveryWaiter) {
+  SingleFlight<int, int> flight;
+  constexpr std::uint64_t kWaiters = 3;
+  std::atomic<int> builds{0};
+  std::atomic<int> failures{0};
+  const auto build = [&]() -> std::shared_ptr<const int> {
+    builds.fetch_add(1);
+    while (flight.stats().joins < kWaiters) std::this_thread::yield();
+    throw TransientError("leader lost its build");
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kWaiters + 1; ++i) {
+    threads.emplace_back([&] {
+      try {
+        flight.run(5, build);
+      } catch (const TransientError&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(builds.load(), 1) << "waiters must not retry the failed build";
+  EXPECT_EQ(failures.load(), static_cast<int>(kWaiters) + 1)
+      << "every member of the flight observes the one failure";
+  // The failed flight dissolved: the next call elects a fresh leader.
+  const auto value = flight.run(5, [] { return std::make_shared<const int>(1); });
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(flight.stats().leads, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// OriginServer (real pipeline builds on small pages)
+// ---------------------------------------------------------------------------
+
+class OriginServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 31, .rich = true});
+    Rng rng(31);
+    pages_ = new std::vector<web::WebPage>;
+    pages_->push_back(gen.make_page(rng, 300 * kKB, gen.global_profile()));
+    pages_->push_back(gen.make_page(rng, 500 * kKB, gen.global_profile()));
+  }
+  static void TearDownTestSuite() {
+    delete pages_;
+    pages_ = nullptr;
+  }
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  static core::DeveloperConfig config() {
+    core::DeveloperConfig config;
+    config.tier_reductions = {2.0};
+    config.min_image_ssim = 0.8;
+    config.measure_qfs = false;
+    return config;
+  }
+
+  static std::vector<OriginSite> sites() {
+    return {OriginSite{"a.example", (*pages_)[0], config(), net::PlanType::kDataVoiceLowUsage},
+            OriginSite{"B.Example", (*pages_)[1], config(), net::PlanType::kDataVoiceLowUsage}};
+  }
+
+  static net::HttpRequest get(const std::string& host,
+                              std::initializer_list<net::HttpHeader> extra = {}) {
+    net::HttpRequest request;
+    if (!host.empty()) request.headers.push_back({"Host", host});
+    for (const auto& header : extra) request.headers.push_back(header);
+    return request;
+  }
+
+  static std::vector<web::WebPage>* pages_;
+};
+
+std::vector<web::WebPage>* OriginServerTest::pages_ = nullptr;
+
+TEST_F(OriginServerTest, RoutesByHostCaseInsensitively) {
+  const OriginServer origin(sites());
+  EXPECT_EQ(origin.site_count(), 2u);
+  const auto a = origin.handle(get("a.example"));
+  const auto b = origin.handle(get("b.example:8080"));
+  EXPECT_EQ(a.status, 200);
+  EXPECT_EQ(b.status, 200);
+  EXPECT_EQ(a.content_length, (*pages_)[0].transfer_size());
+  EXPECT_EQ(b.content_length, (*pages_)[1].transfer_size());
+}
+
+TEST_F(OriginServerTest, RoutingErrorsAreCountedAndTyped) {
+  const OriginServer origin(sites());
+  EXPECT_EQ(origin.handle(get("")).status, 400);
+  EXPECT_EQ(origin.handle(get("nobody.example")).status, 404);
+  net::HttpRequest bad_path = get("a.example");
+  bad_path.path = "/admin";
+  EXPECT_EQ(origin.handle(bad_path).status, 404);
+  net::HttpRequest post = get("a.example");
+  post.method = "POST";
+  EXPECT_EQ(origin.handle(post).status, 405);
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.requests_total, 4u);
+  EXPECT_EQ(m.bad_request, 1u);
+  EXPECT_EQ(m.not_found, 2u);
+  EXPECT_EQ(m.bad_method, 1u);
+  EXPECT_EQ(m.builds_started, 0u);
+}
+
+TEST_F(OriginServerTest, NonSavingRequestsNeverTriggerABuild) {
+  const OriginServer origin(sites());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(origin.handle(get("a.example")).status, 200);
+  }
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.served_original, 3u);
+  EXPECT_EQ(m.builds_started, 0u) << "lazy builds: originals cost nothing";
+  EXPECT_EQ(origin.cache_stats().misses, 0u);
+}
+
+TEST_F(OriginServerTest, FirstSavingRequestBuildsThenCacheServes) {
+  const OriginServer origin(sites());
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  const auto first = origin.handle(saver);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_LT(first.content_length, (*pages_)[0].transfer_size());
+  ASSERT_NE(first.header("AW4A-Tier"), nullptr);
+  EXPECT_NE(*first.header("AW4A-Tier"), "none");
+  const auto second = origin.handle(saver);
+  EXPECT_EQ(second.content_length, first.content_length);
+
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.builds_started, 1u) << "the second request must be a cache hit";
+  EXPECT_EQ(m.served_paw_tier, 2u);
+  EXPECT_EQ(m.duplicate_builds, 0u);
+  const TierCacheStats c = origin.cache_stats();
+  // Two misses for one build: the routing lookup and the leader's
+  // double-check inside the flight both count.
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(origin.single_flight_stats().leads, 1u);
+  EXPECT_EQ(m.build_seconds.count, 1u);
+}
+
+TEST_F(OriginServerTest, SavingsPreferenceIsServedAndCounted) {
+  const OriginServer origin(sites());
+  const auto response =
+      origin.handle(get("a.example", {{"Save-Data", "on"}, {"AW4A-Savings", "50"}}));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.header("AW4A-Savings-Achieved"), nullptr);
+  EXPECT_EQ(origin.metrics().served_preference_tier, 1u);
+}
+
+TEST_F(OriginServerTest, CacheDisabledBuildsEveryTime) {
+  OriginOptions options;
+  options.cache_enabled = false;
+  const OriginServer origin(sites(), options);
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  const auto first = origin.handle(saver);
+  const auto second = origin.handle(saver);
+  EXPECT_EQ(first.content_length, second.content_length)
+      << "rebuilds of the same page are deterministic";
+  EXPECT_EQ(origin.metrics().builds_started, 2u);
+  EXPECT_EQ(origin.cache_stats().misses, 0u) << "cache fully out of the path";
+}
+
+TEST_F(OriginServerTest, InvalidateHostForcesARebuild) {
+  OriginServer origin(sites());
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  origin.handle(saver);
+  EXPECT_EQ(origin.invalidate_host("A.EXAMPLE"), 1u);
+  EXPECT_EQ(origin.invalidate_host("nobody.example"), 0u);
+  origin.handle(saver);
+  EXPECT_EQ(origin.metrics().builds_started, 2u);
+  EXPECT_EQ(origin.cache_stats().invalidations, 1u);
+}
+
+TEST_F(OriginServerTest, TtlExpiryRebuildsWithoutSleeping) {
+  double now = 0.0;
+  OriginOptions options;
+  options.cache.ttl_seconds = 100.0;
+  options.clock = [&now] { return now; };
+  const OriginServer origin(sites(), options);
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  origin.handle(saver);
+  now = 50.0;
+  origin.handle(saver);
+  EXPECT_EQ(origin.metrics().builds_started, 1u) << "within TTL";
+  now = 200.0;
+  origin.handle(saver);
+  EXPECT_EQ(origin.metrics().builds_started, 2u) << "expired entry must rebuild";
+  EXPECT_EQ(origin.cache_stats().expirations, 1u);
+}
+
+TEST_F(OriginServerTest, BuildFailureServesDegradedAndIsNotCached) {
+  const OriginServer origin(sites());
+  // First build fails (leader fault fires once); nothing may be cached.
+  fault::configure("serving.build.leader", {.probability = 1.0, .max_fires = 1});
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  const auto degraded = origin.handle(saver);
+  EXPECT_EQ(degraded.status, 200);
+  EXPECT_EQ(degraded.content_length, (*pages_)[0].transfer_size());
+  ASSERT_NE(degraded.header("AW4A-Tier"), nullptr);
+  EXPECT_EQ(*degraded.header("AW4A-Tier"), "none");
+  EXPECT_NE(degraded.header("AW4A-Degraded"), nullptr);
+
+  // The fault is exhausted: the retry builds cleanly and serves a tier.
+  const auto recovered = origin.handle(saver);
+  EXPECT_LT(recovered.content_length, (*pages_)[0].transfer_size());
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.builds_started, 2u);
+  EXPECT_EQ(m.builds_failed, 1u);
+  EXPECT_EQ(m.served_degraded, 1u);
+  EXPECT_EQ(m.served_paw_tier, 1u);
+  EXPECT_EQ(origin.cache_stats().inserts, 1u) << "failed build must not be admitted";
+}
+
+TEST_F(OriginServerTest, PoisonedCacheShardIsBypassedNotFatal) {
+  const OriginServer origin(sites());
+  fault::configure("serving.cache.shard", {.probability = 1.0});
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  const auto first = origin.handle(saver);
+  const auto second = origin.handle(saver);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_LT(first.content_length, (*pages_)[0].transfer_size());
+  EXPECT_EQ(second.content_length, first.content_length);
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.internal_errors, 0u);
+  EXPECT_EQ(m.cache_bypasses, 2u);
+  EXPECT_EQ(m.builds_started, 2u) << "bypass trades duplicate work for availability";
+}
+
+TEST_F(OriginServerTest, StatsEndpointSpeaksJsonOverTheWire) {
+  const OriginServer origin(sites());
+  origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  origin.handle(get("a.example"));
+  net::HttpRequest stats_request;  // the stats path needs no Host
+  stats_request.path = "/aw4a/stats";
+  const auto stats = origin.handle(stats_request);
+  EXPECT_EQ(stats.status, 200);
+  ASSERT_NE(stats.header("Content-Type"), nullptr);
+  EXPECT_EQ(*stats.header("Content-Type"), "application/json");
+  EXPECT_EQ(stats.content_length, stats.body.size());
+  for (const char* needle :
+       {"\"sites\":2", "\"requests\":", "\"cache\":", "\"hit_rate\":", "\"builds\":",
+        "\"latency_seconds\":", "\"served_page_bytes\":", "\"duplicates\":0"}) {
+    EXPECT_NE(stats.body.find(needle), std::string::npos) << needle << " missing in\n"
+                                                          << stats.body;
+  }
+  // Round-trips the wire: the body survives serialize/parse.
+  const auto parsed = net::parse_response(net::serialize(stats));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, stats.body);
+}
+
+}  // namespace
+}  // namespace aw4a::serving

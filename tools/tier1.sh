@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite in the standard configuration, plus the
 # robustness suite under ASan+UBSan (fault injection exercises the error
-# paths — exactly where lifetime and UB bugs hide).
+# paths — exactly where lifetime and UB bugs hide), plus the serving suite
+# under TSan (the tier cache and single-flight are the concurrent core).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,9 @@ cmake --build build -j >/dev/null
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target robustness_test >/dev/null
 (cd build-asan && ctest --output-on-failure -R '^robustness_test$')
+
+cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target serving_test serving_stress_test >/dev/null
+(cd build-tsan && ctest --output-on-failure -R '^serving_(test|stress_test)$')
 
 echo "tier1: OK"
