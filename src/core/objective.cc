@@ -1,6 +1,7 @@
 #include "core/objective.h"
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace aw4a::core {
 
@@ -25,6 +26,34 @@ imaging::VariantLadder& LadderCache::ladder_for(const web::WebObject& object) {
   if (it != ladders_.end()) return it->second;
   return ladders_.emplace(object.id, imaging::VariantLadder(object.image, options_))
       .first->second;
+}
+
+void LadderCache::prewarm(const web::WebPage& page, unsigned workers) {
+  const std::vector<const web::WebObject*> images = rich_images(page);
+  // Create every ladder serially: map insertion is the only shared-state
+  // mutation, and doing it up front means the parallel section below touches
+  // one distinct, already-constructed ladder per index.
+  std::vector<imaging::VariantLadder*> ladders;
+  ladders.reserve(images.size());
+  for (const web::WebObject* object : images) ladders.push_back(&ladder_for(*object));
+
+  parallel_for(
+      ladders.size(),
+      [&](std::size_t i) {
+        imaging::VariantLadder& ladder = *ladders[i];
+        try {
+          ladder.webp_full();
+          ladder.resolution_family(ladder.asset().format);
+          ladder.resolution_family(imaging::ImageFormat::kWebp);
+          ladder.quality_family(ladder.asset().format);
+          ladder.quality_family(imaging::ImageFormat::kWebp);
+        } catch (const Error&) {
+          // Best-effort: a failed family memoizes nothing, and the serial
+          // solver path re-attempts it under tier retry/degradation, so a
+          // prewarm-time fault cannot change outcomes.
+        }
+      },
+      workers);
 }
 
 std::vector<const web::WebObject*> rich_images(const web::WebPage& page) {

@@ -54,6 +54,17 @@ class LadderCache {
   /// Ladder for an image object (requires object.image != nullptr).
   imaging::VariantLadder& ladder_for(const web::WebObject& object);
 
+  /// Enumerates every rich image's variant families (both formats' resolution
+  /// and quality ladders plus the WebP transcode) across `workers` threads,
+  /// so the serial solvers that follow hit a fully memoized cache. Safe
+  /// because each asset's ladder is independent: ladders are *created*
+  /// serially up front, then each worker fills exactly one ladder. Enumeration
+  /// failures (e.g. injected codec faults) are swallowed — nothing is
+  /// memoized for the failed family, and the serial path re-attempts it under
+  /// the pipeline's normal retry/degradation machinery, so results and error
+  /// handling are identical to a cold serial run.
+  void prewarm(const web::WebPage& page, unsigned workers);
+
   const imaging::LadderOptions& options() const { return options_; }
 
  private:

@@ -12,17 +12,33 @@ namespace aw4a::core {
 Aw4aPipeline::Aw4aPipeline(DeveloperConfig config) : config_(std::move(config)) {
   AW4A_EXPECTS(config_.min_image_ssim > 0.0 && config_.min_image_ssim < 1.0);
   AW4A_EXPECTS(config_.tier_build_attempts >= 1);
+  AW4A_EXPECTS(config_.prewarm_workers >= 0);
+}
+
+imaging::LadderOptions Aw4aPipeline::ladder_options() const {
+  imaging::LadderOptions options;
+  // A little slack below Qt so the Bytes Efficiency probe can reach the
+  // threshold from below.
+  options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
+  return options;
 }
 
 TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page,
                                                   Bytes target_bytes) const {
+  LadderCache ladders(ladder_options());
+  return transcode_to_target(page, target_bytes, ladders);
+}
+
+TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                                  LadderCache& ladders) const {
+  // A cache enumerated under different options would hand the solvers a
+  // different variant space than a fresh run — reject the mismatch up front.
+  AW4A_EXPECTS(ladders.options().min_ssim == ladder_options().min_ssim);
+  AW4A_EXPECTS(ladders.options().metric == ladder_options().metric);
   const auto started = std::chrono::steady_clock::now();
   auto elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   };
-  imaging::LadderOptions ladder_options;
-  ladder_options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
-  LadderCache ladders(ladder_options);
 
   web::ServedPage served = web::serve_original(page);
   apply_stage1(served, ladders, config_.stage1);
@@ -124,6 +140,17 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
   RetryOptions retry;
   retry.max_attempts = config_.tier_build_attempts;
 
+  // One ladder cache for the whole build: every tier searches the identical
+  // variant space (only the byte target differs), so sharing makes tiers
+  // after the first skip all encode+SSIM work. Optionally prewarm the cache
+  // across threads first; failures are absorbed (see LadderCache::prewarm),
+  // so the per-tier retry/degradation ladder below behaves exactly as it
+  // would on a cold cache.
+  LadderCache ladders(ladder_options());
+  if (config_.prewarm_workers > 0) {
+    ladders.prewarm(page, static_cast<unsigned>(config_.prewarm_workers));
+  }
+
   std::size_t built_count = 0;
   for (double reduction : config_.tier_reductions) {
     AW4A_EXPECTS(reduction >= 1.0);
@@ -134,7 +161,10 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
     const std::string label = "tier " + fmt(reduction, 2) + "x";
     try {
       tier.result = retry_transient(
-          [&] { return with_context(label, [&] { return transcode_to_target(page, target); }); },
+          [&] {
+            return with_context(label,
+                                [&] { return transcode_to_target(page, target, ladders); });
+          },
           retry);
       if (tier.result.degraded) tier.note = tier.result.degradation_reason;
       ++built_count;

@@ -46,6 +46,14 @@ struct DeveloperConfig {
   /// Attempts per tier in build_tiers (transient faults are retried with
   /// deterministic backoff; see util/retry.h).
   int tier_build_attempts = 2;
+  /// Worker threads for the cold-build ladder prewarm in build_tiers: image
+  /// variant families are enumerated concurrently (one worker per asset)
+  /// before the serial solvers run. 0 disables the prewarm; 1 prewarms
+  /// serially (same work, useful for differential tests). Results are
+  /// bit-identical at any setting — the knob only moves when enumeration
+  /// happens — so it is deliberately NOT part of the serving tier-cache
+  /// config fingerprint.
+  int prewarm_workers = 0;
 };
 
 /// One pre-generated low-complexity version of a page.
@@ -82,6 +90,19 @@ class Aw4aPipeline {
   /// failure still throws — there is no coarser anytime result to serve —
   /// and is handled by build_tiers' ladder.
   TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes) const;
+
+  /// Same pipeline, but enumerating image variants through a caller-owned
+  /// ladder cache. build_tiers threads one cache through every tier so the
+  /// variant space — identical across tiers, only the byte target differs —
+  /// is encoded and measured once instead of once per tier. The cache must
+  /// have been created with ladder_options() (checked).
+  TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                      LadderCache& ladders) const;
+
+  /// Ladder enumeration options implied by this config (the Qt threshold with
+  /// slack for the Bytes Efficiency probe). A LadderCache shared across calls
+  /// must be built with exactly these options.
+  imaging::LadderOptions ladder_options() const;
 
   /// Target from the PAW index of a country/plan: the page shrinks to 1/PAW
   /// of its own size (no-op when PAW <= 1).

@@ -6,19 +6,21 @@
 namespace aw4a::imaging {
 namespace {
 
-// cos((2x+1) u pi / 16) lookup and the 1/sqrt(2) DC scale, computed once.
+// Fused basis table: 0.5 * alpha(u) * cos((2x+1) u pi / 16), computed in
+// double and rounded to float once. Folding the scale and the 1/sqrt(2) DC
+// factor into the table drops the per-element multiplies from both transform
+// inner loops (each output previously paid a 0.5f and an alpha multiply on
+// top of the basis product).
 struct Tables {
-  float cosv[8][8];   // [x][u]
-  float alpha[8];
+  float fcos[8][8];  // [x][u]
   Tables() {
     for (int x = 0; x < 8; ++x) {
       for (int u = 0; u < 8; ++u) {
-        cosv[x][u] =
-            static_cast<float>(std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0));
+        const double alpha = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+        fcos[x][u] = static_cast<float>(
+            0.5 * alpha * std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0));
       }
     }
-    alpha[0] = static_cast<float>(1.0 / std::sqrt(2.0));
-    for (int u = 1; u < 8; ++u) alpha[u] = 1.0f;
   }
 };
 const Tables& tables() {
@@ -35,16 +37,16 @@ Block8 dct8x8(const Block8& spatial) {
   for (int y = 0; y < 8; ++y) {
     for (int u = 0; u < 8; ++u) {
       float s = 0;
-      for (int x = 0; x < 8; ++x) s += spatial[y * 8 + x] * t.cosv[x][u];
-      tmp[y * 8 + u] = 0.5f * t.alpha[u] * s;
+      for (int x = 0; x < 8; ++x) s += spatial[y * 8 + x] * t.fcos[x][u];
+      tmp[y * 8 + u] = s;
     }
   }
   Block8 out{};
   for (int u = 0; u < 8; ++u) {
     for (int v = 0; v < 8; ++v) {
       float s = 0;
-      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * t.cosv[y][v];
-      out[v * 8 + u] = 0.5f * t.alpha[v] * s;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * t.fcos[y][v];
+      out[v * 8 + u] = s;
     }
   }
   return out;
@@ -56,16 +58,16 @@ Block8 idct8x8(const Block8& freq) {
   for (int u = 0; u < 8; ++u) {
     for (int y = 0; y < 8; ++y) {
       float s = 0;
-      for (int v = 0; v < 8; ++v) s += t.alpha[v] * freq[v * 8 + u] * t.cosv[y][v];
-      tmp[y * 8 + u] = 0.5f * s;
+      for (int v = 0; v < 8; ++v) s += freq[v * 8 + u] * t.fcos[y][v];
+      tmp[y * 8 + u] = s;
     }
   }
   Block8 out{};
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
       float s = 0;
-      for (int u = 0; u < 8; ++u) s += t.alpha[u] * tmp[y * 8 + u] * t.cosv[x][u];
-      out[y * 8 + x] = 0.5f * s;
+      for (int u = 0; u < 8; ++u) s += tmp[y * 8 + u] * t.fcos[x][u];
+      out[y * 8 + x] = s;
     }
   }
   return out;

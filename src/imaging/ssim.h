@@ -2,6 +2,13 @@
 // QSS/QFS in the paper. Computed on BT.601 luma with an 8x8 sliding window
 // (stride configurable for speed), using the standard stabilization constants
 // C1=(0.01*255)^2, C2=(0.03*255)^2.
+//
+// Implementation: summed-area tables (integral images) of the mean-centered
+// planes make every window O(1) regardless of stride, so dense (stride-1)
+// SSIM costs the same per window as strided. Mean-centering keeps the tables
+// numerically tame (the raw second-moment tables of a large plane would eat
+// the variance's low bits); equivalence with the direct O(window^2) sum is
+// pinned to <= 1e-9 by tests against ssim_reference below.
 #pragma once
 
 #include "imaging/raster.h"
@@ -20,12 +27,24 @@ double ssim(const PlaneF& a, const PlaneF& b, const SsimOptions& opts = {});
 /// Convenience: SSIM over the luma of two same-sized rasters.
 double ssim(const Raster& a, const Raster& b, const SsimOptions& opts = {});
 
+/// The retained pre-integral-image implementation: every window re-summed
+/// directly, O(window^2) per window. Kept as the equivalence oracle for the
+/// test suite and the baseline for bench_perf_pipeline — not a serving path.
+double ssim_reference(const PlaneF& a, const PlaneF& b, const SsimOptions& opts = {});
+
 /// Multi-scale SSIM (Wang et al. 2003): SSIM evaluated at `scales` dyadic
 /// resolutions and combined with the standard (renormalized) exponents.
 /// More tolerant of high-frequency loss the eye cannot resolve — the kind of
 /// "newer quality metric" the paper's §6.2 says can be plugged in.
+/// Downsample buffers are reused across scales (no per-scale reallocation).
 double ms_ssim(const PlaneF& a, const PlaneF& b, int scales = 3);
 double ms_ssim(const Raster& a, const Raster& b, int scales = 3);
+
+/// The 2x2 box-filter downsample between MS-SSIM scales, writing into a
+/// caller-owned buffer (resized as needed; capacity is reused). Exposed so
+/// tests can rebuild the per-scale pyramid independently of ms_ssim's
+/// internal buffer reuse.
+void downsample2_into(const PlaneF& in, PlaneF& out);
 
 /// The pluggable image-quality metric of the optimization framework.
 enum class QualityMetric { kSsim, kMsSsim };
@@ -34,5 +53,10 @@ const char* to_string(QualityMetric m);
 
 /// Dispatches to the chosen metric.
 double compare_images(const Raster& a, const Raster& b, QualityMetric metric);
+
+/// Same dispatch over pre-extracted luma planes — the cached-luma path used
+/// by VariantLadder::measure, which compares many variants against one
+/// original and should pay its luma extraction once.
+double compare_images(const PlaneF& a, const PlaneF& b, QualityMetric metric);
 
 }  // namespace aw4a::imaging

@@ -112,11 +112,12 @@ ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, doubl
   return v;
 }
 
+const PlaneF& VariantLadder::original_luma() const {
+  if (!original_luma_) original_luma_ = luma_plane(asset_->original);
+  return *original_luma_;
+}
+
 ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality) const {
-  if (options_.metric == QualityMetric::kSsim) {
-    return measure_variant(*asset_, format, scale, quality);
-  }
-  // Alternate metric: recompute the score with the configured comparator.
   const Raster reduced = reduce_resolution(asset_->original, scale);
   const Encoded enc = encode_retrying(format, reduced, quality);
   const Raster shown = redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
@@ -127,7 +128,9 @@ ImageVariant VariantLadder::measure(ImageFormat format, double scale, int qualit
   v.bytes = wire_header_bytes() +
             static_cast<Bytes>(std::llround(static_cast<double>(enc.payload_bytes()) *
                                             asset_->byte_scale));
-  v.ssim = compare_images(asset_->original, shown, options_.metric);
+  // Cached-luma path: the original's luma is extracted once per ladder, the
+  // variant's once per measurement — identical scores to comparing rasters.
+  v.ssim = compare_images(original_luma(), luma_plane(shown), options_.metric);
   return v;
 }
 

@@ -140,8 +140,14 @@ class VariantLadder {
  private:
   ImageVariant measure(ImageFormat format, double scale, int quality) const;
 
+  /// Luma of the original, extracted on first use: every variant measurement
+  /// compares against the same original, so its luma is computed once per
+  /// ladder instead of once per measure() call.
+  const PlaneF& original_luma() const;
+
   std::shared_ptr<const SourceImage> asset_;
   LadderOptions options_;
+  mutable std::optional<PlaneF> original_luma_;
   std::optional<std::vector<ImageVariant>> res_family_[3];
   std::optional<std::vector<ImageVariant>> qual_family_[3];
   std::optional<ImageVariant> webp_full_;

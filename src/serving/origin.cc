@@ -89,8 +89,10 @@ void histogram_json(JsonWriter& json, const char* name, const HistogramSnapshot&
 OriginServer::OriginServer(std::vector<OriginSite> sites, OriginOptions options)
     : cache_enabled_(options.cache_enabled),
       single_flight_(options.single_flight),
+      prewarm_workers_(options.prewarm_workers),
       clock_(options.clock ? std::move(options.clock) : std::function<double()>(steady_seconds)),
       cache_(options.cache) {
+  AW4A_EXPECTS(prewarm_workers_ >= 0);
   sites_.reserve(sites.size());
   for (OriginSite& origin : sites) {
     origin.host = lower(origin.host);
@@ -228,7 +230,10 @@ LadderPtr OriginServer::build_ladder(const Site& site) const {
   try {
     AW4A_FAULT_POINT("serving.build.leader");
     auto ladder = std::make_shared<TierLadder>();
-    ladder->tiers = core::Aw4aPipeline(site.origin.config).build_tiers(site.origin.page);
+    core::DeveloperConfig config = site.origin.config;
+    // Origin-level prewarm default; a site that set its own count keeps it.
+    if (config.prewarm_workers == 0) config.prewarm_workers = prewarm_workers_;
+    ladder->tiers = core::Aw4aPipeline(config).build_tiers(site.origin.page);
     for (const core::Tier& tier : ladder->tiers) ladder->cost_bytes += tier.result.result_bytes;
     ladder->build_seconds = clock_() - started;
     metrics_.build_seconds.record(ladder->build_seconds);

@@ -57,6 +57,11 @@ struct OriginOptions {
   /// Monotonic seconds for TTL and build timing; null = steady_clock.
   /// Injectable so TTL tests don't sleep.
   std::function<double()> clock;
+  /// Default cold-build ladder prewarm workers applied to sites whose own
+  /// DeveloperConfig leaves prewarm_workers at 0 (a site-level nonzero value
+  /// wins). Purely a build-latency knob: ladder contents are bit-identical
+  /// either way, so it is not part of the cache key fingerprint.
+  int prewarm_workers = 0;
 };
 
 class OriginServer {
@@ -103,6 +108,7 @@ class OriginServer {
   std::unordered_map<std::string, std::size_t> by_host_;
   bool cache_enabled_;
   bool single_flight_;
+  int prewarm_workers_;
   std::function<double()> clock_;
   mutable TierCache cache_;
   mutable SingleFlight<TierKey, TierLadder, TierKeyHash> flight_;

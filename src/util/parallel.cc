@@ -36,10 +36,12 @@ void set_parallel_workers(unsigned count) {
   g_worker_override.store(count, std::memory_order_relaxed);
 }
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned requested_workers) {
   AW4A_EXPECTS(body != nullptr);
   if (count == 0) return;
-  const unsigned workers = std::min<std::size_t>(parallel_workers(), count);
+  const unsigned workers = std::min<std::size_t>(
+      requested_workers == 0 ? parallel_workers() : requested_workers, count);
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;

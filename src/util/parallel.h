@@ -31,7 +31,13 @@ void set_parallel_workers(unsigned count);
 /// rethrown with its type preserved, and multiple concurrent failures are
 /// aggregated into one aw4a::Error listing every message (sorted, so the
 /// report is deterministic).
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+///
+/// `workers` = 0 uses parallel_workers(); a nonzero value pins this call's
+/// worker count without touching the process-wide override — required by
+/// callers that may themselves run concurrently (e.g. per-site ladder prewarm
+/// inside OriginServer), where set_parallel_workers would race.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned workers = 0);
 
 /// Maps body over [0, count) into a vector, in index order.
 template <typename T>

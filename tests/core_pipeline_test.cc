@@ -102,6 +102,78 @@ TEST(Pipeline, RejectsBadConfig) {
   DeveloperConfig config;
   config.min_image_ssim = 1.5;
   EXPECT_THROW(Aw4aPipeline{config}, LogicError);
+
+  DeveloperConfig negative_workers;
+  negative_workers.prewarm_workers = -1;
+  EXPECT_THROW(Aw4aPipeline{negative_workers}, LogicError);
+}
+
+// --- Cold-build fast path: shared cross-tier ladders + parallel prewarm
+// must reproduce the seed per-tier behavior bit for bit. ---
+
+TEST(Pipeline, SharedLadderCacheMatchesPerTierBuilds) {
+  const web::WebPage page = rich_page(46, 0.9);
+  DeveloperConfig config;
+  config.tier_reductions = {1.25, 1.5, 3.0, 6.0};
+  config.measure_qfs = false;
+  const Aw4aPipeline pipeline(config);
+  const Bytes original = page.transfer_size();
+
+  // Seed behavior: a fresh cache per tier (the public single-shot API).
+  std::vector<TranscodeResult> fresh;
+  for (const double reduction : config.tier_reductions) {
+    const Bytes target = static_cast<Bytes>(static_cast<double>(original) / reduction);
+    fresh.push_back(pipeline.transcode_to_target(page, target));
+  }
+
+  // Fast path: one cache threaded through every tier.
+  LadderCache ladders(pipeline.ladder_options());
+  std::vector<TranscodeResult> cached;
+  for (const double reduction : config.tier_reductions) {
+    const Bytes target = static_cast<Bytes>(static_cast<double>(original) / reduction);
+    cached.push_back(pipeline.transcode_to_target(page, target, ladders));
+  }
+
+  ASSERT_EQ(fresh.size(), cached.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(cached[i].result_bytes, fresh[i].result_bytes) << "tier " << i;
+    EXPECT_DOUBLE_EQ(cached[i].quality.qss, fresh[i].quality.qss) << "tier " << i;
+    EXPECT_EQ(cached[i].algorithm, fresh[i].algorithm) << "tier " << i;
+    EXPECT_EQ(cached[i].met_target, fresh[i].met_target) << "tier " << i;
+  }
+}
+
+TEST(Pipeline, BuildTiersWithPrewarmMatchesSerialBuild) {
+  const web::WebPage page = rich_page(47, 0.9);
+  DeveloperConfig config;
+  config.tier_reductions = {1.5, 3.0, 6.0};
+  config.measure_qfs = false;
+  const auto serial = Aw4aPipeline(config).build_tiers(page);
+
+  config.prewarm_workers = 4;
+  const auto prewarmed = Aw4aPipeline(config).build_tiers(page);
+
+  ASSERT_EQ(serial.size(), prewarmed.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(prewarmed[i].built, serial[i].built) << "tier " << i;
+    EXPECT_EQ(prewarmed[i].result.result_bytes, serial[i].result.result_bytes) << "tier " << i;
+    EXPECT_DOUBLE_EQ(prewarmed[i].result.quality.qss, serial[i].result.quality.qss)
+        << "tier " << i;
+    EXPECT_EQ(prewarmed[i].result.algorithm, serial[i].result.algorithm) << "tier " << i;
+    EXPECT_EQ(prewarmed[i].result.met_target, serial[i].result.met_target) << "tier " << i;
+  }
+}
+
+TEST(Pipeline, SharedCacheRejectsMismatchedOptions) {
+  const web::WebPage page = rich_page(48, 0.4);
+  DeveloperConfig strict;
+  strict.min_image_ssim = 0.95;
+  DeveloperConfig lax;
+  lax.min_image_ssim = 0.7;
+  const Aw4aPipeline pipeline(strict);
+  LadderCache mismatched(Aw4aPipeline(lax).ladder_options());
+  EXPECT_THROW((void)pipeline.transcode_to_target(page, page.transfer_size() / 2, mismatched),
+               LogicError);
 }
 
 }  // namespace

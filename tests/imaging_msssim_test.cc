@@ -1,6 +1,10 @@
 // Tests for MS-SSIM and the pluggable quality-metric dispatch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "imaging/resize.h"
 #include "imaging/ssim.h"
 #include "imaging/synth.h"
@@ -59,6 +63,50 @@ TEST(MsSsim, RejectsBadArguments) {
   EXPECT_THROW((void)ms_ssim(img, img, 0), LogicError);
   Raster other(31, 32);
   EXPECT_THROW((void)ms_ssim(img, other), LogicError);
+}
+
+TEST(MsSsim, BufferReuseMatchesFreshPyramid) {
+  // ms_ssim ping-pongs two downsample buffers across scales; rebuild the
+  // pyramid with fresh buffers per scale via downsample2_into and combine
+  // manually. Any stale-buffer bug (wrong size, leftover pixels) diverges.
+  Rng rng(21);
+  const Raster a_img = synth_image(rng, ImageClass::kPhoto, 96, 96);
+  const Raster b_img = synth_image(rng, ImageClass::kPhoto, 96, 96);
+  PlaneF a = luma_plane(a_img);
+  PlaneF b = luma_plane(b_img);
+
+  static constexpr double kWeights[3] = {0.0448, 0.2856, 0.3001};
+  const double weight_sum = kWeights[0] + kWeights[1] + kWeights[2];
+  double log_score = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    log_score += kWeights[s] / weight_sum * std::log(std::max(1e-6, ssim(a, b)));
+    if (s + 1 < 3) {
+      PlaneF next_a, next_b;  // deliberately fresh each scale
+      downsample2_into(a, next_a);
+      downsample2_into(b, next_b);
+      a = std::move(next_a);
+      b = std::move(next_b);
+    }
+  }
+  const double expected = std::exp(log_score);
+  EXPECT_DOUBLE_EQ(ms_ssim(a_img, b_img, 3), expected);
+}
+
+TEST(MsSsim, DownsampleIntoReusesCapacityAndResizes) {
+  const PlaneF big(64, 48, 10.0f);
+  const PlaneF small(16, 16, 200.0f);
+  PlaneF out;
+  downsample2_into(big, out);
+  EXPECT_EQ(out.width, 32);
+  EXPECT_EQ(out.height, 24);
+  EXPECT_FLOAT_EQ(out.at(5, 5), 10.0f);
+  // Reusing the same buffer for a smaller input must shrink it (no stale
+  // tail) and overwrite every pixel.
+  downsample2_into(small, out);
+  EXPECT_EQ(out.width, 8);
+  EXPECT_EQ(out.height, 8);
+  EXPECT_EQ(out.v.size(), 64u);
+  for (const float v : out.v) EXPECT_FLOAT_EQ(v, 200.0f);
 }
 
 TEST(QualityMetric, DispatchAndNames) {

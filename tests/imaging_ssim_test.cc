@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "imaging/synth.h"
 #include "util/rng.h"
 
@@ -98,6 +101,73 @@ TEST_P(SsimWindowTest, IdentityHoldsForAllWindows) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, SsimWindowTest, ::testing::Values(4, 8, 11, 16));
+
+// --- Equivalence of the integral-image implementation with the retained
+// direct-summation reference (the pre-rewrite algorithm). ---
+
+// Two correlated planes of the given size: a synthetic photo's luma and a
+// perturbed copy, so variance/covariance terms are all exercised.
+std::pair<PlaneF, PlaneF> correlated_planes(int width, int height, int seed = 11) {
+  Rng rng(seed);
+  const Raster img = synth_image(rng, ImageClass::kPhoto, width, height);
+  PlaneF a = luma_plane(img);
+  PlaneF b = a;
+  Rng noise(seed + 1);
+  for (float& v : b.v) {
+    v = std::clamp(v + static_cast<float>(noise.uniform(-25.0, 25.0)), 0.0f, 255.0f);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+class SsimStrideEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsimStrideEquivalenceTest, MatchesReferenceImplementation) {
+  const auto [a, b] = correlated_planes(96, 80);
+  const SsimOptions opts{.window = 8, .stride = GetParam()};
+  EXPECT_NEAR(ssim(a, b, opts), ssim_reference(a, b, opts), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, SsimStrideEquivalenceTest, ::testing::Values(1, 3, 4, 8));
+
+TEST(SsimEquivalence, OddPlaneSizes) {
+  for (const auto [w, h] : {std::pair{37, 53}, std::pair{61, 19}, std::pair{101, 23}}) {
+    const auto [a, b] = correlated_planes(w, h, 100 + w);
+    for (const int stride : {1, 3, 4}) {
+      const SsimOptions opts{.window = 8, .stride = stride};
+      EXPECT_NEAR(ssim(a, b, opts), ssim_reference(a, b, opts), 1e-9)
+          << w << "x" << h << " stride " << stride;
+    }
+  }
+}
+
+TEST(SsimEquivalence, WindowLargerThanPlaneClamps) {
+  const auto [a, b] = correlated_planes(12, 9, 31);
+  // window 16 > both dims: both implementations must clamp to min(w, h).
+  const SsimOptions opts{.window = 16, .stride = 2};
+  EXPECT_NEAR(ssim(a, b, opts), ssim_reference(a, b, opts), 1e-9);
+}
+
+TEST(SsimEquivalence, ConstantAndFlatPlanes) {
+  const PlaneF flat_a(40, 40, 128.0f);
+  const PlaneF flat_b(40, 40, 64.0f);
+  // Zero-variance windows: the stabilized formula must agree exactly.
+  EXPECT_NEAR(ssim(flat_a, flat_b), ssim_reference(flat_a, flat_b), 1e-9);
+  EXPECT_DOUBLE_EQ(ssim(flat_a, flat_a), 1.0);
+
+  // One plane flat, one textured: covariance is ~0, variance one-sided.
+  const auto [textured, unused] = correlated_planes(40, 40, 77);
+  (void)unused;
+  for (const int stride : {1, 4}) {
+    const SsimOptions opts{.window = 8, .stride = stride};
+    EXPECT_NEAR(ssim(flat_a, textured, opts), ssim_reference(flat_a, textured, opts), 1e-9);
+  }
+}
+
+TEST(SsimEquivalence, LargePlaneDense) {
+  const auto [a, b] = correlated_planes(144, 128, 5);
+  const SsimOptions dense{.window = 8, .stride = 1};
+  EXPECT_NEAR(ssim(a, b, dense), ssim_reference(a, b, dense), 1e-9);
+}
 
 }  // namespace
 }  // namespace aw4a::imaging

@@ -208,5 +208,63 @@ TEST(ServingStress, OriginServerConcurrentRealBuilds) {
   EXPECT_EQ(origin.handle(stats_request).status, 200);
 }
 
+TEST(ServingStress, PrewarmedColdBuildsUnderConcurrentLoad) {
+  // The parallel ladder prewarm inside cold builds, exercised under TSan:
+  // multiple origin builds may run concurrently (two sites here), each
+  // spinning up its own prewarm worker pool, while request threads hammer
+  // the cache. Outputs must match a serial (no-prewarm) origin's bit for bit.
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = 23, .rich = true});
+  Rng rng(23);
+  core::DeveloperConfig config;
+  config.tier_reductions = {2.0, 4.0};
+  config.min_image_ssim = 0.8;
+  config.measure_qfs = false;
+  std::vector<OriginSite> sites;
+  sites.push_back(OriginSite{"warm-0.example", gen.make_page(rng, 220 * kKB, gen.global_profile()),
+                             config, net::PlanType::kDataVoiceLowUsage});
+  sites.push_back(OriginSite{"warm-1.example", gen.make_page(rng, 220 * kKB, gen.global_profile()),
+                             config, net::PlanType::kDataVoiceLowUsage});
+
+  OriginOptions prewarm_options;
+  prewarm_options.prewarm_workers = 4;
+  const OriginServer prewarmed(sites, std::move(prewarm_options));
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequests = 5;
+  std::atomic<std::uint64_t> bad_responses{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        net::HttpRequest request;
+        request.headers = {{"Host", (t + i) % 2 == 0 ? "warm-0.example" : "warm-1.example"},
+                           {"Save-Data", "on"},
+                           {"X-Geo-Country", "ET"}};
+        const auto response = prewarmed.handle(request);
+        if (response.status != 200 || response.header("AW4A-Tier") == nullptr) {
+          bad_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(bad_responses.load(), 0u);
+  const MetricsSnapshot m = prewarmed.metrics();
+  EXPECT_EQ(m.builds_started, 2u) << "prewarm must not break single-flight";
+  EXPECT_EQ(m.internal_errors, 0u);
+  EXPECT_EQ(m.served_degraded, 0u);
+
+  // Differential check: a serial origin serves byte-identical pages.
+  const OriginServer serial(sites);
+  for (const char* host : {"warm-0.example", "warm-1.example"}) {
+    net::HttpRequest request;
+    request.headers = {{"Host", host}, {"Save-Data", "on"}, {"X-Geo-Country", "ET"}};
+    const auto a = prewarmed.handle(request);
+    const auto b = serial.handle(request);
+    EXPECT_EQ(net::serialize(a), net::serialize(b)) << host;
+  }
+}
+
 }  // namespace
 }  // namespace aw4a::serving

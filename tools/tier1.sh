@@ -18,4 +18,11 @@ cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target serving_test serving_stress_test >/dev/null
 (cd build-tsan && ctest --output-on-failure -R '^serving_(test|stress_test)$')
 
+# Release-mode perf smoke: the cold-build fast path must keep its speedups
+# (bench_perf_pipeline exits nonzero if any build mode or the integral SSIM
+# diverges from the reference) and refresh the perf trajectory at repo root.
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-perf -j --target bench_perf_pipeline >/dev/null
+./build-perf/bench/bench_perf_pipeline --repeat=2 --json=BENCH_pipeline.json
+
 echo "tier1: OK"
