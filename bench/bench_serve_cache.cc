@@ -11,13 +11,18 @@
 // builds — the last is the single-flight story in one number: 0 with it on,
 // measurably > 0 with it off under a cold-start herd.
 //
+// Writes machine-readable results (same stable schema as the pipeline
+// bench: name, unit, value) to BENCH_serving.json — or --json=PATH — so
+// serving-path regressions show up as a trajectory across PRs.
+//
 //   build/bench/bench_serve_cache [--sites=50] [--threads=8] [--seconds=4]
-//                                 [--zipf=1.0]
+//                                 [--zipf=1.0] [--json=BENCH_serving.json]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -36,7 +41,26 @@ struct BenchOptions {
   std::size_t threads = 8;
   double seconds = 4.0;
   double zipf_s = 1.0;
+  std::string json_path = "BENCH_serving.json";
 };
+
+struct Entry {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.6g", entries[i].value);
+    out << "  {\"name\": \"" << entries[i].name << "\", \"unit\": \"" << entries[i].unit
+        << "\", \"value\": " << value << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
 
 struct ModeResult {
   std::string name;
@@ -156,6 +180,8 @@ int main(int argc, char** argv) {
       options.seconds = std::strtod(value("--seconds="), nullptr);
     } else if (arg.starts_with("--zipf=")) {
       options.zipf_s = std::strtod(value("--zipf="), nullptr);
+    } else if (arg.starts_with("--json=")) {
+      options.json_path = std::string(arg.substr(7));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -197,5 +223,19 @@ int main(int argc, char** argv) {
   std::printf("duplicate builds: %llu with single-flight, %llu without\n",
               static_cast<unsigned long long>(results[0].duplicate_builds),
               static_cast<unsigned long long>(results[1].duplicate_builds));
+
+  std::vector<Entry> entries;
+  for (const ModeResult& r : results) {
+    entries.push_back({r.name + "/throughput", "req_per_s", r.throughput()});
+    entries.push_back({r.name + "/p50_latency", "ms", r.p50_ms});
+    entries.push_back({r.name + "/p99_latency", "ms", r.p99_ms});
+    entries.push_back({r.name + "/hit_rate", "ratio", r.hit_rate});
+    entries.push_back({r.name + "/builds", "count", static_cast<double>(r.builds)});
+    entries.push_back(
+        {r.name + "/duplicate_builds", "count", static_cast<double>(r.duplicate_builds)});
+  }
+  entries.push_back({"cached_vs_uncached_throughput", "ratio", speedup});
+  write_json(options.json_path, entries);
+  std::printf("wrote %s\n", options.json_path.c_str());
   return 0;
 }

@@ -26,11 +26,13 @@ struct ImageSlot {
 }  // namespace
 
 GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
-                              LadderCache& ladders, const GridSearchOptions& options) {
+                              LadderCache& ladders, const GridSearchOptions& options,
+                              const obs::RequestContext& ctx) {
   AW4A_EXPECTS(served.page != nullptr);
   AW4A_EXPECTS(options.levels >= 2);
   AW4A_EXPECTS(options.quality_threshold > 0.0 && options.quality_threshold < 1.0);
   AW4A_FAULT_POINT("solver.grid_search");
+  AW4A_SPAN(ctx, "stage2.grid");
 
   const auto started = std::chrono::steady_clock::now();
   GridSearchOutcome outcome;
@@ -57,7 +59,7 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
       const double s = options.quality_threshold +
                        (1.0 - options.quality_threshold) * static_cast<double>(level) /
                            static_cast<double>(options.levels - 1);
-      const auto v = ladder.cheapest_fullres_with_ssim_at_least(s);
+      const auto v = ladder.cheapest_fullres_with_ssim_at_least(s, ctx);
       if (!v) continue;
       const bool duplicate = std::any_of(
           slot.candidates.begin(), slot.candidates.end(), [&](const Candidate& c) {
@@ -117,6 +119,7 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
   std::uint64_t nodes = 0;
   bool timed_out = false;
   const auto deadline_hit = [&] {
+    if (ctx.expired() || ctx.cancelled()) return true;
     if (options.timeout_seconds <= 0.0) return false;
     const auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - started);
@@ -136,7 +139,9 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
     stack.pop_back();
     // Deadline polling: cheap mask check normally, every node under very
     // tight budgets (tests exercise sub-millisecond timeouts).
-    const bool poll_every_node = options.timeout_seconds > 0 && options.timeout_seconds < 0.01;
+    const bool poll_every_node =
+        (options.timeout_seconds > 0 && options.timeout_seconds < 0.01) ||
+        (ctx.has_deadline() && ctx.remaining() < 0.01);
     if (((++nodes & 1023) == 0 || poll_every_node) && deadline_hit()) {
       timed_out = true;
       break;

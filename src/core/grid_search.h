@@ -43,7 +43,12 @@ struct GridSearchOutcome {
 /// `served`; writes the best feasible combination found into `served`.
 /// If no combination meets the target within Qt, `served` is left with the
 /// lowest-byte combination and met_target is false.
+/// Anytime under a context deadline: the DFS treats `ctx.expired()` exactly
+/// like its own wall-clock timeout — it stops and serves the best feasible
+/// combination found so far (timed_out is set either way), so one request
+/// deadline bounds Grid Search without per-call timeout plumbing.
 GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
-                              LadderCache& ladders, const GridSearchOptions& options = {});
+                              LadderCache& ladders, const GridSearchOptions& options = {},
+                              const obs::RequestContext& ctx = obs::RequestContext::none());
 
 }  // namespace aw4a::core

@@ -31,10 +31,11 @@ Bytes apply_muzeel(web::ServedPage& served) {
 
 TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
                               Bytes target_bytes, LadderCache& ladders,
-                              const HbsOptions& options) {
+                              const HbsOptions& options, const obs::RequestContext& ctx) {
   AW4A_EXPECTS(base.page == &page);
   AW4A_FAULT_POINT("solver.hbs");
-  const auto started = std::chrono::steady_clock::now();
+  AW4A_SPAN(ctx, "stage2.hbs");
+  const double started = ctx.now();
 
   auto finish = [&](web::ServedPage served, const char* algorithm) {
     TranscodeResult result;
@@ -45,8 +46,7 @@ TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
     result.quality =
         evaluate_quality(result.served, options.quality_weights, options.measure_qfs);
     result.algorithm = algorithm;
-    result.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    result.elapsed_seconds = ctx.now() - started;
     return result;
   };
 
@@ -62,12 +62,21 @@ TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
     apply_muzeel(approach_a);
   }
   if (approach_a.transfer_size() > target_bytes) {
-    rank_based_reduce(approach_a, target_bytes, ladders, options.rbr);
+    rank_based_reduce(approach_a, target_bytes, ladders, options.rbr, ctx);
+  }
+
+  // Anytime: no budget left for approach B — serve what A reached (the
+  // comparison below would see an un-run B anyway).
+  if (ctx.expired() || ctx.cancelled()) {
+    return finish(std::move(approach_a),
+                  options.js_strategy == HbsOptions::JsStrategy::kAdjustable
+                      ? "hbs/adjustable-js+rbr"
+                      : "hbs/muzeel+rbr");
   }
 
   // Approach B: RBR only.
   web::ServedPage approach_b = base;
-  rank_based_reduce(approach_b, target_bytes, ladders, options.rbr);
+  rank_based_reduce(approach_b, target_bytes, ladders, options.rbr, ctx);
 
   const bool a_meets = approach_a.transfer_size() <= target_bytes;
   const bool b_meets = approach_b.transfer_size() <= target_bytes;

@@ -33,9 +33,15 @@ struct HbsOptions {
 /// Runs HBS on `page`, starting from the serving decisions in `base`
 /// (typically the Stage-1 output). Returns the chosen approach's result;
 /// `algorithm` records which one won ("hbs/muzeel+rbr" or "hbs/rbr").
+/// Anytime under a context deadline: RBR inside each approach stops early,
+/// and approach B is skipped entirely when the budget is gone after A — the
+/// best page found in the time allowed is returned, never an exception
+/// (unless the deadline fires inside a ladder measurement, which the
+/// pipeline's degradation path absorbs).
 TranscodeResult hbs_transcode(const web::WebPage& page, web::ServedPage base,
                               Bytes target_bytes, LadderCache& ladders,
-                              const HbsOptions& options = {});
+                              const HbsOptions& options = {},
+                              const obs::RequestContext& ctx = obs::RequestContext::none());
 
 /// Applies Muzeel to every (non-inventory) script of the page, recording the
 /// reduced live sets in `served`. Returns bytes removed from transfer sizes.

@@ -20,11 +20,13 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 }  // namespace
 
 KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
-                                  LadderCache& ladders, const KnapsackOptions& options) {
+                                  LadderCache& ladders, const KnapsackOptions& options,
+                                  const obs::RequestContext& ctx) {
   AW4A_EXPECTS(served.page != nullptr);
   AW4A_EXPECTS(options.levels >= 2);
   AW4A_EXPECTS(options.byte_granularity > 0);
   AW4A_FAULT_POINT("solver.knapsack");
+  AW4A_SPAN(ctx, "stage2.knapsack");
   KnapsackOutcome outcome;
 
   const auto images = rich_images(*served.page);
@@ -44,7 +46,7 @@ KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
       const double s = options.quality_threshold +
                        (1.0 - options.quality_threshold) * static_cast<double>(level) /
                            static_cast<double>(options.levels - 1);
-      const auto v = ladder.cheapest_fullres_with_ssim_at_least(s);
+      const auto v = ladder.cheapest_fullres_with_ssim_at_least(s, ctx);
       if (!v) continue;
       const std::size_t cost =
           static_cast<std::size_t>((v->bytes + options.byte_granularity - 1) /
@@ -112,6 +114,15 @@ KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
       n, std::vector<std::uint16_t>(capacity + 1, 0));
 
   for (std::size_t k = 0; k < n; ++k) {
+    // Anytime: one budget poll per DP layer. On expiry fall back to the
+    // byte-minimal floor — feasible by the check above, just not optimal.
+    if (ctx.expired() || ctx.cancelled()) {
+      install(min_choice);
+      outcome.bytes_after = served.transfer_size();
+      outcome.met_target = outcome.bytes_after <= target_bytes;
+      outcome.qss = compute_qss(served);
+      return outcome;
+    }
     std::fill(next.begin(), next.end(), kNegInf);
     for (std::size_t b = 0; b <= capacity; ++b) {
       for (std::size_t c = 0; c < slots[k].size(); ++c) {

@@ -39,7 +39,12 @@ struct KnapsackOutcome {
 /// set (full-resolution quality/WebP variants), subject to the byte budget.
 /// Writes the optimal assignment into `served`. When even the byte-minimal
 /// assignment misses the target, it is installed and met_target is false.
+/// Anytime under a context deadline: the DP polls the budget once per image
+/// layer; on expiry it installs the byte-minimal feasible assignment (the
+/// same floor used when the budget overflows) instead of the exact optimum —
+/// feasibility is preserved, only optimality degrades.
 KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
-                                  LadderCache& ladders, const KnapsackOptions& options = {});
+                                  LadderCache& ladders, const KnapsackOptions& options = {},
+                                  const obs::RequestContext& ctx = obs::RequestContext::none());
 
 }  // namespace aw4a::core

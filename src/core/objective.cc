@@ -28,7 +28,8 @@ imaging::VariantLadder& LadderCache::ladder_for(const web::WebObject& object) {
       .first->second;
 }
 
-void LadderCache::prewarm(const web::WebPage& page, unsigned workers) {
+void LadderCache::prewarm(const web::WebPage& page, const obs::RequestContext& ctx) {
+  AW4A_SPAN(ctx, "prewarm");
   const std::vector<const web::WebObject*> images = rich_images(page);
   // Create every ladder serially: map insertion is the only shared-state
   // mutation, and doing it up front means the parallel section below touches
@@ -42,18 +43,19 @@ void LadderCache::prewarm(const web::WebPage& page, unsigned workers) {
       [&](std::size_t i) {
         imaging::VariantLadder& ladder = *ladders[i];
         try {
-          ladder.webp_full();
-          ladder.resolution_family(ladder.asset().format);
-          ladder.resolution_family(imaging::ImageFormat::kWebp);
-          ladder.quality_family(ladder.asset().format);
-          ladder.quality_family(imaging::ImageFormat::kWebp);
+          ladder.webp_full(ctx);
+          ladder.resolution_family(ladder.asset().format, ctx);
+          ladder.resolution_family(imaging::ImageFormat::kWebp, ctx);
+          ladder.quality_family(ladder.asset().format, ctx);
+          ladder.quality_family(imaging::ImageFormat::kWebp, ctx);
         } catch (const Error&) {
-          // Best-effort: a failed family memoizes nothing, and the serial
-          // solver path re-attempts it under tier retry/degradation, so a
-          // prewarm-time fault cannot change outcomes.
+          // Best-effort: a failed family (codec fault, expired deadline)
+          // memoizes nothing, and the serial solver path re-attempts it under
+          // tier retry/degradation, so a prewarm-time fault cannot change
+          // outcomes.
         }
       },
-      workers);
+      ctx.workers());
 }
 
 std::vector<const web::WebObject*> rich_images(const web::WebPage& page) {

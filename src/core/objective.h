@@ -10,6 +10,7 @@
 
 #include "core/quality.h"
 #include "imaging/variants.h"
+#include "obs/context.h"
 #include "web/page.h"
 
 namespace aw4a::core {
@@ -55,15 +56,22 @@ class LadderCache {
   imaging::VariantLadder& ladder_for(const web::WebObject& object);
 
   /// Enumerates every rich image's variant families (both formats' resolution
-  /// and quality ladders plus the WebP transcode) across `workers` threads,
-  /// so the serial solvers that follow hit a fully memoized cache. Safe
-  /// because each asset's ladder is independent: ladders are *created*
+  /// and quality ladders plus the WebP transcode) across ctx.workers()
+  /// threads, so the serial solvers that follow hit a fully memoized cache.
+  /// Safe because each asset's ladder is independent: ladders are *created*
   /// serially up front, then each worker fills exactly one ladder. Enumeration
-  /// failures (e.g. injected codec faults) are swallowed — nothing is
-  /// memoized for the failed family, and the serial path re-attempts it under
-  /// the pipeline's normal retry/degradation machinery, so results and error
-  /// handling are identical to a cold serial run.
-  void prewarm(const web::WebPage& page, unsigned workers);
+  /// failures (injected codec faults, an expired ctx deadline) are swallowed —
+  /// nothing is memoized for the failed family, and the serial path
+  /// re-attempts it under the pipeline's normal retry/degradation machinery,
+  /// so results and error handling are identical to a cold serial run.
+  /// Emits a "prewarm" span, plus the workers' encode/ssim spans (the trace
+  /// buffer and sink are thread-safe).
+  void prewarm(const web::WebPage& page, const obs::RequestContext& ctx);
+
+  /// Worker-count shorthand for callers without a context (benches, tests).
+  void prewarm(const web::WebPage& page, unsigned workers) {
+    prewarm(page, obs::RequestContext().with_workers(workers));
+  }
 
   const imaging::LadderOptions& options() const { return options_; }
 

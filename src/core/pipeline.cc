@@ -1,6 +1,5 @@
 #include "core/pipeline.h"
 
-#include <chrono>
 #include <sstream>
 
 #include "util/error.h"
@@ -23,25 +22,52 @@ imaging::LadderOptions Aw4aPipeline::ladder_options() const {
   return options;
 }
 
+obs::RequestContext Aw4aPipeline::make_context() const {
+  obs::RequestContext ctx;
+  if (config_.stage2_deadline_seconds >= 0.0) {
+    ctx = ctx.with_deadline_after(config_.stage2_deadline_seconds);
+  }
+  if (config_.prewarm_workers > 0) {
+    ctx = ctx.with_workers(static_cast<unsigned>(config_.prewarm_workers));
+  }
+  return ctx;
+}
+
 TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page,
                                                   Bytes target_bytes) const {
-  LadderCache ladders(ladder_options());
-  return transcode_to_target(page, target_bytes, ladders);
+  return transcode_to_target(page, target_bytes, make_context());
 }
 
 TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Bytes target_bytes,
                                                   LadderCache& ladders) const {
+  return transcode_to_target(page, target_bytes, ladders, make_context());
+}
+
+TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                                  const obs::RequestContext& ctx) const {
+  LadderCache ladders(ladder_options());
+  return transcode_to_target(page, target_bytes, ladders, ctx);
+}
+
+TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                                  LadderCache& ladders,
+                                                  const obs::RequestContext& ctx) const {
   // A cache enumerated under different options would hand the solvers a
   // different variant space than a fresh run — reject the mismatch up front.
   AW4A_EXPECTS(ladders.options().min_ssim == ladder_options().min_ssim);
   AW4A_EXPECTS(ladders.options().metric == ladder_options().metric);
-  const auto started = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
-  };
+  const double started = ctx.now();
+  auto elapsed = [&] { return ctx.now() - started; };
 
   web::ServedPage served = web::serve_original(page);
-  apply_stage1(served, ladders, config_.stage1);
+  // Stage-1 is itself anytime (it stops between objects), but a deadline
+  // firing *inside* a ladder measurement surfaces as DeadlineExceeded; the
+  // decisions recorded so far are still each individually safe, so keep them
+  // as the anytime state rather than rethrowing.
+  try {
+    apply_stage1(served, ladders, config_.stage1, ctx);
+  } catch (const DeadlineExceeded&) {
+  }
 
   // The Stage-1 state is the pipeline's anytime result: every path below —
   // target already met, Stage-2 success, Stage-2 failure, exhausted deadline
@@ -63,16 +89,19 @@ TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Byte
     return stage1_result(std::move(served), "stage1");
   }
 
-  const bool deadline_on = config_.stage2_deadline_seconds >= 0.0;
   auto degrade = [&](const std::string& reason) {
     TranscodeResult result = stage1_result(served, "stage1(degraded)");
     result.degraded = true;
     result.degradation_reason = reason;
     return result;
   };
-  if (deadline_on && elapsed() >= config_.stage2_deadline_seconds) {
-    return degrade("stage-2 deadline exhausted after stage-1 (" +
-                   fmt(config_.stage2_deadline_seconds, 3) + "s)");
+  if (ctx.expired() || ctx.cancelled()) {
+    std::string reason = ctx.cancelled() ? "request cancelled after stage-1"
+                                         : "stage-2 deadline exhausted after stage-1";
+    if (!ctx.cancelled() && config_.stage2_deadline_seconds >= 0.0) {
+      reason += " (" + fmt(config_.stage2_deadline_seconds, 3) + "s)";
+    }
+    return degrade(reason);
   }
 
   try {
@@ -80,18 +109,10 @@ TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Byte
       GridSearchOptions gs;
       gs.quality_threshold = config_.min_image_ssim;
       gs.timeout_seconds = config_.grid_timeout_seconds;
-      if (deadline_on) {
-        // Grid Search is internally anytime: its timeout returns the best
-        // feasible combination found so far, which is exactly the deadline
-        // contract — so the deadline just tightens the solver budget.
-        const double remaining = config_.stage2_deadline_seconds - elapsed();
-        gs.timeout_seconds = gs.timeout_seconds <= 0.0
-                                 ? remaining
-                                 : std::min(gs.timeout_seconds, remaining);
-        gs.timeout_seconds = std::max(gs.timeout_seconds, 1e-6);
-      }
       web::ServedPage working = served;
-      const GridSearchOutcome outcome = grid_search(working, target_bytes, ladders, gs);
+      // The context deadline bounds the DFS directly (grid_search polls
+      // ctx.expired()), so no per-call timeout tightening is needed.
+      const GridSearchOutcome outcome = grid_search(working, target_bytes, ladders, gs, ctx);
       TranscodeResult result;
       result.served = std::move(working);
       result.result_bytes = outcome.bytes_after;
@@ -114,7 +135,7 @@ TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Byte
     hbs.js_strategy = config_.js_strategy;
     web::ServedPage working = served;
     TranscodeResult result =
-        hbs_transcode(page, std::move(working), target_bytes, ladders, hbs);
+        hbs_transcode(page, std::move(working), target_bytes, ladders, hbs, ctx);
     result.algorithm = "stage1+" + result.algorithm;
     result.elapsed_seconds = elapsed();
     return result;
@@ -134,6 +155,12 @@ TranscodeResult Aw4aPipeline::transcode_for_country(const web::WebPage& page,
 }
 
 std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
+  return build_tiers(page, make_context());
+}
+
+std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page,
+                                            const obs::RequestContext& ctx) const {
+  AW4A_SPAN(ctx, "build_tiers");
   std::vector<Tier> tiers;
   tiers.reserve(config_.tier_reductions.size());
   const Bytes original = page.transfer_size();
@@ -147,8 +174,8 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
   // so the per-tier retry/degradation ladder below behaves exactly as it
   // would on a cold cache.
   LadderCache ladders(ladder_options());
-  if (config_.prewarm_workers > 0) {
-    ladders.prewarm(page, static_cast<unsigned>(config_.prewarm_workers));
+  if (ctx.workers() > 0) {
+    ladders.prewarm(page, ctx);
   }
 
   std::size_t built_count = 0;
@@ -160,10 +187,12 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
     tier.requested_reduction = reduction;
     const std::string label = "tier " + fmt(reduction, 2) + "x";
     try {
+      // The ONE context is shared across tiers: a deadline bounds the whole
+      // build, so tiers after exhaustion degrade to their Stage-1 result.
       tier.result = retry_transient(
           [&] {
-            return with_context(label,
-                                [&] { return transcode_to_target(page, target, ladders); });
+            return with_context(
+                label, [&] { return transcode_to_target(page, target, ladders, ctx); });
           },
           retry);
       if (tier.result.degraded) tier.note = tier.result.degradation_reason;

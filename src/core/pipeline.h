@@ -38,10 +38,12 @@ struct DeveloperConfig {
   bool measure_qfs = true;
   /// JS stage of HBS approach A (kAdjustable avoids Muzeel's overshoot).
   HbsOptions::JsStrategy js_strategy = HbsOptions::JsStrategy::kMuzeel;
-  /// Wall-clock budget for Stage-2 inside transcode_to_target; negative
-  /// disables the deadline. When exhausted (or when Stage-2 fails), the
-  /// Stage-1 anytime result is returned with `degraded` set — a deadline is
-  /// never surfaced as a DeadlineExceeded to the serving path.
+  /// Wall-clock budget for transcoding; negative disables the deadline.
+  /// Seeds the request context's deadline (see make_context), so one budget
+  /// uniformly bounds Stage-1, both Stage-2 solvers, and — through
+  /// build_tiers — the whole cold build. When exhausted (or when Stage-2
+  /// fails), the Stage-1 anytime result is returned with `degraded` set — a
+  /// deadline is never surfaced as a DeadlineExceeded to the serving path.
   double stage2_deadline_seconds = -1.0;
   /// Attempts per tier in build_tiers (transient faults are retried with
   /// deterministic backoff; see util/retry.h).
@@ -83,10 +85,17 @@ class Aw4aPipeline {
 
   const DeveloperConfig& config() const { return config_; }
 
+  /// Context seeded from this config: deadline from stage2_deadline_seconds
+  /// (when >= 0), workers from prewarm_workers (when > 0). The single-shot
+  /// entry points below call this; callers that need tracing, cancellation,
+  /// or a caller-owned deadline build on top of it (or pass their own
+  /// context to the ctx overloads).
+  obs::RequestContext make_context() const;
+
   /// Fig. 5 end-to-end: Stage-1, then Stage-2 if the target is unmet.
   /// Degradation contract: a Stage-2 failure (any aw4a::Error, e.g. an
-  /// injected codec fault) or an exhausted `stage2_deadline_seconds` returns
-  /// the Stage-1 result with `degraded` set instead of throwing. A Stage-1
+  /// injected codec fault) or an exhausted context deadline returns the
+  /// Stage-1 result with `degraded` set instead of throwing. A Stage-1
   /// failure still throws — there is no coarser anytime result to serve —
   /// and is handled by build_tiers' ladder.
   TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes) const;
@@ -98,6 +107,15 @@ class Aw4aPipeline {
   /// have been created with ladder_options() (checked).
   TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes,
                                       LadderCache& ladders) const;
+
+  /// Explicit-context variants: deadline, cancellation, tracing, and worker
+  /// budget all come from `ctx` (the config's stage2_deadline_seconds is NOT
+  /// consulted — the caller owns the budget).
+  TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                      const obs::RequestContext& ctx) const;
+  TranscodeResult transcode_to_target(const web::WebPage& page, Bytes target_bytes,
+                                      LadderCache& ladders,
+                                      const obs::RequestContext& ctx) const;
 
   /// Ladder enumeration options implied by this config (the Qt threshold with
   /// slack for the Bytes Efficiency probe). A LadderCache shared across calls
@@ -116,6 +134,13 @@ class Aw4aPipeline {
   /// when *no* tier could be built at all, with every per-tier failure
   /// aggregated into the message.
   std::vector<Tier> build_tiers(const web::WebPage& page) const;
+
+  /// Explicit-context build: ONE context bounds the whole build, so a
+  /// deadline is shared across all tiers (later tiers degrade to their
+  /// Stage-1 result when earlier ones consumed the budget) rather than reset
+  /// per tier. Worker budget for the ladder prewarm comes from ctx.workers().
+  std::vector<Tier> build_tiers(const web::WebPage& page,
+                                const obs::RequestContext& ctx) const;
 
  private:
   DeveloperConfig config_;

@@ -36,7 +36,8 @@ imaging::ImageFormat working_format(const web::ServedPage& served,
 }  // namespace
 
 std::vector<std::pair<std::uint64_t, double>> reducibility_ranking(
-    const web::WebPage& page, LadderCache& ladders, const RbrOptions& options) {
+    const web::WebPage& page, LadderCache& ladders, const RbrOptions& options,
+    const obs::RequestContext& ctx) {
   AW4A_EXPECTS(options.area_weight >= 0.0 && options.bytes_efficiency_weight >= 0.0);
   AW4A_EXPECTS(options.area_weight + options.bytes_efficiency_weight > 0.0);
   const auto images = rich_images(page);
@@ -49,7 +50,7 @@ std::vector<std::pair<std::uint64_t, double>> reducibility_ranking(
     // Smaller area => higher reducibility, so feed the negated area in.
     area_raw.push_back(-object->image->display_area());
     eff_raw.push_back(
-        ladders.ladder_for(*object).bytes_efficiency(options.quality_threshold));
+        ladders.ladder_for(*object).bytes_efficiency(options.quality_threshold, ctx));
   }
   const std::vector<double> area_norm = normalize(std::move(area_raw));
   const std::vector<double> eff_norm = normalize(std::move(eff_raw));
@@ -73,8 +74,9 @@ std::vector<std::pair<std::uint64_t, double>> reducibility_ranking(
 }
 
 RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, LadderCache& ladders,
-                             const RbrOptions& options) {
+                             const RbrOptions& options, const obs::RequestContext& ctx) {
   AW4A_EXPECTS(served.page != nullptr);
+  AW4A_SPAN(ctx, "stage2.rbr");
   const web::WebPage& page = *served.page;
   RbrOutcome outcome;
 
@@ -90,10 +92,11 @@ RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, Ladder
   // the Bytes Efficiency is better in WebP).
   if (options.webp_pass) {
     for (const web::WebObject* object : rich_images(page)) {
+      if (ctx.expired() || ctx.cancelled()) break;  // anytime: keep what we have
       if (served.is_dropped(object->id) || served.images.count(object->id)) continue;
       if (object->image->format != imaging::ImageFormat::kPng) continue;
       auto& ladder = ladders.ladder_for(*object);
-      const imaging::ImageVariant& webp = ladder.webp_full();
+      const imaging::ImageVariant& webp = ladder.webp_full(ctx);
       if (webp.ssim + 1e-12 >= options.quality_threshold &&
           webp.bytes < object->transfer_bytes) {
         served.images[object->id] = web::ServedImage{.variant = webp, .dropped = false};
@@ -108,13 +111,14 @@ RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, Ladder
   }
 
   // Greedy reduction in reducibility order (Algorithm 1's priority queue).
-  const auto ranking = reducibility_ranking(page, ladders, options);
+  const auto ranking = reducibility_ranking(page, ladders, options, ctx);
   for (const auto& [object_id, score] : ranking) {
+    if (ctx.expired() || ctx.cancelled()) break;  // anytime: stop between images
     const web::WebObject* object = page.find(object_id);
     if (object == nullptr || served.is_dropped(object_id)) continue;
     auto& ladder = ladders.ladder_for(*object);
     const imaging::ImageFormat format = working_format(served, *object);
-    const auto& family = ladder.resolution_family(format);
+    const auto& family = ladder.resolution_family(format, ctx);
 
     // Resume below any variant already applied to this image.
     double current_scale = 1.0;

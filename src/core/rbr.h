@@ -37,12 +37,18 @@ struct RbrOutcome {
 /// Runs RBR on top of the decisions already in `served`, reducing image
 /// bytes until the *whole page* transfer size is <= `target_bytes` or every
 /// image sits at the quality threshold. Decisions are written into `served`.
+/// Anytime under a context deadline: the greedy loop stops between images
+/// when the budget runs out, keeping the reductions already applied (they
+/// are each individually safe), so the caller gets the best page reachable
+/// in the time allowed rather than an exception.
 RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, LadderCache& ladders,
-                             const RbrOptions& options = {});
+                             const RbrOptions& options = {},
+                             const obs::RequestContext& ctx = obs::RequestContext::none());
 
 /// The reducibility score RBR ranks by (exposed for tests and ablations):
 /// weighted sum of the normalized heuristics, higher = reduce first.
 std::vector<std::pair<std::uint64_t, double>> reducibility_ranking(
-    const web::WebPage& page, LadderCache& ladders, const RbrOptions& options = {});
+    const web::WebPage& page, LadderCache& ladders, const RbrOptions& options = {},
+    const obs::RequestContext& ctx = obs::RequestContext::none());
 
 }  // namespace aw4a::core

@@ -6,12 +6,16 @@
 
 namespace aw4a::core {
 
-Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders, const Stage1Options& options) {
+Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders, const Stage1Options& options,
+                   const obs::RequestContext& ctx) {
   AW4A_EXPECTS(served.page != nullptr);
   AW4A_EXPECTS(options.minify_gain > 0.0 && options.minify_gain <= 1.0);
+  AW4A_SPAN(ctx, "stage1");
   const Bytes before = served.transfer_size();
 
   for (const auto& object : served.page->objects) {
+    // Anytime: stop on an exhausted budget, keep what is already optimized.
+    if (ctx.expired() || ctx.cancelled()) break;
     if (served.is_dropped(object.id)) continue;
     switch (object.type) {
       case web::ObjectType::kHtml:
@@ -42,7 +46,7 @@ Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders, const Stage1Op
         // untouched original.
         if (served.images.count(object.id)) break;
         auto& ladder = ladders.ladder_for(object);
-        const imaging::ImageVariant& webp = ladder.webp_full();
+        const imaging::ImageVariant& webp = ladder.webp_full(ctx);
         const bool visually_equivalent = webp.ssim + 1e-12 >= options.min_transcode_ssim;
         const bool smaller = webp.bytes < object.transfer_bytes;
         if (visually_equivalent && smaller) {

@@ -27,8 +27,13 @@ struct Stage1Options {
 };
 
 /// Applies Stage-1 to `served` in place (decisions accumulate on top of any
-/// existing ones). Returns the bytes saved.
+/// existing ones). Returns the bytes saved. Anytime under a context
+/// deadline: the per-object loop stops early when the budget is exhausted,
+/// leaving the objects already processed optimized — though a deadline
+/// firing *inside* an image measurement still surfaces as DeadlineExceeded
+/// (the pipeline converts either shape into its degraded Stage-1 result).
 Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders,
-                   const Stage1Options& options = {});
+                   const Stage1Options& options = {},
+                   const obs::RequestContext& ctx = obs::RequestContext::none());
 
 }  // namespace aw4a::core

@@ -38,6 +38,16 @@ int display_dim_for(ImageClass cls, Rng& rng) {
 
 std::size_t format_index(ImageFormat f) { return static_cast<std::size_t>(f); }
 
+/// Span name of an encode, keyed by format (span names must be literals).
+const char* encode_span_name(ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kJpeg: return "encode.jpeg";
+    case ImageFormat::kPng: return "encode.png";
+    case ImageFormat::kWebp: return "encode.webp";
+  }
+  return "encode";
+}
+
 // Every codec invocation funnels through here: a single transient encoder
 // fault (crashed worker, injected fault) is retried once before the error
 // escapes to the tier-build ladder.
@@ -97,9 +107,13 @@ ImageVariant VariantLadder::original() const {
 Bytes wire_header_bytes() { return 420; }
 
 ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
-                             int quality) {
+                             int quality, const obs::RequestContext& ctx) {
+  ctx.check("imaging.measure_variant");
   const Raster reduced = reduce_resolution(asset.original, scale);
-  const Encoded enc = encode_retrying(format, reduced, quality);
+  Encoded enc = [&] {
+    AW4A_SPAN(ctx, encode_span_name(format));
+    return encode_retrying(format, reduced, quality);
+  }();
   const Raster shown = redisplay(enc.decoded, asset.original.width(), asset.original.height());
   ImageVariant v;
   v.format = format;
@@ -108,7 +122,10 @@ ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, doubl
   v.bytes = wire_header_bytes() +
             static_cast<Bytes>(std::llround(static_cast<double>(enc.payload_bytes()) *
                                             asset.byte_scale));
-  v.ssim = ssim(asset.original, shown);
+  {
+    AW4A_SPAN(ctx, "ssim");
+    v.ssim = ssim(asset.original, shown);
+  }
   return v;
 }
 
@@ -117,9 +134,14 @@ const PlaneF& VariantLadder::original_luma() const {
   return *original_luma_;
 }
 
-ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality) const {
+ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality,
+                                    const obs::RequestContext& ctx) const {
+  ctx.check("imaging.measure");
   const Raster reduced = reduce_resolution(asset_->original, scale);
-  const Encoded enc = encode_retrying(format, reduced, quality);
+  Encoded enc = [&] {
+    AW4A_SPAN(ctx, encode_span_name(format));
+    return encode_retrying(format, reduced, quality);
+  }();
   const Raster shown = redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
   ImageVariant v;
   v.format = format;
@@ -130,17 +152,24 @@ ImageVariant VariantLadder::measure(ImageFormat format, double scale, int qualit
                                             asset_->byte_scale));
   // Cached-luma path: the original's luma is extracted once per ladder, the
   // variant's once per measurement — identical scores to comparing rasters.
-  v.ssim = compare_images(original_luma(), luma_plane(shown), options_.metric);
+  {
+    AW4A_SPAN(ctx, "ssim");
+    v.ssim = compare_images(original_luma(), luma_plane(shown), options_.metric);
+  }
   return v;
 }
 
-const std::vector<ImageVariant>& VariantLadder::resolution_family(ImageFormat format) {
+const std::vector<ImageVariant>& VariantLadder::resolution_family(
+    ImageFormat format, const obs::RequestContext& ctx) {
   auto& slot = res_family_[format_index(format)];
   if (!slot) {
+    // Enumerated into a local first: a deadline thrown mid-family leaves the
+    // slot unset, so a later (un-deadlined) call re-enumerates the full
+    // family instead of serving a truncated one.
     std::vector<ImageVariant> family;
     for (double s = 1.0 - options_.scale_granularity; s >= options_.min_scale - 1e-9;
          s -= options_.scale_granularity) {
-      ImageVariant v = measure(format, s, asset_->ship_quality);
+      ImageVariant v = measure(format, s, asset_->ship_quality, ctx);
       const double ssim_v = v.ssim;
       family.push_back(std::move(v));
       if (ssim_v < options_.min_ssim) break;  // keep one below-floor point as a sentinel
@@ -150,14 +179,15 @@ const std::vector<ImageVariant>& VariantLadder::resolution_family(ImageFormat fo
   return *slot;
 }
 
-const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat format) {
+const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat format,
+                                                               const obs::RequestContext& ctx) {
   auto& slot = qual_family_[format_index(format)];
   if (!slot) {
     std::vector<ImageVariant> family;
     if (format != ImageFormat::kPng) {  // PNG is lossless: no quality knob
       for (int q : options_.quality_steps) {
         if (q >= asset_->ship_quality) continue;  // upcoding never helps
-        ImageVariant v = measure(format, 1.0, q);
+        ImageVariant v = measure(format, 1.0, q, ctx);
         const double ssim_v = v.ssim;
         family.push_back(std::move(v));
         if (ssim_v < options_.min_ssim) break;
@@ -168,47 +198,49 @@ const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat forma
   return *slot;
 }
 
-const ImageVariant& VariantLadder::webp_full() {
+const ImageVariant& VariantLadder::webp_full(const obs::RequestContext& ctx) {
   if (!webp_full_) {
     const int q = asset_->format == ImageFormat::kPng ? 100 : asset_->ship_quality;
-    webp_full_ = measure(ImageFormat::kWebp, 1.0, q);
+    webp_full_ = measure(ImageFormat::kWebp, 1.0, q, ctx);
   }
   return *webp_full_;
 }
 
-std::optional<ImageVariant> VariantLadder::cheapest_with_ssim_at_least(double target) {
+std::optional<ImageVariant> VariantLadder::cheapest_with_ssim_at_least(
+    double target, const obs::RequestContext& ctx) {
   std::optional<ImageVariant> best = original();
   auto consider = [&](const ImageVariant& v) {
     if (v.ssim + 1e-12 >= target && (!best || v.bytes < best->bytes)) best = v;
   };
-  consider(webp_full());
-  for (const auto& v : resolution_family(asset_->format)) consider(v);
-  for (const auto& v : resolution_family(ImageFormat::kWebp)) consider(v);
-  for (const auto& v : quality_family(asset_->format)) consider(v);
-  for (const auto& v : quality_family(ImageFormat::kWebp)) consider(v);
+  consider(webp_full(ctx));
+  for (const auto& v : resolution_family(asset_->format, ctx)) consider(v);
+  for (const auto& v : resolution_family(ImageFormat::kWebp, ctx)) consider(v);
+  for (const auto& v : quality_family(asset_->format, ctx)) consider(v);
+  for (const auto& v : quality_family(ImageFormat::kWebp, ctx)) consider(v);
   if (best && best->ssim + 1e-12 < target) return std::nullopt;  // original below target?!
   return best;
 }
 
-std::optional<ImageVariant> VariantLadder::cheapest_fullres_with_ssim_at_least(double target) {
+std::optional<ImageVariant> VariantLadder::cheapest_fullres_with_ssim_at_least(
+    double target, const obs::RequestContext& ctx) {
   std::optional<ImageVariant> best = original();
   auto consider = [&](const ImageVariant& v) {
     if (v.ssim + 1e-12 >= target && (!best || v.bytes < best->bytes)) best = v;
   };
-  consider(webp_full());
-  for (const auto& v : quality_family(asset_->format)) consider(v);
-  for (const auto& v : quality_family(ImageFormat::kWebp)) consider(v);
+  consider(webp_full(ctx));
+  for (const auto& v : quality_family(asset_->format, ctx)) consider(v);
+  for (const auto& v : quality_family(ImageFormat::kWebp, ctx)) consider(v);
   if (best && best->ssim + 1e-12 < target) return std::nullopt;
   return best;
 }
 
-double VariantLadder::bytes_efficiency(double ssim_threshold) {
+double VariantLadder::bytes_efficiency(double ssim_threshold, const obs::RequestContext& ctx) {
   // Walk the resolution family of the shipped format down to the threshold;
   // use only points where both bytes and SSIM decreased (the paper considers
   // only the monotone part of the curve).
   const ImageVariant base = original();
   const ImageVariant* deepest = nullptr;
-  for (const auto& v : resolution_family(asset_->format)) {
+  for (const auto& v : resolution_family(asset_->format, ctx)) {
     if (v.ssim + 1e-12 < ssim_threshold) break;
     if (v.bytes < base.bytes && v.ssim < base.ssim) deepest = &v;
   }

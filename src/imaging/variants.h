@@ -22,6 +22,7 @@
 #include "imaging/ssim.h"
 #include "imaging/raster.h"
 #include "imaging/synth.h"
+#include "obs/context.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -87,9 +88,12 @@ Bytes wire_header_bytes();
 
 /// Measures one specific (format, scale, quality) variant of `asset`:
 /// real encode, page-scale bytes, SSIM after redisplay. Uncached — the
-/// baseline transcoders use this for their fixed settings.
+/// baseline transcoders use this for their fixed settings. The context
+/// carries the request deadline (checked before the encode) and receives
+/// "encode.<fmt>" / "ssim" spans when tracing.
 ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
-                             int quality);
+                             int quality,
+                             const obs::RequestContext& ctx = obs::RequestContext::none());
 
 /// Lazily enumerated, memoized variant space for one asset.
 class VariantLadder {
@@ -102,33 +106,45 @@ class VariantLadder {
   /// The as-shipped variant (scale 1, SSIM 1, shipped bytes).
   ImageVariant original() const;
 
+  // Enumeration entry points all accept a RequestContext: the deadline is
+  // checked before each *new* measurement (memoized families return without
+  // any check, so a warm ladder never throws), and encode/SSIM spans are
+  // emitted when tracing. An enumeration aborted by the deadline memoizes
+  // nothing — the next call re-attempts from scratch, so results are
+  // independent of when a deadline fired.
+
   /// Resolution family in `format`: scale 1-g, 1-2g, ... (SSIM-measured).
   /// Stops at min_scale or when SSIM drops below min_ssim.
-  const std::vector<ImageVariant>& resolution_family(ImageFormat format);
+  const std::vector<ImageVariant>& resolution_family(
+      ImageFormat format, const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Quality family at full resolution in `format` (lossy formats only; for
   /// PNG this returns just the original since PNG is lossless).
-  const std::vector<ImageVariant>& quality_family(ImageFormat format);
+  const std::vector<ImageVariant>& quality_family(
+      ImageFormat format, const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Full-resolution WebP transcode at ship quality (lossless WebP for PNG
   /// sources, lossy otherwise).
-  const ImageVariant& webp_full();
+  const ImageVariant& webp_full(const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Cheapest enumerated variant (across both families and formats plus the
   /// WebP transcode) with ssim >= target; nullopt if none qualifies.
-  std::optional<ImageVariant> cheapest_with_ssim_at_least(double target);
+  std::optional<ImageVariant> cheapest_with_ssim_at_least(
+      double target, const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Same, but restricted to full-resolution variants (quality families and
   /// the WebP transcode) — the move set of the paper's Grid Search, which
   /// reduces image *quality* "while maintaining their original dimensions"
   /// (§7.1). RBR's resolution ladder is excluded on purpose: the two solvers
   /// searching different spaces is why each can win on some inputs.
-  std::optional<ImageVariant> cheapest_fullres_with_ssim_at_least(double target);
+  std::optional<ImageVariant> cheapest_fullres_with_ssim_at_least(
+      double target, const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Paper Eq. 6: |delta bytes| / |delta SSIM| between the original and the
   /// smallest in-threshold variant of the resolution family (monotone points
   /// only). Higher = more reducible.
-  double bytes_efficiency(double ssim_threshold);
+  double bytes_efficiency(double ssim_threshold,
+                          const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Everything enumerated so far (for Fig. 8 style dumps and tests).
   std::vector<ImageVariant> all_variants() const;
@@ -138,7 +154,8 @@ class VariantLadder {
   Raster render_variant(const ImageVariant& v) const;
 
  private:
-  ImageVariant measure(ImageFormat format, double scale, int quality) const;
+  ImageVariant measure(ImageFormat format, double scale, int quality,
+                       const obs::RequestContext& ctx) const;
 
   /// Luma of the original, extracted on first use: every variant measurement
   /// compares against the same original, so its luma is computed once per

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace aw4a::serving {
 namespace {
@@ -55,8 +56,26 @@ HistogramSnapshot Histogram::snapshot() const {
   out.max = max_.load(std::memory_order_relaxed);
   out.mean = total == 0 ? 0.0 : out.sum / static_cast<double>(total);
   out.p50 = percentile(counts, total, 0.50, kMinExp, out.max);
+  out.p90 = percentile(counts, total, 0.90, kMinExp, out.max);
   out.p99 = percentile(counts, total, 0.99, kMinExp, out.max);
   return out;
+}
+
+void StageBreakdown::on_span(const char* name, double duration_seconds) {
+  // Route on the leading name component (the span naming convention in
+  // obs/context.h): "stage2.hbs" and "stage2.grid" both mean Stage-2 time.
+  const auto starts_with = [&](const char* prefix) {
+    return std::strncmp(name, prefix, std::strlen(prefix)) == 0;
+  };
+  if (starts_with("stage2")) {
+    stage2.record(duration_seconds);
+  } else if (starts_with("stage1")) {
+    stage1.record(duration_seconds);
+  } else if (starts_with("ssim")) {
+    ssim.record(duration_seconds);
+  } else if (starts_with("encode")) {
+    encode.record(duration_seconds);
+  }
 }
 
 MetricsSnapshot ServingMetrics::snapshot() const {
@@ -70,6 +89,7 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   out.served_preference_tier = load(served_preference_tier);
   out.served_degraded = load(served_degraded);
   out.stats_requests = load(stats_requests);
+  out.trace_requests = load(trace_requests);
   out.not_found = load(not_found);
   out.bad_method = load(bad_method);
   out.bad_request = load(bad_request);
@@ -80,6 +100,10 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   out.cache_bypasses = load(cache_bypasses);
   out.build_seconds = build_seconds.snapshot();
   out.served_page_bytes = served_page_bytes.snapshot();
+  out.stage1_seconds = stage_breakdown.stage1.snapshot();
+  out.stage2_seconds = stage_breakdown.stage2.snapshot();
+  out.ssim_seconds = stage_breakdown.ssim.snapshot();
+  out.encode_seconds = stage_breakdown.encode.snapshot();
   return out;
 }
 

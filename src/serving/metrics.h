@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/context.h"
+
 namespace aw4a::serving {
 
 /// Point-in-time view of one Histogram. Percentiles are bucket estimates
@@ -22,6 +24,7 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double mean = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p99 = 0.0;
   double max = 0.0;
 };
@@ -51,6 +54,23 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Per-stage latency histograms, fed by the span API: an OriginServer hands
+/// each request context this sink, so every span the pipeline emits — in any
+/// serving thread, including single-flight leaders building cold tiers —
+/// lands in the stage histogram matching its leading name component
+/// ("stage1", "stage2.hbs" and friends, "ssim", "encode.webp" ...). Spans
+/// outside those families (cache probes, whole-build envelopes) are ignored:
+/// the breakdown answers "where does transcode time go", not "what happened".
+class StageBreakdown final : public obs::SpanSink {
+ public:
+  void on_span(const char* name, double duration_seconds) override;
+
+  Histogram stage1;
+  Histogram stage2;  // all Stage-2 solvers: hbs/rbr/grid/knapsack
+  Histogram ssim;
+  Histogram encode;  // all codecs: encode.jpeg/png/webp
+};
+
 /// Counter totals of one OriginServer in plain ints (see
 /// ServingMetrics::snapshot). The four served_* rows partition the page
 /// answers; the non-page rows (stats_requests .. internal_errors) account
@@ -64,6 +84,7 @@ struct MetricsSnapshot {
   std::uint64_t served_degraded = 0;
   // Non-page answers.
   std::uint64_t stats_requests = 0;
+  std::uint64_t trace_requests = 0;
   std::uint64_t not_found = 0;
   std::uint64_t bad_method = 0;
   std::uint64_t bad_request = 0;
@@ -78,6 +99,11 @@ struct MetricsSnapshot {
   std::uint64_t cache_bypasses = 0;
   HistogramSnapshot build_seconds;
   HistogramSnapshot served_page_bytes;
+  // Per-stage transcode latency (the /aw4a/stats "stage_breakdown" block).
+  HistogramSnapshot stage1_seconds;
+  HistogramSnapshot stage2_seconds;
+  HistogramSnapshot ssim_seconds;
+  HistogramSnapshot encode_seconds;
 };
 
 /// The atomic counters behind MetricsSnapshot. Fields are public by design:
@@ -89,6 +115,7 @@ struct ServingMetrics {
   std::atomic<std::uint64_t> served_preference_tier{0};
   std::atomic<std::uint64_t> served_degraded{0};
   std::atomic<std::uint64_t> stats_requests{0};
+  std::atomic<std::uint64_t> trace_requests{0};
   std::atomic<std::uint64_t> not_found{0};
   std::atomic<std::uint64_t> bad_method{0};
   std::atomic<std::uint64_t> bad_request{0};
@@ -99,6 +126,7 @@ struct ServingMetrics {
   std::atomic<std::uint64_t> cache_bypasses{0};
   Histogram build_seconds;
   Histogram served_page_bytes;
+  StageBreakdown stage_breakdown;
 
   /// Each field is individually exact; cross-field identities can be off by
   /// whatever requests are in flight during the read.

@@ -58,6 +58,21 @@ class JsonWriter {
     key(name);
     out_ += value ? "true" : "false";
   }
+  /// Quoted string value. No escaping: callers only pass normalized
+  /// hostnames and enum labels, never request-controlled text.
+  void field(const char* name, const std::string& value) {
+    comma();
+    key(name);
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+  }
+  /// Pre-rendered JSON (an array from TraceBuffer::to_json), verbatim.
+  void raw_field(const char* name, const std::string& json) {
+    comma();
+    key(name);
+    out_ += json;
+  }
   std::string take() { return std::move(out_); }
 
  private:
@@ -79,9 +94,20 @@ void histogram_json(JsonWriter& json, const char* name, const HistogramSnapshot&
   json.field("count", h.count);
   json.field("mean", h.mean);
   json.field("p50", h.p50);
+  json.field("p90", h.p90);
   json.field("p99", h.p99);
   json.field("max", h.max);
   json.end();
+}
+
+const char* served_label(core::ServeOutcome::Served served) {
+  switch (served) {
+    case core::ServeOutcome::Served::kOriginal: return "original";
+    case core::ServeOutcome::Served::kPawTier: return "paw_tier";
+    case core::ServeOutcome::Served::kPreferenceTier: return "preference_tier";
+    case core::ServeOutcome::Served::kDegraded: return "degraded";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -150,6 +176,10 @@ net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) 
     return response;
   }
   const auto routed = by_host_.find(*host);
+  if (routed != by_host_.end() && request.path == kTracePath) {
+    bump(metrics_.trace_requests);
+    return trace_response(request, sites_[routed->second]);
+  }
   if (routed == by_host_.end() || !core::known_page_path(request.path)) {
     bump(metrics_.not_found);
     net::HttpResponse response;
@@ -160,24 +190,7 @@ net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) 
   }
   const Site& site = sites_[routed->second];
 
-  core::ServeOutcome outcome;
-  if (!request.save_data()) {
-    // Laziness is the point: the original needs no ladder, so a site that
-    // never sees a data-saving request never pays for a build.
-    outcome = core::answer_page_request(site.origin.page, {}, "", site.origin.plan, request);
-  } else {
-    LadderPtr ladder;
-    std::string degraded_reason;
-    try {
-      ladder = ladder_for(site);
-    } catch (const Error& e) {
-      degraded_reason = e.what();
-    }
-    outcome = core::answer_page_request(
-        site.origin.page,
-        ladder ? std::span<const core::Tier>(ladder->tiers) : std::span<const core::Tier>{},
-        degraded_reason, site.origin.plan, request);
-  }
+  const core::ServeOutcome outcome = serve_page(site, request, request_context(site));
   switch (outcome.served) {
     case core::ServeOutcome::Served::kOriginal: bump(metrics_.served_original); break;
     case core::ServeOutcome::Served::kPawTier: bump(metrics_.served_paw_tier); break;
@@ -190,50 +203,93 @@ net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) 
   return outcome.response;
 }
 
-LadderPtr OriginServer::ladder_for(const Site& site) const {
-  const TierKey key{site.id, site.fingerprint, site.origin.plan};
-  if (!cache_enabled_) return build_ladder(site);
+obs::RequestContext OriginServer::request_context(const Site& site) const {
+  obs::RequestContext ctx =
+      obs::RequestContext().with_clock(clock_).with_sink(&metrics_.stage_breakdown);
+  const core::DeveloperConfig& config = site.origin.config;
+  if (config.stage2_deadline_seconds >= 0.0) {
+    ctx = ctx.with_deadline_after(config.stage2_deadline_seconds);
+  }
+  // Origin-level prewarm default; a site that set its own count keeps it.
+  const int workers =
+      config.prewarm_workers > 0 ? config.prewarm_workers : prewarm_workers_;
+  if (workers > 0) ctx = ctx.with_workers(static_cast<unsigned>(workers));
+  return ctx;
+}
+
+core::ServeOutcome OriginServer::serve_page(const Site& site, const net::HttpRequest& request,
+                                            const obs::RequestContext& ctx) const {
+  if (!request.save_data()) {
+    // Laziness is the point: the original needs no ladder, so a site that
+    // never sees a data-saving request never pays for a build.
+    return core::answer_page_request(site.origin.page, {}, "", site.origin.plan, request);
+  }
+  LadderPtr ladder;
+  std::string degraded_reason;
   try {
-    if (LadderPtr resident = cache_.fetch(key, clock_())) return resident;
+    ladder = ladder_for(site, ctx);
+  } catch (const Error& e) {
+    degraded_reason = e.what();
+  }
+  return core::answer_page_request(
+      site.origin.page,
+      ladder ? std::span<const core::Tier>(ladder->tiers) : std::span<const core::Tier>{},
+      degraded_reason, site.origin.plan, request);
+}
+
+LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& ctx) const {
+  const TierKey key{site.id, site.fingerprint, site.origin.plan};
+  if (!cache_enabled_) return build_ladder(site, ctx);
+  try {
+    if (LadderPtr resident = cache_.fetch(key, clock_(), ctx)) return resident;
   } catch (const TransientError&) {
     // Shard poisoned: serve around the cache rather than failing the
     // request. The build is not shared, but the user still gets a tier.
     bump(metrics_.cache_bypasses);
-    return build_ladder(site);
+    return build_ladder(site, ctx);
   }
-  const auto build_and_admit = [&]() -> LadderPtr {
+  const auto build_and_admit = [&](const obs::RequestContext& build_ctx) -> LadderPtr {
     // Double-check on entry: between our miss and winning the flight (or,
     // with single-flight off, losing the race), another build may have
     // landed. This is what makes "one build per key" exact under
     // single-flight instead of merely likely.
     try {
-      if (LadderPtr resident = cache_.fetch(key, clock_())) return resident;
+      if (LadderPtr resident = cache_.fetch(key, clock_(), build_ctx)) return resident;
     } catch (const TransientError&) {
       bump(metrics_.cache_bypasses);
-      return build_ladder(site);
+      return build_ladder(site, build_ctx);
     }
-    LadderPtr built = build_ladder(site);
+    LadderPtr built = build_ladder(site, build_ctx);
     try {
-      if (!cache_.insert(key, built, clock_())) bump(metrics_.duplicate_builds);
+      if (!cache_.insert(key, built, clock_(), build_ctx)) bump(metrics_.duplicate_builds);
     } catch (const TransientError&) {
       bump(metrics_.cache_bypasses);
     }
     return built;
   };
-  if (single_flight_) return flight_.run(key, build_and_admit);
-  return build_and_admit();
+  if (single_flight_) {
+    // The leader builds under the flight's live deadline union (joiners
+    // CAS-max their own deadlines in), not just its own budget.
+    return flight_.run(
+        key,
+        [&](const std::atomic<double>& shared_deadline) {
+          return build_and_admit(ctx.with_shared_deadline(&shared_deadline));
+        },
+        ctx.deadline_at());
+  }
+  return build_and_admit(ctx);
 }
 
-LadderPtr OriginServer::build_ladder(const Site& site) const {
+LadderPtr OriginServer::build_ladder(const Site& site, const obs::RequestContext& ctx) const {
   bump(metrics_.builds_started);
   const double started = clock_();
   try {
     AW4A_FAULT_POINT("serving.build.leader");
+    AW4A_SPAN(ctx, "serving.build");
     auto ladder = std::make_shared<TierLadder>();
-    core::DeveloperConfig config = site.origin.config;
-    // Origin-level prewarm default; a site that set its own count keeps it.
-    if (config.prewarm_workers == 0) config.prewarm_workers = prewarm_workers_;
-    ladder->tiers = core::Aw4aPipeline(config).build_tiers(site.origin.page);
+    // Deadline and prewarm workers ride in on the context (request_context),
+    // so the site config is used as-is.
+    ladder->tiers = core::Aw4aPipeline(site.origin.config).build_tiers(site.origin.page, ctx);
     for (const core::Tier& tier : ladder->tiers) ladder->cost_bytes += tier.result.result_bytes;
     ladder->build_seconds = clock_() - started;
     metrics_.build_seconds.record(ladder->build_seconds);
@@ -242,6 +298,37 @@ LadderPtr OriginServer::build_ladder(const Site& site) const {
     bump(metrics_.builds_failed);
     throw;
   }
+}
+
+net::HttpResponse OriginServer::trace_response(const net::HttpRequest& request,
+                                               const Site& site) const {
+  // Serve the site's page once exactly as a page request with these headers
+  // would be served — same cache, single-flight, and degradation paths —
+  // with a trace buffer attached, and return the span dump instead of the
+  // page. Only trace_requests is bumped (handle_checked already did): the
+  // served_* counters and page-byte histogram keep meaning "real page
+  // answers", preserving the stats partition invariant.
+  obs::TraceBuffer buffer;
+  const obs::RequestContext ctx = request_context(site).with_trace(&buffer);
+  net::HttpRequest probe = request;
+  probe.path = "/";
+  const core::ServeOutcome outcome = serve_page(site, probe, ctx);
+
+  JsonWriter json;
+  json.begin();
+  json.field("host", site.origin.host);
+  json.field("save_data", probe.save_data());
+  json.field("served", std::string(served_label(outcome.served)));
+  json.field("span_count", static_cast<std::uint64_t>(buffer.size()));
+  json.raw_field("spans", buffer.to_json());
+  json.end();
+
+  net::HttpResponse response;
+  response.headers.push_back({"Content-Type", "application/json"});
+  response.headers.push_back({"Cache-Control", "no-store"});
+  response.body = json.take();
+  response.content_length = response.body.size();
+  return response;
 }
 
 std::size_t OriginServer::invalidate_host(std::string_view host) {
@@ -273,6 +360,7 @@ std::string OriginServer::stats_json() const {
   json.field("preference_tier", m.served_preference_tier);
   json.field("degraded", m.served_degraded);
   json.field("stats", m.stats_requests);
+  json.field("trace", m.trace_requests);
   json.field("not_found", m.not_found);
   json.field("bad_method", m.bad_method);
   json.field("bad_request", m.bad_request);
@@ -302,6 +390,12 @@ std::string OriginServer::stats_json() const {
   json.field("leads", f.leads);
   json.field("joins", f.joins);
   histogram_json(json, "latency_seconds", m.build_seconds);
+  json.end();
+  json.begin("stage_breakdown");
+  histogram_json(json, "stage1_seconds", m.stage1_seconds);
+  histogram_json(json, "stage2_seconds", m.stage2_seconds);
+  histogram_json(json, "ssim_seconds", m.ssim_seconds);
+  histogram_json(json, "encode_seconds", m.encode_seconds);
   json.end();
   histogram_json(json, "served_page_bytes", m.served_page_bytes);
   json.end();

@@ -12,10 +12,19 @@
 //   non-GET                     -> 405
 //   GET /aw4a/stats             -> metrics snapshot as JSON (any/no Host)
 //   no Host header              -> 400 (multi-site routing needs one)
+//   GET /aw4a/trace (known Host)-> serve the site's page once with tracing
+//                                  on, return the span dump as JSON
 //   unknown Host / unknown path -> 404
 //   Save-Data absent/off        -> the site's original page, no build
 //   Save-Data: on               -> ladder via cache + single-flight, then
 //                                  the Fig. 6 decision (core::answer_page_request)
+//
+// Observability: every request runs under an obs::RequestContext carrying
+// the site's deadline/worker budget and a span sink wired to this origin's
+// per-stage histograms (the /aw4a/stats "stage_breakdown" block). A
+// single-flight build leader inherits the *union* of the waiters' deadlines
+// through the flight's shared deadline, so one slow joiner never times out
+// a build that someone else still has budget for.
 //
 // Failure containment mirrors PR 1's contract: a failed ladder build serves
 // the degraded original for that request and is NOT cached (the next
@@ -67,6 +76,7 @@ struct OriginOptions {
 class OriginServer {
  public:
   static constexpr std::string_view kStatsPath = "/aw4a/stats";
+  static constexpr std::string_view kTracePath = "/aw4a/trace";
 
   /// Hosts are normalized to lowercase and must be unique and non-empty.
   /// Construction builds nothing (ladders are lazy) and never throws on
@@ -98,11 +108,20 @@ class OriginServer {
 
   net::HttpResponse handle_checked(const net::HttpRequest& request) const;
   net::HttpResponse stats_response() const;
+  net::HttpResponse trace_response(const net::HttpRequest& request, const Site& site) const;
+  /// The per-request context: origin clock, site deadline and worker budget,
+  /// span sink wired to metrics_.stage_breakdown.
+  obs::RequestContext request_context(const Site& site) const;
+  /// The Fig. 6 page answer for one site (original fast path, or ladder via
+  /// cache + single-flight). Bumps no served_* counters — handle_checked
+  /// does, so the trace endpoint can reuse this without skewing them.
+  core::ServeOutcome serve_page(const Site& site, const net::HttpRequest& request,
+                                const obs::RequestContext& ctx) const;
   /// Cache -> single-flight -> build. Throws aw4a::Error when the build
   /// (or its flight leader) failed; the caller degrades per request.
-  LadderPtr ladder_for(const Site& site) const;
+  LadderPtr ladder_for(const Site& site, const obs::RequestContext& ctx) const;
   /// One real pipeline build, metered. Throws on failure.
-  LadderPtr build_ladder(const Site& site) const;
+  LadderPtr build_ladder(const Site& site, const obs::RequestContext& ctx) const;
 
   std::vector<Site> sites_;
   std::unordered_map<std::string, std::size_t> by_host_;

@@ -9,6 +9,15 @@
 // The registry lock is held only to find/erase flights and publish results;
 // the build itself runs unlocked, so flights for different keys proceed in
 // parallel.
+//
+// Deadline union: with the deadline-aware overload, every flight carries an
+// atomic deadline that starts at the leader's and is raised (CAS-max) by
+// each joiner — the leader builds under the *most generous* deadline of
+// anyone waiting on the result. That is the only sound choice: the build is
+// shared, so stopping at the leader's own (possibly tightest) deadline would
+// time out joiners who still had budget, while the union lets every waiter
+// whose own deadline has passed give up independently at the serving layer
+// and the rest still get a full result.
 #pragma once
 
 #include <atomic>
@@ -16,6 +25,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -36,15 +46,33 @@ class SingleFlight {
   /// that overlap on `key`. Rethrows the leader's exception in every member
   /// of a failed flight.
   ValuePtr run(const Key& key, const std::function<ValuePtr()>& build) {
+    return run(
+        key, [&](const std::atomic<double>&) { return build(); },
+        std::numeric_limits<double>::infinity());
+  }
+
+  /// Deadline-aware variant: the leader's `build` receives the flight's live
+  /// deadline union (monotonic seconds, +inf = none) — point a request
+  /// context's shared deadline at it so joiners arriving mid-build can
+  /// extend the leader's budget. `deadline_at` is this caller's own
+  /// deadline; as a joiner it is CAS-maxed into the union before waiting.
+  ValuePtr run(const Key& key,
+               const std::function<ValuePtr(const std::atomic<double>&)>& build,
+               double deadline_at) {
     std::unique_lock lock(mutex_);
     if (const auto it = flights_.find(key); it != flights_.end()) {
       const std::shared_ptr<Flight> flight = it->second;
       joins_.fetch_add(1, std::memory_order_relaxed);
+      double seen = flight->deadline_union.load(std::memory_order_relaxed);
+      while (seen < deadline_at && !flight->deadline_union.compare_exchange_weak(
+                                       seen, deadline_at, std::memory_order_relaxed)) {
+      }
       flight->done_cv.wait(lock, [&] { return flight->done; });
       if (flight->error) std::rethrow_exception(flight->error);
       return flight->value;
     }
     const auto flight = std::make_shared<Flight>();
+    flight->deadline_union.store(deadline_at, std::memory_order_relaxed);
     flights_.emplace(key, flight);
     leads_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
@@ -52,7 +80,7 @@ class SingleFlight {
     ValuePtr value;
     std::exception_ptr error;
     try {
-      value = build();
+      value = build(flight->deadline_union);
     } catch (...) {
       error = std::current_exception();
     }
@@ -87,6 +115,10 @@ class SingleFlight {
     ValuePtr value;            // written once, before done flips
     std::exception_ptr error;  // likewise
     std::condition_variable done_cv;
+    /// Max over the leader's and every joiner's deadline (monotonic
+    /// seconds); the leader's build reads it live through the reference
+    /// passed to `build`.
+    std::atomic<double> deadline_union{std::numeric_limits<double>::infinity()};
   };
 
   mutable std::mutex mutex_;

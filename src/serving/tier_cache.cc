@@ -79,7 +79,9 @@ TierCache::Shard& TierCache::shard_of(const TierKey& key) {
   return shards_[TierKeyHash{}(key) & (shards_.size() - 1)];
 }
 
-LadderPtr TierCache::fetch(const TierKey& key, double now_seconds) {
+LadderPtr TierCache::fetch(const TierKey& key, double now_seconds,
+                           const obs::RequestContext& ctx) {
+  AW4A_SPAN(ctx, "serving.cache.fetch");
   // Outside the lock: a poisoned shard fails the lookup, never deadlocks it.
   AW4A_FAULT_POINT("serving.cache.shard");
   Shard& shard = shard_of(key);
@@ -100,7 +102,9 @@ LadderPtr TierCache::fetch(const TierKey& key, double now_seconds) {
   return resident->ladder;
 }
 
-bool TierCache::insert(const TierKey& key, LadderPtr ladder, double now_seconds) {
+bool TierCache::insert(const TierKey& key, LadderPtr ladder, double now_seconds,
+                       const obs::RequestContext& ctx) {
+  AW4A_SPAN(ctx, "serving.cache.insert");
   AW4A_EXPECTS(ladder != nullptr && !ladder->tiers.empty());
   AW4A_FAULT_POINT("serving.cache.shard");
   Shard& shard = shard_of(key);

@@ -25,6 +25,7 @@
 
 #include "core/pipeline.h"
 #include "net/plan.h"
+#include "obs/context.h"
 #include "util/bytes.h"
 #include "util/lru.h"
 
@@ -96,7 +97,10 @@ class TierCache {
   /// drives TTL expiry — pass one monotonic clock consistently. The
   /// "serving.cache.shard" fault point can throw TransientError here;
   /// callers treat that as a miss-and-bypass, never a failed request.
-  LadderPtr fetch(const TierKey& key, double now_seconds);
+  /// `ctx` only feeds tracing (a "serving.cache.fetch" span) — a cache probe
+  /// is never deadline-checked.
+  LadderPtr fetch(const TierKey& key, double now_seconds,
+                  const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Admits a built ladder, evicting least-recently-used entries to fit.
   /// Returns false when the key is already resident — a concurrent builder
@@ -104,7 +108,9 @@ class TierCache {
   /// perfectly good ladder to serve). A ladder that cannot fit even an
   /// empty shard is not admitted (admission_rejects); the call still
   /// returns true. Pre: ladder is non-null with at least one tier.
-  bool insert(const TierKey& key, LadderPtr ladder, double now_seconds);
+  /// `ctx` only feeds tracing ("serving.cache.insert").
+  bool insert(const TierKey& key, LadderPtr ladder, double now_seconds,
+              const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Drops every ladder of `site_id`, across configs and plans (a content
   /// push invalidates them all). Returns the number dropped.

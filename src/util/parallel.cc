@@ -21,19 +21,9 @@ std::string describe(const std::exception_ptr& error) {
 
 }  // namespace
 
-namespace {
-std::atomic<unsigned> g_worker_override{0};
-}  // namespace
-
 unsigned parallel_workers() {
-  const unsigned forced = g_worker_override.load(std::memory_order_relaxed);
-  if (forced != 0) return forced;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
-}
-
-void set_parallel_workers(unsigned count) {
-  g_worker_override.store(count, std::memory_order_relaxed);
 }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,

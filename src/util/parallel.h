@@ -16,13 +16,12 @@
 
 namespace aw4a {
 
-/// Number of workers used by parallel_for (hardware concurrency, min 1,
-/// unless overridden).
+/// Default worker count of parallel_for: hardware concurrency, min 1. There
+/// is deliberately no process-wide override — the old mutable global raced
+/// with concurrent callers (OriginServer prewarms several sites' ladders at
+/// once); callers that need a specific count pass it per call, typically
+/// from obs::RequestContext::workers().
 unsigned parallel_workers();
-
-/// Overrides the worker count (0 restores hardware concurrency). Lets tests
-/// exercise the multi-worker failure paths on single-core machines.
-void set_parallel_workers(unsigned count);
 
 /// Runs body(i) for i in [0, count) across threads. The body must only touch
 /// state owned by index i (no locks are provided on purpose — the callers'
@@ -33,9 +32,7 @@ void set_parallel_workers(unsigned count);
 /// report is deterministic).
 ///
 /// `workers` = 0 uses parallel_workers(); a nonzero value pins this call's
-/// worker count without touching the process-wide override — required by
-/// callers that may themselves run concurrently (e.g. per-site ladder prewarm
-/// inside OriginServer), where set_parallel_workers would race.
+/// worker count.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned workers = 0);
 

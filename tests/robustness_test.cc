@@ -16,8 +16,10 @@
 #include <atomic>
 #include <thread>
 
+#include "core/knapsack.h"
 #include "core/server.h"
 #include "dataset/corpus.h"
+#include "obs/context.h"
 #include "serving/origin.h"
 #include "util/fault.h"
 #include "util/parallel.h"
@@ -221,25 +223,22 @@ TEST(ParallelFor, SingleFailurePreservesExceptionType) {
                Infeasible);
 }
 
-// Forces a worker count for one test so multi-worker failure paths run even
-// on single-core machines.
-struct ScopedWorkers {
-  explicit ScopedWorkers(unsigned n) { set_parallel_workers(n); }
-  ~ScopedWorkers() { set_parallel_workers(0); }
-};
-
 TEST(ParallelFor, ConcurrentFailuresAggregateIntoOneReport) {
-  const ScopedWorkers forced(4);
+  // Worker count pinned per call (there is no process-wide override any
+  // more) so multi-worker failure paths run even on single-core machines.
   const std::size_t workers = 4;
   // count == workers, and every body blocks until all have started, so every
   // worker is guaranteed to be mid-body (not yet cancelled) when it throws.
   std::atomic<std::size_t> entered{0};
   try {
-    parallel_for(workers, [&](std::size_t i) {
-      entered.fetch_add(1);
-      while (entered.load() < workers) std::this_thread::yield();
-      throw Error("worker " + std::to_string(i) + " failed");
-    });
+    parallel_for(
+        workers,
+        [&](std::size_t i) {
+          entered.fetch_add(1);
+          while (entered.load() < workers) std::this_thread::yield();
+          throw Error("worker " + std::to_string(i) + " failed");
+        },
+        static_cast<unsigned>(workers));
     FAIL() << "should have thrown";
   } catch (const Error& e) {
     const std::string what = e.what();
@@ -252,18 +251,21 @@ TEST(ParallelFor, ConcurrentFailuresAggregateIntoOneReport) {
 }
 
 TEST(ParallelFor, FailureCancelsUnclaimedWork) {
-  const ScopedWorkers forced(4);
+  constexpr unsigned kWorkers = 4;
   std::atomic<std::size_t> executed{0};
   try {
-    parallel_for(10000, [&](std::size_t) {
-      executed.fetch_add(1);
-      throw Error("boom");
-    });
+    parallel_for(
+        10000,
+        [&](std::size_t) {
+          executed.fetch_add(1);
+          throw Error("boom");
+        },
+        kWorkers);
     FAIL() << "should have thrown";
   } catch (const Error&) {
   }
   // Each worker runs at most one body after the first failure lands.
-  EXPECT_LE(executed.load(), static_cast<std::size_t>(parallel_workers()));
+  EXPECT_LE(executed.load(), static_cast<std::size_t>(kWorkers));
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +336,90 @@ TEST_F(DegradationTest, GenerousDeadlineStillRunsStage2) {
                           .transcode_to_target(*page_, page_->transfer_size() / 4);
   EXPECT_FALSE(result.degraded);
   EXPECT_NE(result.algorithm.find("hbs"), std::string::npos) << result.algorithm;
+}
+
+TEST_F(DegradationTest, DeadlineFiringAnywhereNeverEscapesThePipeline) {
+  // Drive the context on a counting clock that jumps past the deadline after
+  // N reads, so expiry lands at a different point in the pipeline on every
+  // iteration — during Stage-1, between stages, inside either Stage-2 solver.
+  // Wherever it fires, transcode_to_target must return an anytime result
+  // (degraded or not) rather than let DeadlineExceeded escape.
+  for (const auto stage2 :
+       {core::DeveloperConfig::Stage2::kHbs, core::DeveloperConfig::Stage2::kGridSearch}) {
+    for (const int flip_after : {1, 3, 10, 100, 1000}) {
+      SCOPED_TRACE("solver " + std::to_string(static_cast<int>(stage2)) + ", clock flips after " +
+                   std::to_string(flip_after) + " reads");
+      core::DeveloperConfig cfg = config();
+      cfg.stage2 = stage2;
+      const core::Aw4aPipeline pipeline(cfg);
+      int reads = 0;
+      const obs::RequestContext ctx =
+          obs::RequestContext()
+              .with_clock([&reads, flip_after] { return ++reads > flip_after ? 1.0e9 : 0.0; })
+              .with_deadline_after(1.0);
+      core::TranscodeResult result;
+      ASSERT_NO_THROW(
+          result = pipeline.transcode_to_target(*page_, page_->transfer_size() / 4, ctx));
+      EXPECT_GT(result.result_bytes, 0u);
+      EXPECT_LE(result.result_bytes, page_->transfer_size());
+      if (result.degraded) {
+        EXPECT_EQ(result.algorithm, "stage1(degraded)");
+      }
+    }
+  }
+}
+
+TEST_F(DegradationTest, CancellationDegradesLikeADeadline) {
+  std::atomic<bool> cancelled{true};
+  const obs::RequestContext ctx = obs::RequestContext().with_cancel(&cancelled);
+  core::TranscodeResult result;
+  ASSERT_NO_THROW(result = core::Aw4aPipeline(config()).transcode_to_target(
+                      *page_, page_->transfer_size() / 4, ctx));
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.algorithm, "stage1(degraded)");
+  EXPECT_NE(result.degradation_reason.find("cancelled"), std::string::npos)
+      << result.degradation_reason;
+}
+
+TEST_F(DegradationTest, OneExpiredContextDegradesEveryTierInTheBuild) {
+  // build_tiers under an explicit context shares ONE deadline across the
+  // whole build: born expired, every tier serves its Stage-1 anytime result
+  // and the build as a whole still succeeds.
+  const core::Aw4aPipeline pipeline(config());
+  const obs::RequestContext ctx = obs::RequestContext().with_deadline_after(0.0);
+  std::vector<core::Tier> tiers;
+  ASSERT_NO_THROW(tiers = pipeline.build_tiers(*page_, ctx));
+  ASSERT_EQ(tiers.size(), 2u);
+  for (const auto& tier : tiers) {
+    EXPECT_TRUE(tier.built);
+    EXPECT_TRUE(tier.result.degraded);
+    EXPECT_EQ(tier.result.algorithm, "stage1(degraded)");
+  }
+}
+
+TEST_F(DegradationTest, KnapsackUnderExpiredDeadlineInstallsTheFeasibilityFloor) {
+  // Warm the candidate set with an unconstrained exact solve, then re-solve
+  // under an exhausted budget: the DP polls per image layer and must install
+  // the byte-minimal feasible assignment — never throw, never beat the exact
+  // optimum's quality score.
+  const web::WebPage& page = *page_;
+  const Bytes target = page.transfer_size() / 2;
+  core::LadderCache ladders;
+
+  web::ServedPage exact_served = web::serve_original(page);
+  const auto exact = core::knapsack_optimize(exact_served, target, ladders);
+
+  web::ServedPage rushed_served = web::serve_original(page);
+  const obs::RequestContext expired = obs::RequestContext().with_deadline_after(0.0);
+  core::KnapsackOutcome rushed;
+  ASSERT_NO_THROW(
+      rushed = core::knapsack_optimize(rushed_served, target, ladders, {}, expired));
+  EXPECT_EQ(rushed.cells, 0u) << "the DP must not run on an exhausted budget";
+  if (exact.met_target) {
+    EXPECT_TRUE(rushed.met_target) << "the floor is feasible whenever the optimum is";
+  }
+  EXPECT_LE(rushed.bytes_after, exact.bytes_after);
+  EXPECT_LE(rushed.qss, exact.qss + 1e-12);
 }
 
 TEST_F(DegradationTest, Stage2FaultFallsBackToStage1PerTier) {

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "dataset/corpus.h"
+#include "serving/metrics.h"
 #include "serving/single_flight.h"
 #include "serving/tier_cache.h"
 #include "util/error.h"
@@ -167,6 +169,66 @@ TEST(ConfigFingerprint, StableForEqualConfigsSensitiveToEveryKnob) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram (the log2 buckets behind every *_seconds / *_bytes metric)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, PercentilesAreGeometricBucketMidpointsClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 80; ++i) h.record(1.5);    // bucket [1, 2)
+  for (int i = 0; i < 15; ++i) h.record(100.0);  // bucket [64, 128)
+  for (int i = 0; i < 5; ++i) h.record(5000.0);  // bucket [4096, 8192)
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 80 * 1.5 + 15 * 100.0 + 5 * 5000.0);
+  EXPECT_DOUBLE_EQ(s.max, 5000.0);
+  EXPECT_DOUBLE_EQ(s.p50, std::exp2(0.5));  // rank 50 of 100 lands in [1, 2)
+  EXPECT_DOUBLE_EQ(s.p90, std::exp2(6.5));  // rank 90 lands in [64, 128)
+  // Rank 99 lands in [4096, 8192) whose midpoint (~5793) overshoots the
+  // largest sample ever recorded; the estimate clamps to the observed max.
+  EXPECT_DOUBLE_EQ(s.p99, 5000.0);
+}
+
+TEST(Histogram, ExactPowerOfTwoLandsInTheBucketItOpens) {
+  // 2.0 opens [2, 4): its estimate is exp2(1.5), not the [1, 2) midpoint.
+  // The second sample keeps the observed max far above both midpoints so
+  // the clamp stays out of the comparison.
+  Histogram at_boundary;
+  at_boundary.record(2.0);
+  at_boundary.record(1048576.0);
+  EXPECT_DOUBLE_EQ(at_boundary.snapshot().p50, std::exp2(1.5));
+
+  Histogram just_below;
+  just_below.record(std::nextafter(2.0, 0.0));  // largest double in [1, 2)
+  just_below.record(1048576.0);
+  EXPECT_DOUBLE_EQ(just_below.snapshot().p50, std::exp2(0.5));
+}
+
+TEST(Histogram, NonPositiveValuesClampToTheLowestBucket) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-3.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, -3.0) << "sum stays exact even for clamped samples";
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0) << "estimate clamps to the observed max";
+}
+
+TEST(Histogram, ValuesAboveTheTopBucketClampWithExactSumAndMax) {
+  Histogram h;
+  const double huge = std::exp2(60.0);  // far above the 2^44 top bucket
+  h.record(huge);
+  h.record(huge);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 2.0 * huge);
+  EXPECT_DOUBLE_EQ(s.max, huge);
+  // Both samples sit in the top bucket [2^43, 2^44); its midpoint is the
+  // estimate (well under the observed max, so no clamp).
+  EXPECT_DOUBLE_EQ(s.p50, std::exp2(43.5));
+}
+
+// ---------------------------------------------------------------------------
 // SingleFlight
 // ---------------------------------------------------------------------------
 
@@ -240,6 +302,38 @@ TEST(SingleFlight, LeaderFailurePropagatesOnceToEveryWaiter) {
   const auto value = flight.run(5, [] { return std::make_shared<const int>(1); });
   ASSERT_NE(value, nullptr);
   EXPECT_EQ(flight.stats().leads, 2u);
+}
+
+TEST(SingleFlight, JoinersRaiseTheLeadersDeadlineUnion) {
+  SingleFlight<int, int> flight;
+  std::atomic<double> seen_by_leader{0.0};
+  std::thread leader([&] {
+    flight.run(
+        1,
+        [&](const std::atomic<double>& deadline) -> std::shared_ptr<const int> {
+          // Hold the build open until the joiner's CAS-max lands, exactly as
+          // a real build would observe the union move mid-flight.
+          while (deadline.load() < 10.0) std::this_thread::yield();
+          seen_by_leader.store(deadline.load());
+          return std::make_shared<const int>(7);
+        },
+        /*deadline_at=*/5.0);
+  });
+  while (flight.in_flight() == 0) std::this_thread::yield();
+  const auto joined = flight.run(
+      1,
+      [](const std::atomic<double>&) -> std::shared_ptr<const int> {
+        ADD_FAILURE() << "the joiner must wait on the flight, not build";
+        return nullptr;
+      },
+      /*deadline_at=*/10.0);
+  leader.join();
+  ASSERT_NE(joined, nullptr);
+  EXPECT_EQ(*joined, 7);
+  EXPECT_DOUBLE_EQ(seen_by_leader.load(), 10.0)
+      << "the leader builds under the most generous waiter deadline";
+  EXPECT_EQ(flight.stats().leads, 1u);
+  EXPECT_EQ(flight.stats().joins, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -462,6 +556,104 @@ TEST_F(OriginServerTest, StatsEndpointSpeaksJsonOverTheWire) {
   const auto parsed = net::parse_response(net::serialize(stats));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->body, stats.body);
+}
+
+TEST_F(OriginServerTest, RequestCountersPartitionEveryOutcome) {
+  const OriginServer origin(sites());
+  origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));  // paw tier
+  origin.handle(get("a.example"));                                                 // original
+  origin.handle(get("a.example", {{"Save-Data", "on"}, {"AW4A-Savings", "50"}}));  // preference
+  origin.handle(get(""));                                                          // 400
+  origin.handle(get("nobody.example"));                                            // 404
+  net::HttpRequest post = get("a.example");
+  post.method = "POST";
+  origin.handle(post);  // 405
+  net::HttpRequest stats_request;
+  stats_request.path = "/aw4a/stats";
+  origin.handle(stats_request);  // stats
+  net::HttpRequest trace_request = get("a.example", {{"Save-Data", "on"}});
+  trace_request.path = "/aw4a/trace";
+  origin.handle(trace_request);  // trace
+
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.requests_total, 8u);
+  EXPECT_EQ(m.served_original + m.served_paw_tier + m.served_preference_tier +
+                m.served_degraded + m.stats_requests + m.trace_requests + m.not_found +
+                m.bad_method + m.bad_request + m.internal_errors,
+            m.requests_total)
+      << "every request lands in exactly one counter";
+  EXPECT_EQ(m.stats_requests, 1u);
+  EXPECT_EQ(m.trace_requests, 1u);
+}
+
+TEST_F(OriginServerTest, ColdBuildFillsEveryStageHistogram) {
+  // A 4x tier so Stage-2 definitely runs (Stage-1 alone cannot reach it).
+  auto deep = sites();
+  for (auto& site : deep) site.config.tier_reductions = {2.0, 4.0};
+  const OriginServer origin(deep);
+  origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_GT(m.stage1_seconds.count, 0u);
+  EXPECT_GT(m.stage2_seconds.count, 0u);
+  EXPECT_GT(m.ssim_seconds.count, 0u);
+  EXPECT_GT(m.encode_seconds.count, 0u);
+
+  net::HttpRequest stats_request;
+  stats_request.path = "/aw4a/stats";
+  const auto stats = origin.handle(stats_request);
+  for (const char* needle :
+       {"\"stage_breakdown\":", "\"stage1_seconds\":", "\"stage2_seconds\":",
+        "\"ssim_seconds\":", "\"encode_seconds\":", "\"trace\":0", "\"p90\":"}) {
+    EXPECT_NE(stats.body.find(needle), std::string::npos) << needle << " missing in\n"
+                                                          << stats.body;
+  }
+}
+
+TEST_F(OriginServerTest, TraceEndpointDumpsSpansWithoutSkewingPageCounters) {
+  auto deep = sites();
+  for (auto& site : deep) site.config.tier_reductions = {2.0, 4.0};
+  const OriginServer origin(deep);
+  net::HttpRequest trace_request =
+      get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  trace_request.path = "/aw4a/trace";
+  const auto traced = origin.handle(trace_request);
+  EXPECT_EQ(traced.status, 200);
+  ASSERT_NE(traced.header("Content-Type"), nullptr);
+  EXPECT_EQ(*traced.header("Content-Type"), "application/json");
+  EXPECT_EQ(traced.content_length, traced.body.size());
+  for (const char* needle :
+       {"\"host\":\"a.example\"", "\"save_data\":true", "\"served\":\"paw_tier\"",
+        "\"span_count\":", "\"spans\":[", "\"name\":\"serving.build\"",
+        "\"name\":\"build_tiers\"", "\"name\":\"stage1\"", "\"name\":\"stage2.",
+        "\"name\":\"ssim\"", "\"name\":\"encode."}) {
+    EXPECT_NE(traced.body.find(needle), std::string::npos) << needle << " missing in\n"
+                                                           << traced.body;
+  }
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.requests_total, 1u);
+  EXPECT_EQ(m.trace_requests, 1u);
+  EXPECT_EQ(m.served_original + m.served_paw_tier + m.served_preference_tier + m.served_degraded,
+            0u)
+      << "a trace probe is not a page answer";
+  EXPECT_EQ(m.builds_started, 1u) << "the traced request runs the real build path";
+  // The traced build is the real one: the next saving request hits the cache.
+  origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  EXPECT_EQ(origin.metrics().builds_started, 1u);
+}
+
+TEST_F(OriginServerTest, ExhaustedSiteDeadlineDegradesTiersNotRequests) {
+  auto rushed = sites();
+  for (auto& site : rushed) site.config.stage2_deadline_seconds = 0.0;
+  const OriginServer origin(rushed);
+  const auto response =
+      origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  EXPECT_EQ(response.status, 200);
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.internal_errors, 0u) << "DeadlineExceeded must never escape to the server";
+  EXPECT_EQ(m.builds_failed, 0u) << "deadline exhaustion degrades tiers, not whole builds";
+  EXPECT_EQ(m.builds_started, 1u);
+  ASSERT_NE(response.header("AW4A-Tier"), nullptr);
+  EXPECT_NE(*response.header("AW4A-Tier"), "none") << "stage-1 fallback tiers still serve";
 }
 
 }  // namespace

@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite in the standard configuration, plus the
 # robustness suite under ASan+UBSan (fault injection exercises the error
-# paths — exactly where lifetime and UB bugs hide), plus the serving suite
-# under TSan (the tier cache and single-flight are the concurrent core).
+# paths — exactly where lifetime and UB bugs hide), plus the full suite
+# under UBSan alone (cheap enough to run everything), plus the serving
+# suite under TSan (the tier cache and single-flight are the concurrent
+# core). Every ctest run carries a per-test timeout so a deadline-
+# propagation bug hangs the suite loudly instead of forever.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
-(cd build && ctest --output-on-failure -j "$(nproc)")
+(cd build && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target robustness_test >/dev/null
-(cd build-asan && ctest --output-on-failure -R '^robustness_test$')
+(cd build-asan && ctest --output-on-failure --timeout 300 -R '^robustness_test$')
+
+cmake -B build-ubsan -S . -DAW4A_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j >/dev/null
+(cd build-ubsan && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target serving_test serving_stress_test >/dev/null
-(cd build-tsan && ctest --output-on-failure -R '^serving_(test|stress_test)$')
+(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test)$')
 
 # Release-mode perf smoke: the cold-build fast path must keep its speedups
 # (bench_perf_pipeline exits nonzero if any build mode or the integral SSIM
