@@ -9,6 +9,9 @@
 //   dense SSIM   integral-image ssim() vs. the retained ssim_reference()
 //                at stride 1 and the default stride 4
 //   breakdown    prewarm stage vs. solver stage of the shared build
+//   encode-once  a full JPEG quality ladder encoded single-shot per rung vs.
+//                one prepare() + per-rung encode_prepared() (PR 5), with the
+//                rungs checked bit-identical
 //
 // Every timed pair is also checked for equivalence: tier bytes/QSS must be
 // identical across build modes, and integral SSIM must match the reference
@@ -254,6 +257,39 @@ int main(int argc, char** argv) {
   entries.push_back({"ssim_strided_integral", "ms", ssim_strided_ms});
   entries.push_back({"ssim_strided_reference", "ms", ssim_strided_ref_ms});
   entries.push_back({"msssim_default", "ms", msssim_ms});
+
+  // --- Encode-once quality ladder: N single-shot encodes vs. one prepare()
+  // plus N encode_prepared() rungs, on the same photo. The rungs must be
+  // bit-identical (bytes and every decoded pixel) — the whole design rests
+  // on quality only touching the post-DCT half of the pipeline. ---
+  const std::vector<int> ladder_steps = {92, 85, 75, 65, 55, 45, 35};
+  const imaging::Codec& jpeg = imaging::codec_for(imaging::ImageFormat::kJpeg);
+  std::vector<imaging::Encoded> single_shot, factored;
+  const double ladder_single_ms = time_best_ms(options.repeat, [&] {
+    single_shot.clear();
+    for (const int q : ladder_steps) single_shot.push_back(jpeg.encode(photo, q));
+  });
+  const double ladder_factored_ms = time_best_ms(options.repeat, [&] {
+    factored.clear();
+    const imaging::Codec::PreparedPtr prep = jpeg.prepare(photo);
+    for (const int q : ladder_steps) factored.push_back(jpeg.encode_prepared(*prep, q));
+  });
+  for (std::size_t i = 0; i < ladder_steps.size(); ++i) {
+    if (single_shot[i].bytes != factored[i].bytes ||
+        single_shot[i].decoded.pixels() != factored[i].decoded.pixels()) {
+      std::fprintf(stderr,
+                   "FAIL: factored encode diverged from single-shot at q=%d "
+                   "(bytes %llu vs %llu)\n",
+                   ladder_steps[i], static_cast<unsigned long long>(single_shot[i].bytes),
+                   static_cast<unsigned long long>(factored[i].bytes));
+      ok = false;
+    }
+  }
+  const double factored_speedup =
+      ladder_factored_ms == 0.0 ? 0.0 : ladder_single_ms / ladder_factored_ms;
+  entries.push_back({"encode_ladder_single_shot", "ms", ladder_single_ms});
+  entries.push_back({"encode_ladder_factored", "ms", ladder_factored_ms});
+  entries.push_back({"dct_factored_speedup", "x", factored_speedup});
 
   std::printf("\n%-34s %10s %10s\n", "benchmark", "value", "unit");
   for (const Entry& e : entries) {

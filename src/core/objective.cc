@@ -38,24 +38,33 @@ void LadderCache::prewarm(const web::WebPage& page, const obs::RequestContext& c
   ladders.reserve(images.size());
   for (const web::WebObject* object : images) ladders.push_back(&ladder_for(*object));
 
-  parallel_for(
-      ladders.size(),
-      [&](std::size_t i) {
-        imaging::VariantLadder& ladder = *ladders[i];
-        try {
-          ladder.webp_full(ctx);
-          ladder.resolution_family(ladder.asset().format, ctx);
-          ladder.resolution_family(imaging::ImageFormat::kWebp, ctx);
-          ladder.quality_family(ladder.asset().format, ctx);
-          ladder.quality_family(imaging::ImageFormat::kWebp, ctx);
-        } catch (const Error&) {
-          // Best-effort: a failed family (codec fault, expired deadline)
-          // memoizes nothing, and the serial solver path re-attempts it under
-          // tier retry/degradation, so a prewarm-time fault cannot change
-          // outcomes.
-        }
-      },
-      ctx.workers());
+  try {
+    parallel_for(
+        ladders.size(),
+        [&](std::size_t i) {
+          imaging::VariantLadder& ladder = *ladders[i];
+          try {
+            ladder.webp_full(ctx);
+            ladder.resolution_family(ladder.asset().format, ctx);
+            ladder.resolution_family(imaging::ImageFormat::kWebp, ctx);
+            ladder.quality_family(ladder.asset().format, ctx);
+            ladder.quality_family(imaging::ImageFormat::kWebp, ctx);
+          } catch (const Error&) {
+            // Best-effort: a failed family (codec fault, expired deadline)
+            // memoizes nothing, and the serial solver path re-attempts it
+            // under tier retry/degradation, so a prewarm-time fault cannot
+            // change outcomes.
+          }
+        },
+        ctx.workers(),
+        // Stop claiming ladders once the request's budget is gone: an
+        // expired deadline turns the remaining prewarm into pure waste (the
+        // per-ladder bodies would each start and immediately abort).
+        [&ctx] { return ctx.expired() || ctx.cancelled(); });
+  } catch (const DeadlineExceeded&) {
+    // Same best-effort contract as a per-ladder deadline: the serial path
+    // reports the budget overrun with full tier context.
+  }
 }
 
 std::vector<const web::WebObject*> rich_images(const web::WebPage& page) {

@@ -65,7 +65,10 @@ class LadderCache {
   /// re-attempts it under the pipeline's normal retry/degradation machinery,
   /// so results and error handling are identical to a cold serial run.
   /// Emits a "prewarm" span, plus the workers' encode/ssim spans (the trace
-  /// buffer and sink are thread-safe).
+  /// buffer and sink are thread-safe). The context's deadline/cancellation
+  /// is polled between ladders: once the budget is gone no further ladder
+  /// starts, and the overrun itself is swallowed here (best-effort) — the
+  /// serial path re-raises it with tier context.
   void prewarm(const web::WebPage& page, const obs::RequestContext& ctx);
 
   /// Worker-count shorthand for callers without a context (benches, tests).

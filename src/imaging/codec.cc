@@ -1,8 +1,8 @@
 #include "imaging/codec.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <map>
 
 #include "imaging/codec_detail.h"
 #include "imaging/dct.h"
@@ -70,28 +70,48 @@ int category(int v) {
   return c;
 }
 
-double entropy_bits(const std::map<int, std::uint64_t>& freq) {
-  std::uint64_t total = 0;
-  for (const auto& [s, n] : freq) total += n;
-  if (total == 0) return 0.0;
-  double bits = 0.0;
-  for (const auto& [s, n] : freq) {
-    const double p = static_cast<double>(n) / static_cast<double>(total);
-    bits += static_cast<double>(n) * -std::log2(p);
+/// Symbol-frequency histogram over a fixed dense symbol range. Replaces the
+/// std::map the accumulator used to carry: the symbol alphabets are tiny and
+/// bounded (DC categories < 16, AC run/size bytes < 256), and a flat array
+/// iterated in ascending index order visits exactly the same present symbols
+/// in exactly the same order a sorted map would — identical entropy sums,
+/// none of the per-block red-black-tree traffic.
+template <std::size_t N>
+struct FreqTable {
+  std::array<std::uint64_t, N> counts{};
+
+  void add(int symbol) { ++counts[static_cast<std::size_t>(symbol)]; }
+
+  std::size_t distinct() const {
+    std::size_t n = 0;
+    for (const std::uint64_t c : counts) n += c != 0;
+    return n;
   }
-  return bits;
-}
+
+  double entropy_bits() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    if (total == 0) return 0.0;
+    double bits = 0.0;
+    for (const std::uint64_t c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / static_cast<double>(total);
+      bits += static_cast<double>(c) * -std::log2(p);
+    }
+    return bits;
+  }
+};
 
 struct EntropyAccumulator {
-  std::map<int, std::uint64_t> dc_freq;
-  std::map<int, std::uint64_t> ac_freq;
+  FreqTable<16> dc_freq;    // DC difference categories (bit counts)
+  FreqTable<256> ac_freq;   // JPEG (run << 4) | category symbols
   double extra_bits = 0.0;
   int prev_dc = 0;
 
   void add_block(const std::array<int, 64>& zz) {
     const int dc_cat = category(zz[0] - prev_dc);
     prev_dc = zz[0];
-    ++dc_freq[dc_cat];
+    dc_freq.add(dc_cat);
     extra_bits += dc_cat;
     int run = 0;
     for (int i = 1; i < 64; ++i) {
@@ -100,61 +120,101 @@ struct EntropyAccumulator {
         continue;
       }
       while (run > 15) {
-        ++ac_freq[0xF0];  // ZRL
+        ac_freq.add(0xF0);  // ZRL
         run -= 16;
       }
       const int cat = category(zz[i]);
-      ++ac_freq[(run << 4) | cat];
+      ac_freq.add((run << 4) | cat);
       extra_bits += cat;
       run = 0;
     }
-    if (run > 0) ++ac_freq[0x00];  // EOB
+    if (run > 0) ac_freq.add(0x00);  // EOB
+  }
+
+  /// add_block() specialized for a block whose 63 AC levels are all zero:
+  /// the AC pass degenerates to a single EOB symbol, so only the DC
+  /// difference needs coding. Accumulates exactly the same counts as
+  /// add_block() on such a block.
+  void add_dc_only_block(int dc) {
+    const int dc_cat = category(dc - prev_dc);
+    prev_dc = dc;
+    dc_freq.add(dc_cat);
+    extra_bits += dc_cat;
+    ac_freq.add(0x00);  // EOB
   }
 
   double total_bits() const {
     // Payload entropy + magnitude bits + Huffman table description cost.
-    return entropy_bits(dc_freq) + entropy_bits(ac_freq) + extra_bits +
-           8.0 * static_cast<double>(dc_freq.size() + ac_freq.size());
+    return dc_freq.entropy_bits() + ac_freq.entropy_bits() + extra_bits +
+           8.0 * static_cast<double>(dc_freq.distinct() + ac_freq.distinct());
   }
 };
 
-// One color plane padded to 8x8 blocks, coded in place.
-struct CodedPlane {
-  PlaneF plane;  // values centered at 0 after coding (still +128 domain here)
-};
+/// Quantizes, entropy-accumulates, and reconstructs one plane from its
+/// precomputed DCT coefficient blocks. Writes the reconstructed (+128
+/// domain) plane into `rec`, which must already have the coefficients'
+/// width/height.
+// Exact inline equivalent of std::lround(float) for |v| < 2^23: trunc(v) is
+// representable, so frac = v - trunc(v) is computed exactly (no rounding),
+// and comparing it against 0.5 reproduces round-half-away-from-zero
+// bit-for-bit. Avoids a libm call per quantized coefficient (64 per block,
+// millions per ladder) and lets the quantize loop vectorize.
+int lround_exact(float v) {
+  const int t = static_cast<int>(v);
+  const float frac = v - static_cast<float>(t);
+  return t + (frac >= 0.5f ? 1 : 0) - (frac <= -0.5f ? 1 : 0);
+}
 
-void code_plane(PlaneF& plane, const std::array<int, 64>& quant, EntropyAccumulator& acc) {
-  const int bw = (plane.width + 7) / 8;
-  const int bh = (plane.height + 7) / 8;
-  for (int by = 0; by < bh; ++by) {
-    for (int bx = 0; bx < bw; ++bx) {
-      Block8 blk{};
-      for (int y = 0; y < 8; ++y) {
-        for (int x = 0; x < 8; ++x) {
-          blk[y * 8 + x] =
-              plane.at_clamped(bx * 8 + x, by * 8 + y) - 128.0f;
-        }
+void code_plane_prepared(const CoeffPlane& coeffs, const std::array<int, 64>& quant,
+                         EntropyAccumulator& acc, PlaneF& rec) {
+  // Reorder the quant table (indexed by zigzag position) to natural block
+  // order once per plane, so the per-block quantize/dequantize loop walks
+  // the coefficient array sequentially and vectorizes; only the entropy
+  // pass reads through the zigzag permutation. Division, rounding, and the
+  // dequant multiply are unchanged — same values, same rounding.
+  int quant_nat[64];
+  float quant_nat_f[64];
+  for (int i = 0; i < 64; ++i) {
+    quant_nat[kZigzag[i]] = quant[i];
+    quant_nat_f[kZigzag[i]] = static_cast<float>(quant[i]);
+  }
+  std::array<int, 64> zz{};
+  int level_nat[64];
+  float deq[64];
+  float out[64];
+  for (int by = 0; by < coeffs.blocks_h; ++by) {
+    for (int bx = 0; bx < coeffs.blocks_w; ++bx) {
+      const float* freq = coeffs.block(bx, by);
+      unsigned row_mask = 0;
+      unsigned col_mask = 0;
+      for (int src = 0; src < 64; ++src) {
+        const int level = lround_exact(freq[src] / quant_nat_f[src]);
+        level_nat[src] = level;
+        deq[src] = static_cast<float>(level * quant_nat[src]);
+        const unsigned nz = level != 0;
+        row_mask |= nz << (src >> 3);
+        col_mask |= nz << (src & 7);
       }
-      const Block8 freq = dct8x8(blk);
-      std::array<int, 64> zz{};
-      Block8 deq{};
-      for (int i = 0; i < 64; ++i) {
-        const int q = quant[i];
-        const int src = kZigzag[i];
-        const int level = static_cast<int>(std::lround(freq[src] / static_cast<float>(q)));
-        zz[i] = level;
-        deq[src] = static_cast<float>(level * q);
+      // Quantization zeroes most high-frequency coefficient rows and
+      // columns; the sparsity-masked kernel skips them, and fully DC-only
+      // blocks (masks ⊆ {bit 0}, the overwhelmingly common case for
+      // low-quality chroma) also skip the zigzag gather and the 64-symbol
+      // run-length walk. Both specializations are exact — same entropy
+      // counts, bit-identical samples (see dct.h).
+      if (row_mask <= 1u && col_mask <= 1u) {
+        acc.add_dc_only_block(level_nat[0]);
+        idct8x8_dconly_fast(deq[0], out);
+      } else {
+        for (int i = 0; i < 64; ++i) zz[i] = level_nat[kZigzag[i]];
+        acc.add_block(zz);
+        idct8x8_fast_masked(deq, out, row_mask, col_mask);
       }
-      acc.add_block(zz);
-      const Block8 rec = idct8x8(deq);
-      for (int y = 0; y < 8; ++y) {
-        const int py = by * 8 + y;
-        if (py >= plane.height) continue;
-        for (int x = 0; x < 8; ++x) {
-          const int px = bx * 8 + x;
-          if (px >= plane.width) continue;
-          plane.at(px, py) = rec[y * 8 + x] + 128.0f;
-        }
+      const int ymax = std::min(8, rec.height - by * 8);
+      const int xmax = std::min(8, rec.width - bx * 8);
+      for (int y = 0; y < ymax; ++y) {
+        float* row = &rec.v[static_cast<std::size_t>(by * 8 + y) * rec.width +
+                            static_cast<std::size_t>(bx) * 8];
+        for (int x = 0; x < xmax; ++x) row[x] = out[y * 8 + x] + 128.0f;
       }
     }
   }
@@ -162,40 +222,83 @@ void code_plane(PlaneF& plane, const std::array<int, 64>& quant, EntropyAccumula
 
 PlaneF subsample2(const PlaneF& in) {
   PlaneF out((in.width + 1) / 2, (in.height + 1) / 2);
+  // Clamping only ever fires on the last column/row (odd dimensions), so the
+  // interior runs on raw row pointers; the summation order of the four taps
+  // is unchanged.
+  const int fullw = in.width / 2;
   for (int y = 0; y < out.height; ++y) {
-    for (int x = 0; x < out.width; ++x) {
-      const float s = in.at_clamped(2 * x, 2 * y) + in.at_clamped(2 * x + 1, 2 * y) +
-                      in.at_clamped(2 * x, 2 * y + 1) + in.at_clamped(2 * x + 1, 2 * y + 1);
-      out.at(x, y) = s * 0.25f;
+    const int y1 = std::min(2 * y + 1, in.height - 1);
+    const float* r0 = &in.v[static_cast<std::size_t>(2 * y) * in.width];
+    const float* r1 = &in.v[static_cast<std::size_t>(y1) * in.width];
+    float* orow = &out.v[static_cast<std::size_t>(y) * out.width];
+    for (int x = 0; x < fullw; ++x) {
+      const float s = r0[2 * x] + r0[2 * x + 1] + r1[2 * x] + r1[2 * x + 1];
+      orow[x] = s * 0.25f;
+    }
+    if (fullw < out.width) {  // odd width: the x+1 taps clamp back onto x
+      const int x = fullw;
+      const float s = r0[2 * x] + r0[2 * x] + r1[2 * x] + r1[2 * x];
+      orow[x] = s * 0.25f;
     }
   }
   return out;
-}
-
-float upsample_at(const PlaneF& small, int x, int y) {
-  // Bilinear co-sited upsampling by 2x.
-  const float fx = x * 0.5f;
-  const float fy = y * 0.5f;
-  const int x0 = static_cast<int>(fx);
-  const int y0 = static_cast<int>(fy);
-  const float tx = fx - x0;
-  const float ty = fy - y0;
-  const float v00 = small.at_clamped(x0, y0);
-  const float v10 = small.at_clamped(x0 + 1, y0);
-  const float v01 = small.at_clamped(x0, y0 + 1);
-  const float v11 = small.at_clamped(x0 + 1, y0 + 1);
-  return (v00 * (1 - tx) + v10 * tx) * (1 - ty) + (v01 * (1 - tx) + v11 * tx) * ty;
 }
 
 std::uint8_t clamp_u8(float v) {
   return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f) + 0.5f);
 }
 
+/// One output row of the co-sited 2x bilinear chroma upsample, minus the
+/// 128 bias, written into dst[0..w). r0/r1 are the two contributing chroma
+/// rows (identical at the bottom edge); half_y says whether the output row
+/// blends them (odd y, ty = 0.5) or reads r0 alone (even y, ty = 0).
+///
+/// Bit-identity with the generic per-pixel expression
+///   ((r0[c0]*(1-tx) + r0[c1]*tx)*(1-ty) + (r1[c0]*(1-tx) + r1[c1]*tx)*ty) - 128
+/// follows because tx and ty are exactly 0.0f or 0.5f: each elided term is
+/// a product with an exact 0.0f that contributes ±0 to a sum whose other
+/// operand is never -0 (plane samples are rec+128 with round-to-nearest,
+/// which yields +0 for exact cancellation), and x * 1.0f == x, x + ±0 == x.
+/// The surviving terms are evaluated in the original association order —
+/// in particular the odd/odd case keeps row-lerps-then-column-lerp, never
+/// regrouped into column averages.
+void upsample_chroma_row(const float* r0, const float* r1, bool half_y, int cw, int w,
+                         float* dst) {
+  int c = 0;
+  if (!half_y) {
+    for (; c + 1 < cw; ++c) {
+      const float a0 = r0[c];
+      dst[2 * c] = a0 - 128.0f;
+      dst[2 * c + 1] = a0 * 0.5f + r0[c + 1] * 0.5f - 128.0f;
+    }
+    // Last chroma column: the x+1 fetch clamps back onto column c.
+    const float a0 = r0[c];
+    if (2 * c < w) dst[2 * c] = a0 - 128.0f;
+    if (2 * c + 1 < w) dst[2 * c + 1] = a0 * 0.5f + a0 * 0.5f - 128.0f;
+  } else {
+    for (; c + 1 < cw; ++c) {
+      const float a0 = r0[c];
+      const float b0 = r1[c];
+      dst[2 * c] = a0 * 0.5f + b0 * 0.5f - 128.0f;
+      const float ra = a0 * 0.5f + r0[c + 1] * 0.5f;
+      const float rb = b0 * 0.5f + r1[c + 1] * 0.5f;
+      dst[2 * c + 1] = ra * 0.5f + rb * 0.5f - 128.0f;
+    }
+    const float a0 = r0[c];
+    const float b0 = r1[c];
+    if (2 * c < w) dst[2 * c] = a0 * 0.5f + b0 * 0.5f - 128.0f;
+    if (2 * c + 1 < w) {
+      const float ra = a0 * 0.5f + a0 * 0.5f;
+      const float rb = b0 * 0.5f + b0 * 0.5f;
+      dst[2 * c + 1] = ra * 0.5f + rb * 0.5f - 128.0f;
+    }
+  }
+}
+
 }  // namespace
 
-Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params) {
+PreparedLossy prepare_lossy(const Raster& img, const LossyParams& params) {
   AW4A_EXPECTS(!img.empty());
-  quality = std::clamp(quality, 1, 100);
   const bool keep_alpha = params.alpha && img.has_alpha();
 
   // RGB -> YCbCr; non-alpha codecs composite over white.
@@ -221,32 +324,97 @@ Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params) 
       cr.at(x, y) = 128.0f + 0.5f * r - 0.418688f * g - 0.081312f * b;
     }
   }
-  PlaneF cb2 = subsample2(cb);
-  PlaneF cr2 = subsample2(cr);
+  const PlaneF cb2 = subsample2(cb);
+  const PlaneF cr2 = subsample2(cr);
+
+  PreparedLossy prep;
+  prep.width = w;
+  prep.height = h;
+  prep.keep_alpha = keep_alpha;
+  prep.luma = forward_dct_plane(ly, -128.0f);
+  prep.cb = forward_dct_plane(cb2, -128.0f);
+  prep.cr = forward_dct_plane(cr2, -128.0f);
+  if (keep_alpha) {
+    prep.alpha_cost = alpha_plane_cost(img);
+    prep.alpha.resize(static_cast<std::size_t>(w) * h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        prep.alpha[static_cast<std::size_t>(y) * w + x] = img.at(x, y).a;
+      }
+    }
+  }
+  return prep;
+}
+
+Encoded lossy_encode_prepared(const PreparedLossy& prep, int quality,
+                              const LossyParams& params) {
+  AW4A_EXPECTS(prep.width > 0 && prep.height > 0);
+  quality = std::clamp(quality, 1, 100);
+  const int w = prep.width;
+  const int h = prep.height;
 
   const auto lq = scaled_table(kLumaQuant, quality, params.hf_quant_scale);
   const auto cq = scaled_table(kChromaQuant, quality, params.hf_quant_scale);
   EntropyAccumulator luma_acc;
   EntropyAccumulator chroma_acc;
-  code_plane(ly, lq, luma_acc);
-  code_plane(cb2, cq, chroma_acc);
-  code_plane(cr2, cq, chroma_acc);
+  // Reconstruction planes are thread-local scratch: a quality ladder calls
+  // this once per rung, and code_plane_prepared overwrites every sample, so
+  // re-allocating (and zero-filling) three planes per rung is pure waste.
+  static thread_local PlaneF ly, cb2, cr2;
+  auto reuse = [](PlaneF& p, int pw, int ph) {
+    p.width = pw;
+    p.height = ph;
+    p.v.resize(static_cast<std::size_t>(pw) * static_cast<std::size_t>(ph));
+  };
+  reuse(ly, w, h);
+  reuse(cb2, prep.cb.width, prep.cb.height);
+  reuse(cr2, prep.cr.width, prep.cr.height);
+  code_plane_prepared(prep.luma, lq, luma_acc, ly);
+  code_plane_prepared(prep.cb, cq, chroma_acc, cb2);
+  code_plane_prepared(prep.cr, cq, chroma_acc, cr2);
 
-  // Reconstruct RGBA.
+  // Reconstruct RGBA. The chroma planes are upsampled 2x bilinearly
+  // (co-sited): for output (x, y) the sample sits at (x/2, y/2), so the
+  // interpolation weights alternate between exactly 0 and exactly 0.5 and
+  // the two source rows are fixed per output row. Each row's upsampled,
+  // bias-subtracted chroma is staged into flat scratch rows first (see
+  // upsample_chroma_row for the bit-identity argument), which keeps the
+  // per-pixel color-convert loop free of index math and branches.
   Encoded out;
   out.format = params.format;
   out.quality = quality;
   out.decoded = Raster(w, h);
+  const int cw = cb2.width;
+  const int ch = cb2.height;
+  const float* cbv = cb2.v.data();
+  const float* crv = cr2.v.data();
+  static thread_local std::vector<float> cbu_buf, cru_buf;
+  cbu_buf.resize(static_cast<std::size_t>(w));
+  cru_buf.resize(static_cast<std::size_t>(w));
+  float* cbu = cbu_buf.data();
+  float* cru = cru_buf.data();
+  Pixel* dst = out.decoded.pixels().data();
   for (int y = 0; y < h; ++y) {
+    const float* lrow = &ly.v[static_cast<std::size_t>(y) * w];
+    const int cy0 = y >> 1;
+    const int cy1 = std::min(cy0 + 1, ch - 1);
+    const bool half_y = (y & 1) != 0;
+    upsample_chroma_row(cbv + static_cast<std::size_t>(cy0) * cw,
+                        cbv + static_cast<std::size_t>(cy1) * cw, half_y, cw, w, cbu);
+    upsample_chroma_row(crv + static_cast<std::size_t>(cy0) * cw,
+                        crv + static_cast<std::size_t>(cy1) * cw, half_y, cw, w, cru);
+    Pixel* prow = dst + static_cast<std::size_t>(y) * w;
+    const std::uint8_t* arow =
+        prep.keep_alpha ? prep.alpha.data() + static_cast<std::size_t>(y) * w : nullptr;
     for (int x = 0; x < w; ++x) {
-      const float Y = ly.at(x, y);
-      const float Cb = upsample_at(cb2, x, y) - 128.0f;
-      const float Cr = upsample_at(cr2, x, y) - 128.0f;
-      Pixel& p = out.decoded.at(x, y);
+      const float Y = lrow[x];
+      const float Cb = cbu[x];
+      const float Cr = cru[x];
+      Pixel& p = prow[x];
       p.r = clamp_u8(Y + 1.402f * Cr);
       p.g = clamp_u8(Y - 0.344136f * Cb - 0.714136f * Cr);
       p.b = clamp_u8(Y + 1.772f * Cb);
-      p.a = keep_alpha ? img.at(x, y).a : 255;
+      p.a = arow != nullptr ? arow[x] : 255;
     }
   }
 
@@ -254,8 +422,15 @@ Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params) 
       (luma_acc.total_bits() + chroma_acc.total_bits()) * params.payload_scale;
   out.header_bytes = params.header_bytes;
   out.bytes = params.header_bytes + static_cast<Bytes>(std::ceil(payload_bits / 8.0));
-  if (keep_alpha) out.bytes += alpha_plane_cost(img);
+  if (prep.keep_alpha) out.bytes += prep.alpha_cost;
   return out;
+}
+
+Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params) {
+  // The single-shot path IS the factored path: there is exactly one code
+  // path from pixels to bytes, so ladder rungs derived from a shared
+  // prepare_lossy() cannot diverge from one-off encodes.
+  return lossy_encode_prepared(prepare_lossy(img, params), quality, params);
 }
 
 std::vector<std::uint8_t> png_filter_stream(const Raster& img, bool include_alpha) {
@@ -264,16 +439,6 @@ std::vector<std::uint8_t> png_filter_stream(const Raster& img, bool include_alph
   const int w = img.width();
   const int h = img.height();
   const int stride = w * channels;
-  auto sample = [&](int x, int y, int c) -> int {
-    if (x < 0 || y < 0) return 0;
-    const Pixel p = img.at(x, y);
-    switch (c) {
-      case 0: return p.r;
-      case 1: return p.g;
-      case 2: return p.b;
-      default: return p.a;
-    }
-  };
   auto paeth = [](int a, int b, int c) {
     const int pr = a + b - c;
     const int pa = std::abs(pr - a);
@@ -288,30 +453,44 @@ std::vector<std::uint8_t> png_filter_stream(const Raster& img, bool include_alph
   out.reserve(static_cast<std::size_t>(h) * (stride + 1));
   std::vector<std::uint8_t> candidate(static_cast<std::size_t>(stride));
   std::vector<std::uint8_t> best(static_cast<std::size_t>(stride));
+  // De-interleave each raster row into a flat byte row once, instead of
+  // re-fetching every pixel 5 filters x 4 neighbors times; out-of-row
+  // neighbors (x < 0 or y < 0) read as 0, same as before.
+  std::vector<std::uint8_t> cur_row(static_cast<std::size_t>(stride));
+  std::vector<std::uint8_t> prev_row(static_cast<std::size_t>(stride), 0);
+  const Pixel* px = img.pixels().data();
   for (int y = 0; y < h; ++y) {
+    const Pixel* row = px + static_cast<std::size_t>(y) * w;
+    for (int x = 0; x < w; ++x) {
+      const Pixel p = row[x];
+      std::uint8_t* b = &cur_row[static_cast<std::size_t>(x) * channels];
+      b[0] = p.r;
+      b[1] = p.g;
+      b[2] = p.b;
+      if (include_alpha) b[3] = p.a;
+    }
     long best_score = -1;
     std::uint8_t best_filter = 0;
     for (std::uint8_t filter = 0; filter < 5; ++filter) {
       long score = 0;
-      for (int x = 0; x < w; ++x) {
-        for (int c = 0; c < channels; ++c) {
-          const int cur = sample(x, y, c);
-          const int left = sample(x - 1, y, c);
-          const int up = sample(x, y - 1, c);
-          const int ul = sample(x - 1, y - 1, c);
-          int predicted = 0;
-          switch (filter) {
-            case 0: predicted = 0; break;
-            case 1: predicted = left; break;
-            case 2: predicted = up; break;
-            case 3: predicted = (left + up) / 2; break;
-            default: predicted = paeth(left, up, ul); break;
-          }
-          const auto residual = static_cast<std::uint8_t>(cur - predicted);
-          candidate[static_cast<std::size_t>(x) * channels + c] = residual;
-          // Standard heuristic: minimize sum of |signed residual|.
-          score += std::abs(static_cast<std::int8_t>(residual));
+      for (int i = 0; i < stride; ++i) {
+        const int cur = cur_row[static_cast<std::size_t>(i)];
+        const int left = i >= channels ? cur_row[static_cast<std::size_t>(i - channels)] : 0;
+        const int up = y > 0 ? prev_row[static_cast<std::size_t>(i)] : 0;
+        const int ul =
+            (i >= channels && y > 0) ? prev_row[static_cast<std::size_t>(i - channels)] : 0;
+        int predicted = 0;
+        switch (filter) {
+          case 0: predicted = 0; break;
+          case 1: predicted = left; break;
+          case 2: predicted = up; break;
+          case 3: predicted = (left + up) / 2; break;
+          default: predicted = paeth(left, up, ul); break;
         }
+        const auto residual = static_cast<std::uint8_t>(cur - predicted);
+        candidate[static_cast<std::size_t>(i)] = residual;
+        // Standard heuristic: minimize sum of |signed residual|.
+        score += std::abs(static_cast<std::int8_t>(residual));
       }
       if (best_score < 0 || score < best_score) {
         best_score = score;
@@ -321,6 +500,7 @@ std::vector<std::uint8_t> png_filter_stream(const Raster& img, bool include_alph
     }
     out.push_back(best_filter);
     out.insert(out.end(), best.begin(), best.end());
+    std::swap(cur_row, prev_row);
   }
   return out;
 }
@@ -347,12 +527,24 @@ Bytes alpha_plane_cost(const Raster& img) {
 
 namespace {
 
+/// Default Codec::Prepared: just the pixels. Used by codecs whose encode has
+/// no quality-independent half worth factoring (PNG is entirely
+/// quality-independent; its encode_prepared simply re-runs encode).
+struct RasterPrepared final : Codec::Prepared {
+  explicit RasterPrepared(Raster r) : raster(std::move(r)) {}
+  Raster raster;
+};
+
 class JpegCodec final : public Codec {
  public:
   ImageFormat format() const override { return ImageFormat::kJpeg; }
   bool supports_alpha() const override { return false; }
   Encoded encode(const Raster& img, int quality) const override {
     return jpeg_encode(img, quality);
+  }
+  PreparedPtr prepare(const Raster& img) const override { return jpeg_prepare(img); }
+  Encoded encode_prepared(const Prepared& prep, int quality) const override {
+    return jpeg_encode_prepared(prep, quality);
   }
 };
 
@@ -372,9 +564,24 @@ class WebpCodec final : public Codec {
   Encoded encode(const Raster& img, int quality) const override {
     return quality >= 100 ? webp_lossless_encode(img) : webp_encode(img, quality);
   }
+  PreparedPtr prepare(const Raster& img) const override { return webp_prepare(img); }
+  Encoded encode_prepared(const Prepared& prep, int quality) const override {
+    return webp_encode_prepared(prep, quality);
+  }
 };
 
 }  // namespace
+
+Codec::PreparedPtr Codec::prepare(const Raster& img) const {
+  AW4A_EXPECTS(!img.empty());
+  return std::make_shared<RasterPrepared>(img);
+}
+
+Encoded Codec::encode_prepared(const Prepared& prep, int quality) const {
+  const auto* held = dynamic_cast<const RasterPrepared*>(&prep);
+  AW4A_EXPECTS(held != nullptr);
+  return encode(held->raster, quality);
+}
 
 const Codec& codec_for(ImageFormat f) {
   static const JpegCodec jpeg;

@@ -9,8 +9,16 @@
 // Encoding returns both the output size in bytes and the decoded raster, so
 // SSIM can be computed against the original — exactly the data the optimizer
 // needs to build a variant ladder.
+//
+// Quality ladders use the factored entry points: prepare() runs the
+// quality-independent work (color conversion + forward DCT for the lossy
+// codecs) once, and encode_prepared() derives each rung from the shared
+// coefficient blocks. prepare()+encode_prepared() is bit-identical to
+// encode() — the single-shot path is literally that composition — so ladder
+// enumeration and one-off encodes can never diverge.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "imaging/raster.h"
@@ -38,6 +46,16 @@ struct Encoded {
 /// Common interface so the optimizer can treat formats uniformly.
 class Codec {
  public:
+  /// Opaque result of the quality-independent half of an encode (forward
+  /// DCT coefficient planes for the lossy codecs, the raster itself for
+  /// lossless ones). Obtained from prepare(), consumed by encode_prepared()
+  /// of the SAME codec.
+  class Prepared {
+   public:
+    virtual ~Prepared() = default;
+  };
+  using PreparedPtr = std::shared_ptr<const Prepared>;
+
   virtual ~Codec() = default;
 
   virtual ImageFormat format() const = 0;
@@ -47,6 +65,15 @@ class Codec {
 
   /// Encodes at `quality` in [1, 100] (ignored by lossless codecs).
   virtual Encoded encode(const Raster& img, int quality) const = 0;
+
+  /// Runs the quality-independent encode work once. The default
+  /// implementation holds a copy of the raster, making encode_prepared()
+  /// equivalent to encode() for codecs with nothing to factor (PNG).
+  virtual PreparedPtr prepare(const Raster& img) const;
+
+  /// Encodes one quality rung from a prepare() result. Bit-identical to
+  /// encode(img, quality) on the raster prepare() was given.
+  virtual Encoded encode_prepared(const Prepared& prep, int quality) const;
 };
 
 /// Returns the singleton codec for a format.
@@ -57,6 +84,14 @@ Encoded jpeg_encode(const Raster& img, int quality);
 Encoded png_encode(const Raster& img);                  ///< lossless
 Encoded webp_encode(const Raster& img, int quality);    ///< lossy + alpha plane
 Encoded webp_lossless_encode(const Raster& img);
+
+/// Factored lossy entry points (the Codec singletons delegate to these).
+/// Each fires the same "codec.<fmt>.encode" fault point as the single-shot
+/// encoder, so retry and fault-injection behavior is uniform per invocation.
+Codec::PreparedPtr jpeg_prepare(const Raster& img);
+Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality);
+Codec::PreparedPtr webp_prepare(const Raster& img);
+Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality);
 
 /// Picks a plausible original format for a synthesized image: logos/icons and
 /// anything with alpha ship as PNG, photographic content as JPEG.

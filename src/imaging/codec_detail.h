@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "imaging/codec.h"
+#include "imaging/dct.h"
 #include "imaging/raster.h"
 
 namespace aw4a::imaging::detail {
@@ -26,6 +27,44 @@ struct LossyParams {
   /// Whether the format carries an alpha plane (encoded losslessly).
   bool alpha = false;
 };
+
+/// The quality-independent half of a lossy encode: YCbCr conversion, 4:2:0
+/// subsampling, and the forward DCT of all three planes — plus the alpha
+/// plane cost, which quality does not touch either. Everything a quality
+/// rung needs beyond this is re-quantization and entropy coding of the
+/// coefficient blocks, so a ladder of N rungs pays the transform once
+/// instead of N times.
+struct PreparedLossy {
+  int width = 0;
+  int height = 0;
+  bool keep_alpha = false;
+  CoeffPlane luma;
+  CoeffPlane cb;  ///< subsampled 2x
+  CoeffPlane cr;  ///< subsampled 2x
+  Bytes alpha_cost = 0;                ///< alpha_plane_cost() when keep_alpha
+  std::vector<std::uint8_t> alpha;     ///< original alpha bytes when keep_alpha
+};
+
+/// Runs the quality-independent half of lossy_encode(). Only `params.alpha`
+/// affects the result (it selects composite-over-white vs. kept alpha);
+/// the quality-dependent knobs are consumed by lossy_encode_prepared().
+PreparedLossy prepare_lossy(const Raster& img, const LossyParams& params);
+
+/// The concrete Codec::Prepared of the lossy codecs (jpeg and webp .cc files
+/// downcast to this).
+struct LossyPreparedImage final : Codec::Prepared {
+  PreparedLossy planes;
+  /// Retained only by WebP, whose quality >= 100 mode is the lossless
+  /// encoder and needs pixels, not coefficients. Empty for JPEG.
+  Raster raster;
+};
+
+/// The per-quality tail: scaled quantization tables, entropy-cost
+/// accumulation, and the dequantize + inverse DCT reconstruction. Encoding
+/// via prepare_lossy() + this function is bit-identical to lossy_encode() —
+/// lossy_encode() IS this composition.
+Encoded lossy_encode_prepared(const PreparedLossy& prep, int quality,
+                              const LossyParams& params);
 
 /// Full encode: 4:2:0 YCbCr DCT quantization with an optimal-Huffman entropy
 /// cost estimate. Returns wire bytes and the decoded raster.

@@ -2,22 +2,45 @@
 // typical JFIF header overhead. No alpha support — transparent input is
 // composited over white, which is why the paper's Stage-1 prefers WebP when
 // transcoding PNGs (transparency survives).
+#include <memory>
+
 #include "imaging/codec.h"
 #include "imaging/codec_detail.h"
+#include "util/error.h"
 #include "util/fault.h"
 
 namespace aw4a::imaging {
+namespace {
 
-Encoded jpeg_encode(const Raster& img, int quality) {
-  AW4A_FAULT_POINT("codec.jpeg.encode");
-  const detail::LossyParams params{
+detail::LossyParams jpeg_params() {
+  return detail::LossyParams{
       .format = ImageFormat::kJpeg,
       .payload_scale = 1.0,
       .hf_quant_scale = 1.0,
       .header_bytes = 330,  // SOI + DQTx2 + SOF0 + DHTx4 + SOS
       .alpha = false,
   };
-  return detail::lossy_encode(img, quality, params);
+}
+
+}  // namespace
+
+Encoded jpeg_encode(const Raster& img, int quality) {
+  AW4A_FAULT_POINT("codec.jpeg.encode");
+  return detail::lossy_encode(img, quality, jpeg_params());
+}
+
+Codec::PreparedPtr jpeg_prepare(const Raster& img) {
+  AW4A_FAULT_POINT("codec.jpeg.encode");
+  auto prep = std::make_shared<detail::LossyPreparedImage>();
+  prep->planes = detail::prepare_lossy(img, jpeg_params());
+  return prep;
+}
+
+Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality) {
+  AW4A_FAULT_POINT("codec.jpeg.encode");
+  const auto* lossy = dynamic_cast<const detail::LossyPreparedImage*>(&prep);
+  AW4A_EXPECTS(lossy != nullptr);
+  return detail::lossy_encode_prepared(lossy->planes, quality, jpeg_params());
 }
 
 }  // namespace aw4a::imaging

@@ -2,23 +2,32 @@
 // (modeling VP8's arithmetic coding and intra prediction; calibrated to the
 // commonly reported ~25-35% saving over JPEG at equal quality), slightly
 // flatter high-frequency quantization, and a losslessly coded alpha plane.
+#include <memory>
+
 #include "imaging/codec.h"
 #include "imaging/codec_detail.h"
 #include "net/compress.h"
+#include "util/error.h"
 #include "util/fault.h"
 
 namespace aw4a::imaging {
+namespace {
 
-Encoded webp_encode(const Raster& img, int quality) {
-  AW4A_FAULT_POINT("codec.webp.encode");
-  const detail::LossyParams params{
+detail::LossyParams webp_params() {
+  return detail::LossyParams{
       .format = ImageFormat::kWebp,
       .payload_scale = 0.72,
       .hf_quant_scale = 0.85,
       .header_bytes = 60,  // RIFF/VP8 headers are far leaner than JFIF
       .alpha = true,
   };
-  return detail::lossy_encode(img, quality, params);
+}
+
+}  // namespace
+
+Encoded webp_encode(const Raster& img, int quality) {
+  AW4A_FAULT_POINT("codec.webp.encode");
+  return detail::lossy_encode(img, quality, webp_params());
 }
 
 Encoded webp_lossless_encode(const Raster& img) {
@@ -34,6 +43,24 @@ Encoded webp_lossless_encode(const Raster& img) {
       static_cast<Bytes>(static_cast<double>(net::gzip_size(stream)) * 0.8) + out.header_bytes;
   out.decoded = img;
   return out;
+}
+
+Codec::PreparedPtr webp_prepare(const Raster& img) {
+  AW4A_FAULT_POINT("codec.webp.encode");
+  auto prep = std::make_shared<detail::LossyPreparedImage>();
+  prep->planes = detail::prepare_lossy(img, webp_params());
+  // Quality >= 100 selects the lossless encoder, which works on pixels, so
+  // the prepared form keeps them alongside the coefficients.
+  prep->raster = img;
+  return prep;
+}
+
+Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality) {
+  const auto* lossy = dynamic_cast<const detail::LossyPreparedImage*>(&prep);
+  AW4A_EXPECTS(lossy != nullptr);
+  if (quality >= 100) return webp_lossless_encode(lossy->raster);
+  AW4A_FAULT_POINT("codec.webp.encode");
+  return detail::lossy_encode_prepared(lossy->planes, quality, webp_params());
 }
 
 }  // namespace aw4a::imaging

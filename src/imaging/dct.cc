@@ -3,6 +3,15 @@
 #include <cmath>
 #include <numbers>
 
+#include "imaging/raster.h"
+#include "util/error.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AW4A_RESTRICT __restrict__
+#else
+#define AW4A_RESTRICT
+#endif
+
 namespace aw4a::imaging {
 namespace {
 
@@ -11,14 +20,23 @@ namespace {
 // factor into the table drops the per-element multiplies from both transform
 // inner loops (each output previously paid a 0.5f and an alpha multiply on
 // top of the basis product).
+//
+// Two flat layouts of the same values: `fcos[x * 8 + u]` is what both passes
+// of the forward kernel and the first pass of the inverse read row-wise
+// (contiguous in the vectorized lane index), `fcos_t[u * 8 + x]` is its
+// transpose for the inverse kernel's second pass. The reference functions
+// read the same table, so the fast kernels reproduce them exactly.
 struct Tables {
-  float fcos[8][8];  // [x][u]
+  float fcos[64];    // [x][u]
+  float fcos_t[64];  // [u][x]
   Tables() {
     for (int x = 0; x < 8; ++x) {
       for (int u = 0; u < 8; ++u) {
         const double alpha = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
-        fcos[x][u] = static_cast<float>(
+        const float v = static_cast<float>(
             0.5 * alpha * std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0));
+        fcos[x * 8 + u] = v;
+        fcos_t[u * 8 + x] = v;
       }
     }
   }
@@ -37,7 +55,7 @@ Block8 dct8x8(const Block8& spatial) {
   for (int y = 0; y < 8; ++y) {
     for (int u = 0; u < 8; ++u) {
       float s = 0;
-      for (int x = 0; x < 8; ++x) s += spatial[y * 8 + x] * t.fcos[x][u];
+      for (int x = 0; x < 8; ++x) s += spatial[y * 8 + x] * t.fcos[x * 8 + u];
       tmp[y * 8 + u] = s;
     }
   }
@@ -45,7 +63,7 @@ Block8 dct8x8(const Block8& spatial) {
   for (int u = 0; u < 8; ++u) {
     for (int v = 0; v < 8; ++v) {
       float s = 0;
-      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * t.fcos[y][v];
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * t.fcos[y * 8 + v];
       out[v * 8 + u] = s;
     }
   }
@@ -58,7 +76,7 @@ Block8 idct8x8(const Block8& freq) {
   for (int u = 0; u < 8; ++u) {
     for (int y = 0; y < 8; ++y) {
       float s = 0;
-      for (int v = 0; v < 8; ++v) s += freq[v * 8 + u] * t.fcos[y][v];
+      for (int v = 0; v < 8; ++v) s += freq[v * 8 + u] * t.fcos[y * 8 + v];
       tmp[y * 8 + u] = s;
     }
   }
@@ -66,8 +84,149 @@ Block8 idct8x8(const Block8& freq) {
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
       float s = 0;
-      for (int u = 0; u < 8; ++u) s += tmp[y * 8 + u] * t.fcos[x][u];
+      for (int u = 0; u < 8; ++u) s += tmp[y * 8 + u] * t.fcos[x * 8 + u];
       out[y * 8 + x] = s;
+    }
+  }
+  return out;
+}
+
+// The fast kernels restructure each separable pass as a broadcast-accumulate
+// over an 8-lane register: instead of one scalar dot product per output
+// (which strides through the basis table), each input sample is broadcast
+// against a contiguous table row and added into all 8 outputs of its row or
+// column at once. Per output lane the additions happen in the same operand
+// order as the reference's scalar loop, so both produce identical floats —
+// the restructuring only changes which loop the compiler can vectorize.
+
+void fdct8x8_fast(const float* AW4A_RESTRICT in, float* AW4A_RESTRICT out) {
+  const Tables& t = tables();
+  float tmp[64];
+  // Rows: tmp[y][u] = sum_x in[y][x] * fcos[x][u].
+  for (int y = 0; y < 8; ++y) {
+    const float* AW4A_RESTRICT row = in + y * 8;
+    float acc[8] = {};
+    for (int x = 0; x < 8; ++x) {
+      const float v = row[x];
+      const float* AW4A_RESTRICT c = t.fcos + x * 8;
+      for (int u = 0; u < 8; ++u) acc[u] += v * c[u];
+    }
+    for (int u = 0; u < 8; ++u) tmp[y * 8 + u] = acc[u];
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * fcos[y][v].
+  for (int v = 0; v < 8; ++v) {
+    float acc[8] = {};
+    for (int y = 0; y < 8; ++y) {
+      const float c = t.fcos[y * 8 + v];
+      const float* AW4A_RESTRICT trow = tmp + y * 8;
+      for (int u = 0; u < 8; ++u) acc[u] += trow[u] * c;
+    }
+    for (int u = 0; u < 8; ++u) out[v * 8 + u] = acc[u];
+  }
+}
+
+void idct8x8_fast(const float* AW4A_RESTRICT in, float* AW4A_RESTRICT out) {
+  const Tables& t = tables();
+  float tmp[64];
+  // Columns: tmp[y][u] = sum_v in[v][u] * fcos[y][v].
+  for (int y = 0; y < 8; ++y) {
+    float acc[8] = {};
+    for (int v = 0; v < 8; ++v) {
+      const float c = t.fcos[y * 8 + v];
+      const float* AW4A_RESTRICT frow = in + v * 8;
+      for (int u = 0; u < 8; ++u) acc[u] += frow[u] * c;
+    }
+    for (int u = 0; u < 8; ++u) tmp[y * 8 + u] = acc[u];
+  }
+  // Rows: out[y][x] = sum_u tmp[y][u] * fcos[x][u] = sum_u tmp[y][u] * fcos_t[u][x].
+  for (int y = 0; y < 8; ++y) {
+    const float* AW4A_RESTRICT trow = tmp + y * 8;
+    float acc[8] = {};
+    for (int u = 0; u < 8; ++u) {
+      const float v = trow[u];
+      const float* AW4A_RESTRICT c = t.fcos_t + u * 8;
+      for (int x = 0; x < 8; ++x) acc[x] += v * c[x];
+    }
+    for (int x = 0; x < 8; ++x) out[y * 8 + x] = acc[x];
+  }
+}
+
+void idct8x8_fast_masked(const float* AW4A_RESTRICT in, float* AW4A_RESTRICT out,
+                         unsigned row_mask, unsigned col_mask) {
+  const Tables& t = tables();
+  float tmp[64];
+  // Same two passes as idct8x8_fast; a masked-off v (row of all-zero
+  // coefficients) would only add frow[u] * c == ±0 to every accumulator,
+  // and a masked-off u (all-zero column) leaves tmp[y][u] == +0 whose
+  // second-pass products are again ±0 — both exact no-ops.
+  for (int y = 0; y < 8; ++y) {
+    float acc[8] = {};
+    for (int v = 0; v < 8; ++v) {
+      if (!((row_mask >> v) & 1u)) continue;
+      const float c = t.fcos[y * 8 + v];
+      const float* AW4A_RESTRICT frow = in + v * 8;
+      for (int u = 0; u < 8; ++u) acc[u] += frow[u] * c;
+    }
+    for (int u = 0; u < 8; ++u) tmp[y * 8 + u] = acc[u];
+  }
+  for (int y = 0; y < 8; ++y) {
+    const float* AW4A_RESTRICT trow = tmp + y * 8;
+    float acc[8] = {};
+    for (int u = 0; u < 8; ++u) {
+      if (!((col_mask >> u) & 1u)) continue;
+      const float v = trow[u];
+      const float* AW4A_RESTRICT c = t.fcos_t + u * 8;
+      for (int x = 0; x < 8; ++x) acc[x] += v * c[x];
+    }
+    for (int x = 0; x < 8; ++x) out[y * 8 + x] = acc[x];
+  }
+}
+
+void idct8x8_dconly_fast(float dc, float* AW4A_RESTRICT out) {
+  const Tables& t = tables();
+  // With all AC terms zero, idct8x8_fast's first pass leaves
+  // tmp[y][0] = dc * fcos[y][0] and tmp[y][u>0] = +0, and its second pass
+  // reduces to tmp[y][0] * fcos_t[0][x]. Keeping the two multiplies
+  // separate (no fusing into dc * (fcos * fcos_t)) preserves the exact
+  // rounding sequence of the general kernel.
+  for (int y = 0; y < 8; ++y) {
+    const float ty = dc * t.fcos[y * 8];
+    float* AW4A_RESTRICT row = out + y * 8;
+    for (int x = 0; x < 8; ++x) row[x] = ty * t.fcos_t[x];
+  }
+}
+
+CoeffPlane forward_dct_plane(const PlaneF& plane, float bias) {
+  AW4A_EXPECTS(plane.width > 0 && plane.height > 0);
+  CoeffPlane out;
+  out.width = plane.width;
+  out.height = plane.height;
+  out.blocks_w = (plane.width + 7) / 8;
+  out.blocks_h = (plane.height + 7) / 8;
+  out.coeffs.resize(64 * static_cast<std::size_t>(out.blocks_w) * out.blocks_h);
+
+  const int full_bw = plane.width / 8;   // blocks fully inside the plane
+  const int full_bh = plane.height / 8;
+  float blk[64];
+  float* dst = out.coeffs.data();
+  for (int by = 0; by < out.blocks_h; ++by) {
+    for (int bx = 0; bx < out.blocks_w; ++bx, dst += 64) {
+      if (bx < full_bw && by < full_bh) {
+        // Interior block: straight row copies, no clamping branches.
+        for (int y = 0; y < 8; ++y) {
+          const float* src = &plane.v[static_cast<std::size_t>(by * 8 + y) * plane.width +
+                                      static_cast<std::size_t>(bx) * 8];
+          float* d = blk + y * 8;
+          for (int x = 0; x < 8; ++x) d[x] = src[x] + bias;
+        }
+      } else {
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            blk[y * 8 + x] = plane.at_clamped(bx * 8 + x, by * 8 + y) + bias;
+          }
+        }
+      }
+      fdct8x8_fast(blk, dst);
     }
   }
   return out;

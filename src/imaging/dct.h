@@ -1,17 +1,85 @@
 // 8x8 type-II DCT and its inverse, the transform at the core of the lossy
-// codecs. Plain float implementation; blocks are row-major float[64].
+// codecs. Blocks are row-major float[64].
+//
+// Two implementations live here:
+//   dct8x8 / idct8x8          the original scalar reference, kept verbatim —
+//                             tests pin the fast kernels against it
+//   fdct8x8_fast / idct8x8_fast
+//                             separable flat-layout kernels: each pass walks
+//                             a contiguous 8-lane accumulator against rows of
+//                             a fused basis table, which auto-vectorizes. The
+//                             per-output summation order matches the
+//                             reference exactly, so the results agree to well
+//                             under the pinned 1e-6 bound.
+//
+// On top of the block kernels sits the plane API the encode-once ladder
+// uses: forward_dct_plane() runs the forward transform over every (padded)
+// 8x8 block of a plane ONCE, producing a CoeffPlane of contiguous
+// coefficient blocks that each quality rung can re-quantize without ever
+// touching pixels again.
 #pragma once
 
 #include <array>
+#include <vector>
 
 namespace aw4a::imaging {
 
 using Block8 = std::array<float, 64>;
 
-/// Forward 8x8 DCT-II with orthonormal scaling.
+/// Forward 8x8 DCT-II with orthonormal scaling (scalar reference).
 Block8 dct8x8(const Block8& spatial);
 
-/// Inverse 8x8 DCT (DCT-III with orthonormal scaling).
+/// Inverse 8x8 DCT (DCT-III with orthonormal scaling; scalar reference).
 Block8 idct8x8(const Block8& freq);
+
+/// Fast forward kernel over flat arrays. `in` and `out` are row-major
+/// float[64] and must not alias.
+void fdct8x8_fast(const float* in, float* out);
+
+/// Fast inverse kernel over flat arrays. `in` and `out` are row-major
+/// float[64] and must not alias.
+void idct8x8_fast(const float* in, float* out);
+
+/// Inverse transform of a block whose 63 AC coefficients are all zero —
+/// bit-identical to idct8x8_fast on such a block. Exactness: every elided
+/// term is a product with an exact +0.0f coefficient, which contributes
+/// ±0 to an accumulator that is either +0 or nonzero (the DC basis column
+/// is strictly positive), and x + ±0 == x under round-to-nearest. Heavily
+/// quantized chroma planes are mostly DC-only blocks, so the ladder's
+/// reconstruct pass takes this path for most of its IDCT work.
+void idct8x8_dconly_fast(float dc, float* out);
+
+/// idct8x8_fast that skips coefficient rows/columns declared all-zero by
+/// the caller: bit v of `row_mask` (bit u of `col_mask`) must be set if any
+/// in[v*8 + u] of that row (column) is nonzero. Skipped passes only elide
+/// exact ±0 contributions (the same argument as idct8x8_dconly_fast, and
+/// an all-zero column yields an exactly +0 tmp lane), so the output is
+/// bit-identical to idct8x8_fast for any correct mask. Quantization kills
+/// most high-frequency rows and columns, which makes this the common-case
+/// kernel of the reconstruct pass.
+void idct8x8_fast_masked(const float* in, float* out, unsigned row_mask, unsigned col_mask);
+
+/// Forward DCT coefficients of one color plane: blocks stored contiguously
+/// in raster order, 64 floats per block, row-major within a block. Edge
+/// blocks are clamp-padded exactly like the single-shot encoder pads them.
+struct CoeffPlane {
+  int width = 0;    ///< source plane width (pre-padding)
+  int height = 0;   ///< source plane height (pre-padding)
+  int blocks_w = 0;
+  int blocks_h = 0;
+  std::vector<float> coeffs;  ///< 64 * blocks_w * blocks_h
+
+  const float* block(int bx, int by) const {
+    return coeffs.data() + 64 * (static_cast<std::size_t>(by) * blocks_w + bx);
+  }
+};
+
+struct PlaneF;  // imaging/raster.h
+
+/// Forward-transforms every 8x8 block of `plane` after adding `bias` to each
+/// sample (the codecs pass -128 to center pixel values). This is the
+/// quality-independent half of a lossy encode; it runs once per plane no
+/// matter how many quality rungs are derived from it.
+CoeffPlane forward_dct_plane(const PlaneF& plane, float bias);
 
 }  // namespace aw4a::imaging

@@ -12,22 +12,6 @@ Raster::Raster(int width, int height, Pixel fill)
   AW4A_EXPECTS(width >= 0 && height >= 0);
 }
 
-Pixel& Raster::at(int x, int y) {
-  AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
-  return data_[static_cast<std::size_t>(y) * width_ + x];
-}
-
-const Pixel& Raster::at(int x, int y) const {
-  AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
-  return data_[static_cast<std::size_t>(y) * width_ + x];
-}
-
-const Pixel& Raster::at_clamped(int x, int y) const {
-  const int cx = std::clamp(x, 0, width_ - 1);
-  const int cy = std::clamp(y, 0, height_ - 1);
-  return data_[static_cast<std::size_t>(cy) * width_ + cx];
-}
-
 bool Raster::has_alpha() const {
   return std::any_of(data_.begin(), data_.end(), [](const Pixel& p) { return p.a < 255; });
 }
@@ -61,12 +45,6 @@ void Raster::composite(const Raster& src, int x, int y) {
       d.a = static_cast<std::uint8_t>(std::max<int>(d.a, a));
     }
   }
-}
-
-float PlaneF::at_clamped(int x, int y) const {
-  const int cx = std::clamp(x, 0, width - 1);
-  const int cy = std::clamp(y, 0, height - 1);
-  return v[static_cast<std::size_t>(cy) * width + cx];
 }
 
 PlaneF luma_plane(const Raster& img) {

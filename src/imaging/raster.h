@@ -5,6 +5,7 @@
 // float planes carry one channel (e.g. luma) for the signal-processing paths.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -35,11 +36,24 @@ class Raster {
     return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
   }
 
-  Pixel& at(int x, int y);
-  const Pixel& at(int x, int y) const;
+  // Accessors are defined inline: the resize/codec/SSIM hot loops make tens
+  // of millions of per-pixel calls, and an out-of-line definition would turn
+  // each into a real function call across translation units.
+  Pixel& at(int x, int y) {
+    AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Pixel& at(int x, int y) const {
+    AW4A_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
 
   /// Clamped access (edge pixels repeat); used by filters near borders.
-  const Pixel& at_clamped(int x, int y) const;
+  const Pixel& at_clamped(int x, int y) const {
+    const int cx = std::clamp(x, 0, width_ - 1);
+    const int cy = std::clamp(y, 0, height_ - 1);
+    return data_[static_cast<std::size_t>(cy) * width_ + cx];
+  }
 
   /// True if any pixel has alpha < 255 (drives the PNG->WebP transparency
   /// rule: JPEG cannot represent these).
@@ -73,7 +87,11 @@ struct PlaneF {
   }
   float& at(int x, int y) { return v[static_cast<std::size_t>(y) * width + x]; }
   float at(int x, int y) const { return v[static_cast<std::size_t>(y) * width + x]; }
-  float at_clamped(int x, int y) const;
+  float at_clamped(int x, int y) const {
+    const int cx = std::clamp(x, 0, width - 1);
+    const int cy = std::clamp(y, 0, height - 1);
+    return v[static_cast<std::size_t>(cy) * width + cx];
+  }
 };
 
 /// BT.601 luma of an RGBA raster, in [0, 255]. Transparent pixels are

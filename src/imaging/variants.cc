@@ -50,11 +50,25 @@ const char* encode_span_name(ImageFormat format) {
 
 // Every codec invocation funnels through here: a single transient encoder
 // fault (crashed worker, injected fault) is retried once before the error
-// escapes to the tier-build ladder.
+// escapes to the tier-build ladder. The prepare/encode_prepared pair gets
+// the same treatment — each fires the codec's fault point per invocation.
 Encoded encode_retrying(ImageFormat format, const Raster& raster, int quality) {
   RetryOptions retry;
   retry.max_attempts = 2;
   return retry_transient([&] { return codec_for(format).encode(raster, quality); }, retry);
+}
+
+Codec::PreparedPtr prepare_retrying(ImageFormat format, const Raster& raster) {
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  return retry_transient([&] { return codec_for(format).prepare(raster); }, retry);
+}
+
+Encoded encode_prepared_retrying(ImageFormat format, const Codec::Prepared& prep, int quality) {
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  return retry_transient([&] { return codec_for(format).encode_prepared(prep, quality); },
+                         retry);
 }
 
 }  // namespace
@@ -134,15 +148,25 @@ const PlaneF& VariantLadder::original_luma() const {
   return *original_luma_;
 }
 
-ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality,
-                                    const obs::RequestContext& ctx) const {
-  ctx.check("imaging.measure");
-  const Raster reduced = reduce_resolution(asset_->original, scale);
-  Encoded enc = [&] {
-    AW4A_SPAN(ctx, encode_span_name(format));
-    return encode_retrying(format, reduced, quality);
-  }();
-  const Raster shown = redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
+const Raster& VariantLadder::reduced_raster(double scale) const {
+  for (const auto& [s, raster] : reduced_cache_) {
+    if (s == scale) return raster;
+  }
+  reduced_cache_.emplace_back(scale, reduce_resolution(asset_->original, scale));
+  return reduced_cache_.back().second;
+}
+
+ImageVariant VariantLadder::finish_measurement(const Encoded& enc, ImageFormat format,
+                                               double scale, int quality,
+                                               const obs::RequestContext& ctx) const {
+  // Full-resolution variants need no redisplay; alias the decoded raster
+  // instead of copying it (quality ladders hit this once per rung).
+  const bool full_res = enc.decoded.width() == asset_->original.width() &&
+                        enc.decoded.height() == asset_->original.height();
+  const Raster resized =
+      full_res ? Raster()
+               : redisplay(enc.decoded, asset_->original.width(), asset_->original.height());
+  const Raster& shown = full_res ? enc.decoded : resized;
   ImageVariant v;
   v.format = format;
   v.scale = scale;
@@ -157,6 +181,28 @@ ImageVariant VariantLadder::measure(ImageFormat format, double scale, int qualit
     v.ssim = compare_images(original_luma(), luma_plane(shown), options_.metric);
   }
   return v;
+}
+
+ImageVariant VariantLadder::measure(ImageFormat format, double scale, int quality,
+                                    const obs::RequestContext& ctx) const {
+  ctx.check("imaging.measure");
+  const Raster& reduced = reduced_raster(scale);
+  Encoded enc = [&] {
+    AW4A_SPAN(ctx, encode_span_name(format));
+    return encode_retrying(format, reduced, quality);
+  }();
+  return finish_measurement(enc, format, scale, quality, ctx);
+}
+
+ImageVariant VariantLadder::measure_prepared(ImageFormat format, const Codec::Prepared& prep,
+                                             double scale, int quality,
+                                             const obs::RequestContext& ctx) const {
+  ctx.check("imaging.measure");
+  Encoded enc = [&] {
+    AW4A_SPAN(ctx, encode_span_name(format));
+    return encode_prepared_retrying(format, prep, quality);
+  }();
+  return finish_measurement(enc, format, scale, quality, ctx);
 }
 
 const std::vector<ImageVariant>& VariantLadder::resolution_family(
@@ -185,9 +231,20 @@ const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat forma
   if (!slot) {
     std::vector<ImageVariant> family;
     if (format != ImageFormat::kPng) {  // PNG is lossless: no quality knob
+      // Encode-once ladder: every rung shares one full-resolution raster, so
+      // the quality-independent work (color conversion + forward DCT) runs
+      // once — created lazily at the first rung so an all-skipped ladder
+      // pays nothing. encode_prepared() is bit-identical to encode(), per
+      // the Codec contract.
+      Codec::PreparedPtr prep;
       for (int q : options_.quality_steps) {
         if (q >= asset_->ship_quality) continue;  // upcoding never helps
-        ImageVariant v = measure(format, 1.0, q, ctx);
+        if (!prep) {
+          ctx.check("imaging.quality_family");
+          AW4A_SPAN(ctx, "encode.prepare");
+          prep = prepare_retrying(format, reduced_raster(1.0));
+        }
+        ImageVariant v = measure_prepared(format, *prep, 1.0, q, ctx);
         const double ssim_v = v.ssim;
         family.push_back(std::move(v));
         if (ssim_v < options_.min_ssim) break;

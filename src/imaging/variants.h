@@ -119,7 +119,10 @@ class VariantLadder {
       ImageFormat format, const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Quality family at full resolution in `format` (lossy formats only; for
-  /// PNG this returns just the original since PNG is lossless).
+  /// PNG this returns just the original since PNG is lossless). The rungs
+  /// share one Codec::prepare() of the full-resolution raster, so the
+  /// forward DCT runs once for the whole family; outputs are bit-identical
+  /// to per-rung single-shot encodes.
   const std::vector<ImageVariant>& quality_family(
       ImageFormat format, const obs::RequestContext& ctx = obs::RequestContext::none());
 
@@ -157,14 +160,34 @@ class VariantLadder {
   ImageVariant measure(ImageFormat format, double scale, int quality,
                        const obs::RequestContext& ctx) const;
 
+  /// measure() with the encode split at the Codec prepare/encode_prepared
+  /// seam: `prep` must come from codec_for(format).prepare() on the raster
+  /// the variant represents. quality_family() uses this to run the forward
+  /// DCT once per ladder instead of once per rung.
+  ImageVariant measure_prepared(ImageFormat format, const Codec::Prepared& prep, double scale,
+                                int quality, const obs::RequestContext& ctx) const;
+
+  /// Shared tail of measure()/measure_prepared(): redisplay, page-scale
+  /// bytes, SSIM vs the cached original luma.
+  ImageVariant finish_measurement(const Encoded& enc, ImageFormat format, double scale,
+                                  int quality, const obs::RequestContext& ctx) const;
+
   /// Luma of the original, extracted on first use: every variant measurement
   /// compares against the same original, so its luma is computed once per
   /// ladder instead of once per measure() call.
   const PlaneF& original_luma() const;
 
+  /// The original reduced to `scale`, memoized per distinct scale: the three
+  /// per-format resolution families (and any solver probe) revisit the same
+  /// scale steps, so each box-resize runs once per ladder instead of once
+  /// per format. Keyed by the exact scale double — families derive scales
+  /// from identical arithmetic, so equality comparison is sound.
+  const Raster& reduced_raster(double scale) const;
+
   std::shared_ptr<const SourceImage> asset_;
   LadderOptions options_;
   mutable std::optional<PlaneF> original_luma_;
+  mutable std::vector<std::pair<double, Raster>> reduced_cache_;
   std::optional<std::vector<ImageVariant>> res_family_[3];
   std::optional<std::vector<ImageVariant>> qual_family_[3];
   std::optional<ImageVariant> webp_full_;

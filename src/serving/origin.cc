@@ -7,6 +7,7 @@
 
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/thread_pool.h"
 
 namespace aw4a::serving {
 namespace {
@@ -397,6 +398,18 @@ std::string OriginServer::stats_json() const {
   histogram_json(json, "ssim_seconds", m.ssim_seconds);
   histogram_json(json, "encode_seconds", m.encode_seconds);
   json.end();
+  // The shared worker pool prewarm builds run on. Counters are process-wide
+  // (one pool serves every origin), which is what an operator debugging
+  // "why is this box slow" wants to see anyway.
+  {
+    const util::ThreadPool::Stats p = util::ThreadPool::shared().stats();
+    json.begin("thread_pool");
+    json.field("threads", static_cast<std::uint64_t>(p.threads));
+    json.field("tasks_submitted", p.submitted);
+    json.field("tasks_executed", p.executed);
+    json.field("tasks_stolen", p.stolen);
+    json.end();
+  }
   histogram_json(json, "served_page_bytes", m.served_page_bytes);
   json.end();
   return json.take();

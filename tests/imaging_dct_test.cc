@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "imaging/raster.h"
 #include "util/rng.h"
 
 namespace aw4a::imaging {
@@ -63,6 +64,131 @@ TEST(Dct, HorizontalCosineHitsSingleCoefficient) {
   }
   EXPECT_EQ(nonzero, 1);
   EXPECT_GT(std::abs(freq[3]), 1.0f);  // row v=0, column u=3
+}
+
+// --- Fast kernels: pinned against the scalar reference. ---
+
+TEST(DctFast, ForwardMatchesReferenceWithinPinnedBound) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block8 block{};
+    for (auto& v : block) v = static_cast<float>(rng.uniform(-128, 128));
+    const Block8 expected = dct8x8(block);
+    Block8 fast{};
+    fdct8x8_fast(block.data(), fast.data());
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_NEAR(fast[i], expected[i], 1e-6f) << "coefficient " << i;
+    }
+  }
+}
+
+TEST(DctFast, InverseMatchesReferenceWithinPinnedBound) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block8 freq{};
+    for (auto& v : freq) v = static_cast<float>(rng.uniform(-1024, 1024));
+    const Block8 expected = idct8x8(freq);
+    Block8 fast{};
+    idct8x8_fast(freq.data(), fast.data());
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_NEAR(fast[i], expected[i], 1e-6f) << "sample " << i;
+    }
+  }
+}
+
+TEST(DctFast, RoundTripIsIdentity) {
+  Rng rng(5);
+  Block8 block{};
+  for (auto& v : block) v = static_cast<float>(rng.uniform(-128, 128));
+  Block8 freq{};
+  Block8 rec{};
+  fdct8x8_fast(block.data(), freq.data());
+  idct8x8_fast(freq.data(), rec.data());
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(rec[i], block[i], 1e-3f);
+}
+
+// forward_dct_plane must reproduce the single-shot encoder's per-block
+// extraction exactly: interior blocks read rows directly, edge blocks
+// clamp-pad — both against the same reference transform.
+TEST(DctFast, ForwardPlaneMatchesPerBlockReference) {
+  Rng rng(6);
+  PlaneF plane(21, 13);  // deliberately not multiples of 8: edge blocks on both axes
+  for (auto& v : plane.v) v = static_cast<float>(rng.uniform(0, 255));
+
+  const float bias = -128.0f;
+  const CoeffPlane coeffs = forward_dct_plane(plane, bias);
+  ASSERT_EQ(coeffs.blocks_w, 3);
+  ASSERT_EQ(coeffs.blocks_h, 2);
+  ASSERT_EQ(coeffs.coeffs.size(), 64u * 3 * 2);
+
+  for (int by = 0; by < coeffs.blocks_h; ++by) {
+    for (int bx = 0; bx < coeffs.blocks_w; ++bx) {
+      Block8 block{};
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          block[y * 8 + x] = plane.at_clamped(bx * 8 + x, by * 8 + y) + bias;
+        }
+      }
+      const Block8 expected = dct8x8(block);
+      const float* got = coeffs.block(bx, by);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_NEAR(got[i], expected[i], 1e-6f)
+            << "block (" << bx << "," << by << ") coefficient " << i;
+      }
+    }
+  }
+}
+
+// The DC-only specialization must be *bit-identical* to the general fast
+// kernel (the encoder swaps it in per block, and golden outputs pin the
+// reconstruction exactly) — so EXPECT_EQ, not NEAR. Negative, zero, and
+// large DC values cover the sign/zero cases of the exactness argument.
+TEST(DctFast, DcOnlyMatchesGeneralKernelBitExactly) {
+  const float dcs[] = {0.0f, 1.0f, -1.0f, 16.0f, -240.0f, 1016.0f, -1016.0f, 3.0f};
+  for (const float dc : dcs) {
+    Block8 freq{};
+    freq[0] = dc;
+    Block8 general{};
+    idct8x8_fast(freq.data(), general.data());
+    Block8 dconly{};
+    idct8x8_dconly_fast(dc, dconly.data());
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(dconly[i], general[i]) << "dc " << dc << " sample " << i;
+    }
+  }
+}
+
+// The sparsity-masked kernel must also be bit-identical to the general one
+// for any correct mask. Random blocks at several sparsity levels exercise
+// partial row/column masks; the all-nonzero draw degenerates to full masks.
+TEST(DctFast, MaskedMatchesGeneralKernelBitExactly) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // keep_per_64 sweeps from very sparse (DC-ish) to fully dense.
+    const int keep_per_64 = 1 + trial % 64;
+    Block8 freq{};
+    for (int i = 0; i < 64; ++i) {
+      if (rng.uniform(0, 63) < keep_per_64) {
+        freq[i] = static_cast<float>(rng.uniform(-1016, 1016));
+      }
+    }
+    unsigned row_mask = 0;
+    unsigned col_mask = 0;
+    for (int i = 0; i < 64; ++i) {
+      const unsigned nz = freq[i] != 0.0f;
+      row_mask |= nz << (i >> 3);
+      col_mask |= nz << (i & 7);
+    }
+    Block8 general{};
+    idct8x8_fast(freq.data(), general.data());
+    Block8 masked{};
+    idct8x8_fast_masked(freq.data(), masked.data(), row_mask, col_mask);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(masked[i], general[i])
+          << "trial " << trial << " sample " << i << " row_mask " << row_mask
+          << " col_mask " << col_mask;
+    }
+  }
 }
 
 }  // namespace

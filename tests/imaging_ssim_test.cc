@@ -169,5 +169,55 @@ TEST(SsimEquivalence, LargePlaneDense) {
   EXPECT_NEAR(ssim(a, b, dense), ssim_reference(a, b, dense), 1e-9);
 }
 
+// --- Integral-vs-direct dispatch (the strided-SSIM regression fix) ---
+
+TEST(SsimDispatch, BenchPlaneCrossesOverBetweenStride4AndStride1) {
+  // The calibration case: on the 448x336 bench plane with the 8x8 window,
+  // stride 4 visits 1/16th of the window positions and the direct path wins
+  // (measured 0.78ms vs 1.06ms); dense stride 1 amortizes the tables.
+  EXPECT_FALSE(ssim_uses_integral(448, 336, SsimOptions{.window = 8, .stride = 4}));
+  EXPECT_TRUE(ssim_uses_integral(448, 336, SsimOptions{.window = 8, .stride = 1}));
+  EXPECT_TRUE(ssim_uses_integral(448, 336, SsimOptions{.window = 8, .stride = 2}));
+}
+
+TEST(SsimDispatch, TinyPlanesWhereEveryPixelIsWindowedUseIntegral) {
+  // Stride 1 on any plane touches every pixel win^2 times directly; tables
+  // always win there regardless of plane size.
+  EXPECT_TRUE(ssim_uses_integral(16, 16, SsimOptions{.window = 8, .stride = 1}));
+  EXPECT_TRUE(ssim_uses_integral(64, 64, SsimOptions{.window = 8, .stride = 1}));
+}
+
+TEST(SsimDispatch, VerySparseGridsUseDirect) {
+  EXPECT_FALSE(ssim_uses_integral(448, 336, SsimOptions{.window = 8, .stride = 16}));
+  EXPECT_FALSE(ssim_uses_integral(1024, 768, SsimOptions{.window = 8, .stride = 32}));
+}
+
+TEST(SsimDispatch, DirectPathIsBitIdenticalToReference) {
+  // The direct path may run four windows per AVX2 register; every lane must
+  // execute the reference's chains in the reference's order, so equality is
+  // exact — EXPECT_EQ on the doubles, not a tolerance. Sizes exercise the
+  // vector groups, the scalar remainder (width not a multiple of 4 windows),
+  // and the clamped tail window on both axes.
+  for (const auto& [w, h] : {std::pair{160, 120}, {163, 121}, {57, 43}, {448, 336}}) {
+    const auto [a, b] = correlated_planes(w, h, 31);
+    for (const int stride : {3, 4, 7, 16}) {
+      const SsimOptions opts{.window = 8, .stride = stride};
+      if (ssim_uses_integral(w, h, opts)) continue;  // direct path only
+      EXPECT_EQ(ssim(a, b, opts), ssim_reference(a, b, opts))
+          << w << "x" << h << " stride " << stride;
+    }
+  }
+}
+
+TEST(SsimDispatch, BothSidesOfTheCrossoverAgreeNumerically) {
+  // The dispatch must be invisible except as time: pin agreement right at
+  // the strides where the path flips on a realistic plane.
+  const auto [a, b] = correlated_planes(160, 120, 9);
+  for (const int stride : {1, 2, 4, 8}) {
+    const SsimOptions opts{.window = 8, .stride = stride};
+    EXPECT_NEAR(ssim(a, b, opts), ssim_reference(a, b, opts), 1e-9) << "stride " << stride;
+  }
+}
+
 }  // namespace
 }  // namespace aw4a::imaging

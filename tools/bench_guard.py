@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the committed bench JSON trajectories.
+
+Compares a freshly produced bench JSON (list of {name, unit, value} entries)
+against the committed copy and fails when a guarded metric regressed beyond
+the tolerance. Direction is inferred from the unit: for time-like units
+(ms, s) and counts lower is better, for rate-like units (req_per_s, x,
+ratio) higher is better.
+
+Only metrics named on the command line are guarded — the rest of the file is
+trajectory, not contract. Machine noise is absorbed by the default 25%
+tolerance; a genuine algorithmic regression (the integral-SSIM build, the
+factored-DCT ladder, the single-flight cache) overshoots it by design.
+
+Usage:
+  tools/bench_guard.py --committed BENCH_pipeline.json --fresh /tmp/fresh.json \
+      --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
+  tools/bench_guard.py ... --tolerance 0.25
+
+Exit codes: 0 ok, 1 regression, 2 usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_UNITS = {"ms", "s", "count", "bytes"}
+HIGHER_IS_BETTER_UNITS = {"req_per_s", "x", "ratio"}
+
+
+def load_entries(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_guard: cannot read {path}: {e}")
+    entries = {}
+    for entry in data:
+        if not isinstance(entry, dict) or "name" not in entry or "value" not in entry:
+            sys.exit(f"bench_guard: malformed entry in {path}: {entry!r}")
+        entries[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    return entries
+
+
+def check_metric(name, committed, fresh, tolerance):
+    """Returns an error string, or None if the metric is within tolerance."""
+    if name not in committed:
+        return f"{name}: not present in committed baseline"
+    if name not in fresh:
+        return f"{name}: not present in fresh results"
+    committed_value, unit = committed[name]
+    fresh_value, fresh_unit = fresh[name]
+    if unit and fresh_unit and unit != fresh_unit:
+        return f"{name}: unit changed ({unit} -> {fresh_unit})"
+
+    if unit in HIGHER_IS_BETTER_UNITS:
+        floor = committed_value * (1.0 - tolerance)
+        if fresh_value < floor:
+            return (f"{name}: {fresh_value:g} {unit} fell below {floor:g} "
+                    f"(committed {committed_value:g}, tolerance {tolerance:.0%})")
+    elif unit in LOWER_IS_BETTER_UNITS:
+        ceiling = committed_value * (1.0 + tolerance)
+        if fresh_value > ceiling:
+            return (f"{name}: {fresh_value:g} {unit} exceeded {ceiling:g} "
+                    f"(committed {committed_value:g}, tolerance {tolerance:.0%})")
+    else:
+        return f"{name}: unknown unit '{unit}' (cannot infer direction)"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--committed", required=True, help="baseline JSON (committed)")
+    parser.add_argument("--fresh", required=True, help="freshly measured JSON")
+    parser.add_argument("--metric", action="append", default=[], required=True,
+                        help="metric name to guard (repeatable)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+    if not 0.0 < args.tolerance < 1.0:
+        sys.exit("bench_guard: --tolerance must be in (0, 1)")
+
+    committed = load_entries(args.committed)
+    fresh = load_entries(args.fresh)
+
+    failures = []
+    for name in args.metric:
+        error = check_metric(name, committed, fresh, args.tolerance)
+        committed_value = committed.get(name, (float("nan"),))[0]
+        fresh_value = fresh.get(name, (float("nan"),))[0]
+        status = "FAIL" if error else "ok"
+        print(f"bench_guard: {status:4s} {name}: committed {committed_value:g}, "
+              f"fresh {fresh_value:g}")
+        if error:
+            failures.append(error)
+
+    if failures:
+        for failure in failures:
+            print(f"bench_guard: REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_guard: {len(args.metric)} metric(s) within "
+          f"{args.tolerance:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,10 +26,24 @@ cmake --build build-tsan -j --target serving_test serving_stress_test >/dev/null
 (cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test)$')
 
 # Release-mode perf smoke: the cold-build fast path must keep its speedups
-# (bench_perf_pipeline exits nonzero if any build mode or the integral SSIM
-# diverges from the reference) and refresh the perf trajectory at repo root.
+# (bench_perf_pipeline exits nonzero if any build mode, the integral SSIM, or
+# the factored encode ladder diverges from its reference). Fresh numbers are
+# measured into a scratch file first and gated against the committed
+# trajectory by bench_guard (>25% regression on a guarded metric fails the
+# gate); only then do they overwrite the repo-root JSONs.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j --target bench_perf_pipeline >/dev/null
-./build-perf/bench/bench_perf_pipeline --repeat=2 --json=BENCH_pipeline.json
+cmake --build build-perf -j --target bench_perf_pipeline bench_serve_cache >/dev/null
+fresh_dir="$(mktemp -d)"
+trap 'rm -rf "$fresh_dir"' EXIT
+./build-perf/bench/bench_perf_pipeline --repeat=2 --json="$fresh_dir/BENCH_pipeline.json"
+./build-perf/bench/bench_serve_cache --json="$fresh_dir/BENCH_serving.json"
+python3 tools/bench_guard.py \
+  --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
+  --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
+python3 tools/bench_guard.py \
+  --committed BENCH_serving.json --fresh "$fresh_dir/BENCH_serving.json" \
+  --metric 'cache+single-flight/throughput'
+cp "$fresh_dir/BENCH_pipeline.json" BENCH_pipeline.json
+cp "$fresh_dir/BENCH_serving.json" BENCH_serving.json
 
 echo "tier1: OK"
