@@ -88,6 +88,10 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   out.served_paw_tier = load(served_paw_tier);
   out.served_preference_tier = load(served_preference_tier);
   out.served_degraded = load(served_degraded);
+  out.served_shed_degraded = load(served_shed_degraded);
+  out.ladder_cached = load(ladder_cached);
+  out.ladder_stale = load(ladder_stale);
+  out.ladder_built = load(ladder_built);
   out.stats_requests = load(stats_requests);
   out.trace_requests = load(trace_requests);
   out.not_found = load(not_found);
@@ -98,6 +102,8 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   out.builds_failed = load(builds_failed);
   out.duplicate_builds = load(duplicate_builds);
   out.cache_bypasses = load(cache_bypasses);
+  out.stale_refreshes_queued = load(stale_refreshes_queued);
+  out.stale_refresh_sheds = load(stale_refresh_sheds);
   out.build_seconds = build_seconds.snapshot();
   out.served_page_bytes = served_page_bytes.snapshot();
   out.stage1_seconds = stage_breakdown.stage1.snapshot();

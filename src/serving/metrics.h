@@ -72,7 +72,7 @@ class StageBreakdown final : public obs::SpanSink {
 };
 
 /// Counter totals of one OriginServer in plain ints (see
-/// ServingMetrics::snapshot). The four served_* rows partition the page
+/// ServingMetrics::snapshot). The five served_* rows partition the page
 /// answers; the non-page rows (stats_requests .. internal_errors) account
 /// for the rest of requests_total.
 struct MetricsSnapshot {
@@ -82,6 +82,15 @@ struct MetricsSnapshot {
   std::uint64_t served_paw_tier = 0;
   std::uint64_t served_preference_tier = 0;
   std::uint64_t served_degraded = 0;
+  /// Degraded answers caused by build-queue admission shedding (disjoint
+  /// from served_degraded, which counts build/deadline failures).
+  std::uint64_t served_shed_degraded = 0;
+  // Where the ladder behind each tier answer (paw or preference) came from.
+  // Partition: served_paw_tier + served_preference_tier ==
+  // ladder_cached + ladder_stale + ladder_built.
+  std::uint64_t ladder_cached = 0;  ///< fresh cache hit
+  std::uint64_t ladder_stale = 0;   ///< stale hit (refresh queued behind it)
+  std::uint64_t ladder_built = 0;   ///< built this flight (or cache off/bypassed)
   // Non-page answers.
   std::uint64_t stats_requests = 0;
   std::uint64_t trace_requests = 0;
@@ -97,6 +106,9 @@ struct MetricsSnapshot {
   std::uint64_t duplicate_builds = 0;
   /// Requests that served around the cache after a shard fault.
   std::uint64_t cache_bypasses = 0;
+  // Stale-while-revalidate refresh plane.
+  std::uint64_t stale_refreshes_queued = 0;  ///< detached rebuilds admitted
+  std::uint64_t stale_refresh_sheds = 0;     ///< refreshes refused (rate bound)
   HistogramSnapshot build_seconds;
   HistogramSnapshot served_page_bytes;
   // Per-stage transcode latency (the /aw4a/stats "stage_breakdown" block).
@@ -114,6 +126,10 @@ struct ServingMetrics {
   std::atomic<std::uint64_t> served_paw_tier{0};
   std::atomic<std::uint64_t> served_preference_tier{0};
   std::atomic<std::uint64_t> served_degraded{0};
+  std::atomic<std::uint64_t> served_shed_degraded{0};
+  std::atomic<std::uint64_t> ladder_cached{0};
+  std::atomic<std::uint64_t> ladder_stale{0};
+  std::atomic<std::uint64_t> ladder_built{0};
   std::atomic<std::uint64_t> stats_requests{0};
   std::atomic<std::uint64_t> trace_requests{0};
   std::atomic<std::uint64_t> not_found{0};
@@ -124,6 +140,8 @@ struct ServingMetrics {
   std::atomic<std::uint64_t> builds_failed{0};
   std::atomic<std::uint64_t> duplicate_builds{0};
   std::atomic<std::uint64_t> cache_bypasses{0};
+  std::atomic<std::uint64_t> stale_refreshes_queued{0};
+  std::atomic<std::uint64_t> stale_refresh_sheds{0};
   Histogram build_seconds;
   Histogram served_page_bytes;
   StageBreakdown stage_breakdown;

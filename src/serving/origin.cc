@@ -117,9 +117,11 @@ OriginServer::OriginServer(std::vector<OriginSite> sites, OriginOptions options)
     : cache_enabled_(options.cache_enabled),
       single_flight_(options.single_flight),
       prewarm_workers_(options.prewarm_workers),
+      retry_after_seconds_(options.retry_after_seconds),
       clock_(options.clock ? std::move(options.clock) : std::function<double()>(steady_seconds)),
       cache_(options.cache) {
   AW4A_EXPECTS(prewarm_workers_ >= 0);
+  AW4A_EXPECTS(retry_after_seconds_ >= 0);
   sites_.reserve(sites.size());
   for (OriginSite& origin : sites) {
     origin.host = lower(origin.host);
@@ -131,6 +133,12 @@ OriginServer::OriginServer(std::vector<OriginSite> sites, OriginOptions options)
     const bool unique = by_host_.emplace(site.origin.host, site.id).second;
     AW4A_EXPECTS(unique);
     sites_.push_back(std::move(site));
+  }
+  popularity_ = std::make_unique<std::atomic<std::uint64_t>[]>(sites_.size());
+  if (options.build_queue_enabled) {
+    // One timeline for TTLs, deadlines and queue expiry.
+    if (!options.build_queue.clock) options.build_queue.clock = clock_;
+    queue_ = std::make_unique<BuildQueue>(options.build_queue);
   }
 }
 
@@ -191,17 +199,32 @@ net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) 
   }
   const Site& site = sites_[routed->second];
 
-  const core::ServeOutcome outcome = serve_page(site, request, request_context(site));
-  switch (outcome.served) {
+  const PageAnswer answer = serve_page(site, request, request_context(site));
+  switch (answer.outcome.served) {
     case core::ServeOutcome::Served::kOriginal: bump(metrics_.served_original); break;
     case core::ServeOutcome::Served::kPawTier: bump(metrics_.served_paw_tier); break;
     case core::ServeOutcome::Served::kPreferenceTier:
       bump(metrics_.served_preference_tier);
       break;
-    case core::ServeOutcome::Served::kDegraded: bump(metrics_.served_degraded); break;
+    case core::ServeOutcome::Served::kDegraded:
+      bump(answer.shed ? metrics_.served_shed_degraded : metrics_.served_degraded);
+      break;
   }
-  metrics_.served_page_bytes.record(static_cast<double>(outcome.response.content_length));
-  return outcome.response;
+  // Source counters only for tier answers, keeping the partition exact:
+  // paw_tier + preference_tier == cached + stale + built. (A ladder can be
+  // fetched and the decision still serve the original, e.g. zero savings.)
+  if (answer.outcome.served == core::ServeOutcome::Served::kPawTier ||
+      answer.outcome.served == core::ServeOutcome::Served::kPreferenceTier) {
+    switch (answer.source) {
+      case LadderSource::kNone: break;
+      case LadderSource::kCached: bump(metrics_.ladder_cached); break;
+      case LadderSource::kStale: bump(metrics_.ladder_stale); break;
+      case LadderSource::kBuilt: bump(metrics_.ladder_built); break;
+    }
+  }
+  metrics_.served_page_bytes.record(
+      static_cast<double>(answer.outcome.response.content_length));
+  return answer.outcome.response;
 }
 
 obs::RequestContext OriginServer::request_context(const Site& site) const {
@@ -218,36 +241,68 @@ obs::RequestContext OriginServer::request_context(const Site& site) const {
   return ctx;
 }
 
-core::ServeOutcome OriginServer::serve_page(const Site& site, const net::HttpRequest& request,
-                                            const obs::RequestContext& ctx) const {
+OriginServer::PageAnswer OriginServer::serve_page(const Site& site,
+                                                  const net::HttpRequest& request,
+                                                  const obs::RequestContext& ctx) const {
   if (!request.save_data()) {
     // Laziness is the point: the original needs no ladder, so a site that
     // never sees a data-saving request never pays for a build.
-    return core::answer_page_request(site.origin.page, {}, "", site.origin.plan, request);
+    return {core::answer_page_request(site.origin.page, {}, "", site.origin.plan, request),
+            LadderSource::kNone, false};
   }
+  popularity_[site.id].fetch_add(1, std::memory_order_relaxed);
   LadderPtr ladder;
+  LadderSource source = LadderSource::kNone;
   std::string degraded_reason;
+  bool shed = false;
   try {
-    ladder = ladder_for(site, ctx);
+    ladder = ladder_for(site, ctx, &source);
+  } catch (const Overloaded& e) {
+    // Admission refused: degrade NOW. The whole point of shedding is that
+    // this answer costs no build-plane work at all.
+    shed = true;
+    source = LadderSource::kNone;
+    degraded_reason = e.what();
   } catch (const Error& e) {
+    source = LadderSource::kNone;
     degraded_reason = e.what();
   }
-  return core::answer_page_request(
-      site.origin.page,
-      ladder ? std::span<const core::Tier>(ladder->tiers) : std::span<const core::Tier>{},
-      degraded_reason, site.origin.plan, request);
+  PageAnswer answer{
+      core::answer_page_request(
+          site.origin.page,
+          ladder ? std::span<const core::Tier>(ladder->tiers) : std::span<const core::Tier>{},
+          degraded_reason, site.origin.plan, request),
+      source, shed};
+  if (shed) {
+    answer.outcome.response.headers.push_back(
+        {"Retry-After", std::to_string(retry_after_seconds_)});
+  }
+  return answer;
 }
 
-LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& ctx) const {
+LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& ctx,
+                                   LadderSource* source) const {
   const TierKey key{site.id, site.fingerprint, site.origin.plan};
-  if (!cache_enabled_) return build_ladder(site, ctx);
+  *source = LadderSource::kBuilt;
+  if (!cache_enabled_) return run_build(site, ctx);
   try {
-    if (LadderPtr resident = cache_.fetch(key, clock_(), ctx)) return resident;
+    bool stale = false;
+    if (LadderPtr resident = cache_.fetch(key, clock_(), ctx, &stale)) {
+      if (stale) {
+        // Stale-while-revalidate: answer at cache speed from the old
+        // ladder; the rebuild rides the queue behind this response.
+        maybe_queue_refresh(site, key);
+        *source = LadderSource::kStale;
+      } else {
+        *source = LadderSource::kCached;
+      }
+      return resident;
+    }
   } catch (const TransientError&) {
     // Shard poisoned: serve around the cache rather than failing the
     // request. The build is not shared, but the user still gets a tier.
     bump(metrics_.cache_bypasses);
-    return build_ladder(site, ctx);
+    return run_build(site, ctx);
   }
   const auto build_and_admit = [&](const obs::RequestContext& build_ctx) -> LadderPtr {
     // Double-check on entry: between our miss and winning the flight (or,
@@ -258,9 +313,9 @@ LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& 
       if (LadderPtr resident = cache_.fetch(key, clock_(), build_ctx)) return resident;
     } catch (const TransientError&) {
       bump(metrics_.cache_bypasses);
-      return build_ladder(site, build_ctx);
+      return run_build(site, build_ctx);
     }
-    LadderPtr built = build_ladder(site, build_ctx);
+    LadderPtr built = run_build(site, build_ctx);
     try {
       if (!cache_.insert(key, built, clock_(), build_ctx)) bump(metrics_.duplicate_builds);
     } catch (const TransientError&) {
@@ -270,7 +325,10 @@ LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& 
   };
   if (single_flight_) {
     // The leader builds under the flight's live deadline union (joiners
-    // CAS-max their own deadlines in), not just its own budget.
+    // CAS-max their own deadlines in), not just its own budget. Admission
+    // happens inside the flight: joiners of an already-admitted build
+    // piggyback on it, and a shed fails the whole flight to the degraded
+    // path at once (Overloaded propagates to every member).
     return flight_.run(
         key,
         [&](const std::atomic<double>& shared_deadline) {
@@ -279,6 +337,55 @@ LadderPtr OriginServer::ladder_for(const Site& site, const obs::RequestContext& 
         ctx.deadline_at());
   }
   return build_and_admit(ctx);
+}
+
+LadderPtr OriginServer::run_build(const Site& site, const obs::RequestContext& ctx) const {
+  if (queue_ == nullptr) return build_ladder(site, ctx);
+  const std::uint64_t popularity = popularity_[site.id].load(std::memory_order_relaxed);
+  // Capture by reference is safe: run() blocks this thread until the queued
+  // build completed (or throws before it ever runs).
+  return queue_->run(popularity, ctx, [&] { return build_ladder(site, ctx); });
+}
+
+void OriginServer::maybe_queue_refresh(const Site& site, const TierKey& key) const {
+  if (queue_ == nullptr) return;  // stale entries then just serve until TTL
+  {
+    const std::lock_guard lock(refresh_mutex_);
+    if (!refresh_pending_.insert(key).second) return;  // rebuild already queued
+  }
+  const auto abandon = [&] {
+    bump(metrics_.stale_refresh_sheds);
+    const std::lock_guard lock(refresh_mutex_);
+    refresh_pending_.erase(key);
+  };
+  // Bounded re-admission: refreshes only use the queue's spare half, so a
+  // mass invalidation competes with at most half the build plane and cold
+  // sites always have headroom. Shed refreshes cost nothing — the stale
+  // ladder keeps serving, and the next stale hit retries.
+  if (queue_->depth() * 2 >= queue_->capacity()) {
+    abandon();
+    return;
+  }
+  const obs::RequestContext refresh_ctx = request_context(site);
+  const bool admitted = queue_->submit_detached(
+      popularity_[site.id].load(std::memory_order_relaxed), refresh_ctx,
+      [this, &site, refresh_ctx] { return build_ladder(site, refresh_ctx); },
+      [this, key](LadderPtr built) {
+        if (built != nullptr) {
+          try {
+            cache_.replace(key, built, clock_());
+          } catch (const TransientError&) {
+            bump(metrics_.cache_bypasses);
+          }
+        }
+        const std::lock_guard lock(refresh_mutex_);
+        refresh_pending_.erase(key);
+      });
+  if (admitted) {
+    bump(metrics_.stale_refreshes_queued);
+  } else {
+    abandon();
+  }
 }
 
 LadderPtr OriginServer::build_ladder(const Site& site, const obs::RequestContext& ctx) const {
@@ -313,13 +420,14 @@ net::HttpResponse OriginServer::trace_response(const net::HttpRequest& request,
   const obs::RequestContext ctx = request_context(site).with_trace(&buffer);
   net::HttpRequest probe = request;
   probe.path = "/";
-  const core::ServeOutcome outcome = serve_page(site, probe, ctx);
+  const PageAnswer answer = serve_page(site, probe, ctx);
 
   JsonWriter json;
   json.begin();
   json.field("host", site.origin.host);
   json.field("save_data", probe.save_data());
-  json.field("served", std::string(served_label(outcome.served)));
+  json.field("served", std::string(served_label(answer.outcome.served)));
+  json.field("shed", answer.shed);
   json.field("span_count", static_cast<std::uint64_t>(buffer.size()));
   json.raw_field("spans", buffer.to_json());
   json.end();
@@ -335,7 +443,12 @@ net::HttpResponse OriginServer::trace_response(const net::HttpRequest& request,
 std::size_t OriginServer::invalidate_host(std::string_view host) {
   const auto routed = by_host_.find(lower(host));
   if (routed == by_host_.end()) return 0;
-  return cache_.invalidate_site(sites_[routed->second].id);
+  const std::uint64_t site_id = sites_[routed->second].id;
+  // With a build plane, a content push must not turn into a cold-cache
+  // stampede: flag the entries stale (they keep serving) and let stale hits
+  // re-admit rebuilds at the queue's bounded refresh rate.
+  if (queue_ != nullptr) return cache_.mark_stale_site(site_id);
+  return cache_.invalidate_site(site_id);
 }
 
 net::HttpResponse OriginServer::stats_response() const {
@@ -360,6 +473,7 @@ std::string OriginServer::stats_json() const {
   json.field("paw_tier", m.served_paw_tier);
   json.field("preference_tier", m.served_preference_tier);
   json.field("degraded", m.served_degraded);
+  json.field("shed_degraded", m.served_shed_degraded);
   json.field("stats", m.stats_requests);
   json.field("trace", m.trace_requests);
   json.field("not_found", m.not_found);
@@ -379,9 +493,16 @@ std::string OriginServer::stats_json() const {
   json.field("expirations", c.expirations);
   json.field("invalidations", c.invalidations);
   json.field("admission_rejects", c.admission_rejects);
+  json.field("stale_marks", c.stale_marks);
+  json.field("stale_hits", c.stale_hits);
   json.field("resident_entries", c.resident_entries);
   json.field("resident_bytes", c.resident_bytes);
   json.field("bypasses", m.cache_bypasses);
+  json.end();
+  json.begin("ladder_sources");
+  json.field("cached", m.ladder_cached);
+  json.field("stale", m.ladder_stale);
+  json.field("built", m.ladder_built);
   json.end();
   json.begin("builds");
   json.field("started", m.builds_started);
@@ -392,6 +513,26 @@ std::string OriginServer::stats_json() const {
   json.field("joins", f.joins);
   histogram_json(json, "latency_seconds", m.build_seconds);
   json.end();
+  {
+    // The build plane: admission, shedding, and time-in-queue. All zeros
+    // when the queue is disabled (the enabled flag disambiguates).
+    const BuildQueueStats q = queue_ ? queue_->stats() : BuildQueueStats{};
+    json.begin("build_queue");
+    json.field("enabled", queue_ != nullptr);
+    json.field("capacity", static_cast<std::uint64_t>(queue_ ? queue_->capacity() : 0));
+    json.field("workers", static_cast<std::uint64_t>(queue_ ? queue_->workers() : 0));
+    json.field("admitted", q.admitted);
+    json.field("shed", q.shed);
+    json.field("expired", q.expired);
+    json.field("completed", q.completed);
+    json.field("failed", q.failed);
+    json.field("depth", q.depth);
+    json.field("running", q.running);
+    json.field("stale_refreshes_queued", m.stale_refreshes_queued);
+    json.field("stale_refresh_sheds", m.stale_refresh_sheds);
+    histogram_json(json, "queue_wait_seconds", q.queue_wait_seconds);
+    json.end();
+  }
   json.begin("stage_breakdown");
   histogram_json(json, "stage1_seconds", m.stage1_seconds);
   histogram_json(json, "stage2_seconds", m.stage2_seconds);

@@ -31,16 +31,30 @@
 // request retries); a faulted cache shard ("serving.cache.shard") is
 // bypassed, trading duplicate build work for availability; a failed build
 // leader ("serving.build.leader") fails its whole flight once, degraded.
+//
+// Overload safety (the build plane, DESIGN.md §11): ladder builds run
+// through a bounded serving::BuildQueue instead of inline in the request
+// thread. When the queue saturates, the flight is SHED — the request gets
+// the degraded original immediately (200, `AW4A-Tier: none`,
+// `AW4A-Degraded`, plus a `Retry-After` hint), never a 5xx and never an
+// unbounded wait. invalidate_host becomes stale-while-revalidate: resident
+// ladders are flagged stale and keep serving at cache speed while detached
+// rebuilds are re-admitted at a bounded rate (at most half the queue), so a
+// mass invalidation cannot stampede the build plane.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/server.h"
+#include "serving/build_queue.h"
 #include "serving/metrics.h"
 #include "serving/single_flight.h"
 #include "serving/tier_cache.h"
@@ -71,6 +85,16 @@ struct OriginOptions {
   /// wins). Purely a build-latency knob: ladder contents are bit-identical
   /// either way, so it is not part of the cache key fingerprint.
   int prewarm_workers = 0;
+  /// Off: builds run inline in the flight leader's thread with no admission
+  /// control (the pre-queue behavior), and invalidate_host drops entries
+  /// instead of marking them stale.
+  bool build_queue_enabled = true;
+  /// Bounds and concurrency of the build plane. `build_queue.clock` is
+  /// filled from `clock` when unset, so injectable-clock tests drive queue
+  /// expiry and TTLs off one timeline.
+  BuildQueueOptions build_queue;
+  /// The Retry-After hint (seconds) attached to shed responses.
+  int retry_after_seconds = 1;
 };
 
 class OriginServer {
@@ -86,14 +110,21 @@ class OriginServer {
   /// Answers one request. Safe to call from many threads; never throws.
   net::HttpResponse handle(const net::HttpRequest& request) const;
 
-  /// Drops the cached ladders of one host (content push). Returns the
-  /// number of cache entries dropped; 0 for an unknown host.
+  /// Content push for one host. With the build queue on this is
+  /// stale-while-revalidate: cached ladders are flagged stale (still
+  /// served; rebuilds re-admitted at a bounded rate) and the count of
+  /// flagged entries is returned. With the queue off it hard-drops the
+  /// entries, as before. 0 for an unknown host.
   std::size_t invalidate_host(std::string_view host);
 
   std::size_t site_count() const { return sites_.size(); }
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   TierCacheStats cache_stats() const { return cache_.stats(); }
   SingleFlightStats single_flight_stats() const { return flight_.stats(); }
+  /// Zeroed stats when the queue is disabled.
+  BuildQueueStats build_queue_stats() const {
+    return queue_ ? queue_->stats() : BuildQueueStats{};
+  }
 
   /// The /aw4a/stats body: one JSON object over metrics(), cache_stats()
   /// and single_flight_stats().
@@ -106,6 +137,15 @@ class OriginServer {
     std::uint64_t fingerprint = 0;  ///< config_fingerprint(origin.config)
   };
 
+  /// Where a page answer's ladder came from (kNone for original/degraded
+  /// answers) — drives the ladder_cached/stale/built counters.
+  enum class LadderSource { kNone, kCached, kStale, kBuilt };
+  struct PageAnswer {
+    core::ServeOutcome outcome;
+    LadderSource source = LadderSource::kNone;
+    bool shed = false;  ///< degraded by queue admission, not by failure
+  };
+
   net::HttpResponse handle_checked(const net::HttpRequest& request) const;
   net::HttpResponse stats_response() const;
   net::HttpResponse trace_response(const net::HttpRequest& request, const Site& site) const;
@@ -113,25 +153,44 @@ class OriginServer {
   /// span sink wired to metrics_.stage_breakdown.
   obs::RequestContext request_context(const Site& site) const;
   /// The Fig. 6 page answer for one site (original fast path, or ladder via
-  /// cache + single-flight). Bumps no served_* counters — handle_checked
-  /// does, so the trace endpoint can reuse this without skewing them.
-  core::ServeOutcome serve_page(const Site& site, const net::HttpRequest& request,
-                                const obs::RequestContext& ctx) const;
-  /// Cache -> single-flight -> build. Throws aw4a::Error when the build
+  /// cache + single-flight + queue). Bumps no served_* counters —
+  /// handle_checked does, so the trace endpoint can reuse this without
+  /// skewing them.
+  PageAnswer serve_page(const Site& site, const net::HttpRequest& request,
+                        const obs::RequestContext& ctx) const;
+  /// Cache -> single-flight -> queue admission -> build. Throws Overloaded
+  /// when the queue shed the flight, any other aw4a::Error when the build
   /// (or its flight leader) failed; the caller degrades per request.
-  LadderPtr ladder_for(const Site& site, const obs::RequestContext& ctx) const;
+  LadderPtr ladder_for(const Site& site, const obs::RequestContext& ctx,
+                       LadderSource* source) const;
+  /// The queue-admission gate in front of build_ladder: with the queue on,
+  /// the build runs on a pool worker under admission control (Overloaded on
+  /// shed); with it off, inline in this thread.
+  LadderPtr run_build(const Site& site, const obs::RequestContext& ctx) const;
   /// One real pipeline build, metered. Throws on failure.
   LadderPtr build_ladder(const Site& site, const obs::RequestContext& ctx) const;
+  /// Queues a detached stale-entry rebuild unless one is already pending for
+  /// `key` or the queue is past its refresh watermark (half full).
+  void maybe_queue_refresh(const Site& site, const TierKey& key) const;
 
   std::vector<Site> sites_;
   std::unordered_map<std::string, std::size_t> by_host_;
   bool cache_enabled_;
   bool single_flight_;
   int prewarm_workers_;
+  int retry_after_seconds_;
   std::function<double()> clock_;
   mutable TierCache cache_;
   mutable SingleFlight<TierKey, TierLadder, TierKeyHash> flight_;
   mutable ServingMetrics metrics_;
+  /// Per-site save-data request counts: the queue's popularity ordering.
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> popularity_;
+  /// Keys with a detached refresh in flight (dedupe: one rebuild per key).
+  mutable std::mutex refresh_mutex_;
+  mutable std::unordered_set<TierKey, TierKeyHash> refresh_pending_;
+  /// Declared last on purpose: destroyed first, so draining queue jobs can
+  /// still touch the cache, metrics and sites they reference.
+  mutable std::unique_ptr<BuildQueue> queue_;
 };
 
 }  // namespace aw4a::serving

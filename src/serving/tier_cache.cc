@@ -63,6 +63,8 @@ TierCacheStats& TierCacheStats::operator+=(const TierCacheStats& other) {
   expirations += other.expirations;
   invalidations += other.invalidations;
   admission_rejects += other.admission_rejects;
+  stale_marks += other.stale_marks;
+  stale_hits += other.stale_hits;
   resident_entries += other.resident_entries;
   resident_bytes += other.resident_bytes;
   return *this;
@@ -79,9 +81,22 @@ TierCache::Shard& TierCache::shard_of(const TierKey& key) {
   return shards_[TierKeyHash{}(key) & (shards_.size() - 1)];
 }
 
+double TierCache::effective_ttl(const TierKey& key) const {
+  if (options_.ttl_seconds <= 0.0) return 0.0;
+  if (options_.ttl_jitter <= 0.0) return options_.ttl_seconds;
+  // Remix the key hash (not the raw shard hash — its low bits pick the
+  // shard) into a uniform in [0, 1), then spread the lifetime across
+  // [1 - jitter, 1 + jitter]. Pure in the key: an entry's lifetime never
+  // moves between fetches, it just differs from its neighbors'.
+  const std::uint64_t h = mix(0x6a69747465726564ULL, TierKeyHash{}(key));
+  const double uniform = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return options_.ttl_seconds * (1.0 + options_.ttl_jitter * (2.0 * uniform - 1.0));
+}
+
 LadderPtr TierCache::fetch(const TierKey& key, double now_seconds,
-                           const obs::RequestContext& ctx) {
+                           const obs::RequestContext& ctx, bool* stale_out) {
   AW4A_SPAN(ctx, "serving.cache.fetch");
+  if (stale_out != nullptr) *stale_out = false;
   // Outside the lock: a poisoned shard fails the lookup, never deadlocks it.
   AW4A_FAULT_POINT("serving.cache.shard");
   Shard& shard = shard_of(key);
@@ -91,15 +106,38 @@ LadderPtr TierCache::fetch(const TierKey& key, double now_seconds,
     ++shard.counters.misses;
     return nullptr;
   }
-  if (options_.ttl_seconds > 0.0 &&
-      now_seconds - resident->inserted_at >= options_.ttl_seconds) {
+  const double ttl = effective_ttl(key);
+  if (ttl > 0.0 && now_seconds - resident->inserted_at >= ttl) {
+    // TTL outranks staleness: a stale entry whose refresh never landed
+    // (queue kept shedding, builds kept failing) still ages out.
     shard.lru.erase(key);
     ++shard.counters.expirations;
     ++shard.counters.misses;
     return nullptr;
   }
   ++shard.counters.hits;
+  if (resident->stale) {
+    ++shard.counters.stale_hits;
+    if (stale_out != nullptr) *stale_out = true;
+  }
   return resident->ladder;
+}
+
+void TierCache::admit_locked(Shard& shard, const TierKey& key, LadderPtr ladder,
+                             double now_seconds) {
+  // Charge at least one byte so a pathological zero-cost ladder still
+  // participates in eviction accounting.
+  const Bytes cost = std::max<Bytes>(ladder->cost_bytes, 1);
+  if (cost > shard_capacity_) {
+    ++shard.counters.admission_rejects;
+    return;
+  }
+  while (shard.lru.total_cost() + cost > shard_capacity_ && !shard.lru.empty()) {
+    shard.lru.evict_lru();
+    ++shard.counters.evictions;
+  }
+  shard.lru.insert(key, Resident{std::move(ladder), now_seconds}, cost);
+  ++shard.counters.inserts;
 }
 
 bool TierCache::insert(const TierKey& key, LadderPtr ladder, double now_seconds,
@@ -110,19 +148,21 @@ bool TierCache::insert(const TierKey& key, LadderPtr ladder, double now_seconds,
   Shard& shard = shard_of(key);
   const std::lock_guard lock(shard.mutex);
   if (shard.lru.peek(key) != nullptr) return false;  // lost the build race
-  // Charge at least one byte so a pathological zero-cost ladder still
-  // participates in eviction accounting.
-  const Bytes cost = std::max<Bytes>(ladder->cost_bytes, 1);
-  if (cost > shard_capacity_) {
-    ++shard.counters.admission_rejects;
-    return true;
-  }
-  while (shard.lru.total_cost() + cost > shard_capacity_ && !shard.lru.empty()) {
-    shard.lru.evict_lru();
-    ++shard.counters.evictions;
-  }
-  shard.lru.insert(key, Resident{std::move(ladder), now_seconds}, cost);
-  ++shard.counters.inserts;
+  admit_locked(shard, key, std::move(ladder), now_seconds);
+  return true;
+}
+
+bool TierCache::replace(const TierKey& key, LadderPtr ladder, double now_seconds,
+                        const obs::RequestContext& ctx) {
+  AW4A_SPAN(ctx, "serving.cache.insert");
+  AW4A_EXPECTS(ladder != nullptr && !ladder->tiers.empty());
+  AW4A_FAULT_POINT("serving.cache.shard");
+  Shard& shard = shard_of(key);
+  const std::lock_guard lock(shard.mutex);
+  // Drop the (typically stale) resident silently: a refresh landing is not
+  // an invalidation event, the entry is simply renewed.
+  shard.lru.erase(key);
+  admit_locked(shard, key, std::move(ladder), now_seconds);
   return true;
 }
 
@@ -136,6 +176,23 @@ std::size_t TierCache::invalidate_site(std::uint64_t site_id) {
     dropped += n;
   }
   return dropped;
+}
+
+std::size_t TierCache::mark_stale_site(std::uint64_t site_id) {
+  std::size_t marked = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    std::size_t in_shard = 0;
+    shard.lru.for_each([&](const TierKey& key, Resident& resident) {
+      if (key.site_id == site_id && !resident.stale) {
+        resident.stale = true;
+        ++in_shard;
+      }
+    });
+    shard.counters.stale_marks += in_shard;
+    marked += in_shard;
+  }
+  return marked;
 }
 
 void TierCache::clear() {

@@ -70,6 +70,8 @@ struct TierCacheStats {
   std::uint64_t expirations = 0;        ///< TTL drops (each also counts a miss)
   std::uint64_t invalidations = 0;      ///< explicit invalidate/clear drops
   std::uint64_t admission_rejects = 0;  ///< ladders larger than a whole shard
+  std::uint64_t stale_marks = 0;        ///< entries flagged by mark_stale_site
+  std::uint64_t stale_hits = 0;         ///< hits on stale entries (also hits)
   std::uint64_t resident_entries = 0;   ///< gauge at snapshot time
   Bytes resident_bytes = 0;             ///< gauge at snapshot time
 
@@ -87,6 +89,12 @@ struct TierCacheOptions {
   std::size_t shards = 8;
   /// Entries older than this are dropped at lookup time; 0 disables expiry.
   double ttl_seconds = 0.0;
+  /// Deterministic per-entry TTL spread: entry lifetime is
+  /// ttl_seconds * [1 - ttl_jitter, 1 + ttl_jitter], keyed on the entry
+  /// hash. A corpus inserted together (prewarm, mass rebuild) then expires
+  /// spread out instead of stampeding the build queue in one beat. 0
+  /// restores exact expiry (tests pinning the TTL boundary set this).
+  double ttl_jitter = 0.1;
 };
 
 class TierCache {
@@ -98,9 +106,13 @@ class TierCache {
   /// "serving.cache.shard" fault point can throw TransientError here;
   /// callers treat that as a miss-and-bypass, never a failed request.
   /// `ctx` only feeds tracing (a "serving.cache.fetch" span) — a cache probe
-  /// is never deadline-checked.
+  /// is never deadline-checked. When `stale_out` is non-null it is set to
+  /// whether the returned ladder was flagged by mark_stale_site — the
+  /// stale-while-revalidate signal (a stale hit is still a hit: the caller
+  /// serves it and queues a refresh).
   LadderPtr fetch(const TierKey& key, double now_seconds,
-                  const obs::RequestContext& ctx = obs::RequestContext::none());
+                  const obs::RequestContext& ctx = obs::RequestContext::none(),
+                  bool* stale_out = nullptr);
 
   /// Admits a built ladder, evicting least-recently-used entries to fit.
   /// Returns false when the key is already resident — a concurrent builder
@@ -112,9 +124,21 @@ class TierCache {
   bool insert(const TierKey& key, LadderPtr ladder, double now_seconds,
               const obs::RequestContext& ctx = obs::RequestContext::none());
 
+  /// Replaces the resident ladder for `key` (or inserts if absent) — the
+  /// stale-while-revalidate refresh completion. Same admission rules as
+  /// insert(), but an existing entry is overwritten, not kept.
+  bool replace(const TierKey& key, LadderPtr ladder, double now_seconds,
+               const obs::RequestContext& ctx = obs::RequestContext::none());
+
   /// Drops every ladder of `site_id`, across configs and plans (a content
   /// push invalidates them all). Returns the number dropped.
   std::size_t invalidate_site(std::uint64_t site_id);
+
+  /// Stale-while-revalidate invalidation: flags every resident ladder of
+  /// `site_id` stale instead of dropping it, so requests keep getting
+  /// answers at full cache speed while rebuilds queue behind admission
+  /// control. Returns the number newly flagged.
+  std::size_t mark_stale_site(std::uint64_t site_id);
 
   /// Drops everything (counted as invalidations).
   void clear();
@@ -128,6 +152,7 @@ class TierCache {
   struct Resident {
     LadderPtr ladder;
     double inserted_at = 0.0;
+    bool stale = false;  ///< mark_stale_site flag; cleared by replace()
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -136,6 +161,10 @@ class TierCache {
   };
 
   Shard& shard_of(const TierKey& key);
+  /// This entry's jittered lifetime (0 when TTL is off).
+  double effective_ttl(const TierKey& key) const;
+  /// Shared eviction + admission tail of insert()/replace(). Shard lock held.
+  void admit_locked(Shard& shard, const TierKey& key, LadderPtr ladder, double now_seconds);
 
   TierCacheOptions options_;
   Bytes shard_capacity_ = 0;

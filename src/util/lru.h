@@ -96,6 +96,14 @@ class LruMap {
     return erased;
   }
 
+  /// Visits every entry (value mutable) most-recent first, with no recency
+  /// update — for in-place marking sweeps (e.g. stale-flagging a site's
+  /// entries) where erase_if would throw residency away.
+  template <typename Fn>
+  void for_each(Fn fn) {
+    for (Entry& entry : order_) fn(static_cast<const Key&>(entry.key), entry.value);
+  }
+
   void clear() {
     order_.clear();
     index_.clear();

@@ -149,7 +149,7 @@ TEST_F(FaultTest, KnownPointsIncludeProductionRegistrations) {
        {"codec.jpeg.encode", "codec.png.encode", "codec.webp.encode",
         "js.muzeel.eliminate", "dataset.corpus.make_page", "net.compress.gzip",
         "solver.grid_search", "solver.hbs", "solver.knapsack",
-        "serving.build.leader", "serving.cache.shard"}) {
+        "serving.build.leader", "serving.cache.shard", "serving.build.queue"}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << "missing " << expected;
   }

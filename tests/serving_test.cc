@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -78,7 +79,9 @@ TEST(TierCache, EvictsLeastRecentlyUsedByBytes) {
 }
 
 TEST(TierCache, TtlExpiresAtFetchTime) {
-  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 1, .ttl_seconds = 10.0});
+  // Jitter off: this test pins the exact TTL boundary.
+  TierCache cache(TierCacheOptions{
+      .capacity_bytes = kMB, .shards = 1, .ttl_seconds = 10.0, .ttl_jitter = 0.0});
   ASSERT_TRUE(cache.insert(key_of(1), fake_ladder(10), /*now=*/100.0));
   EXPECT_NE(cache.fetch(key_of(1), 105.0), nullptr) << "within TTL";
   EXPECT_EQ(cache.fetch(key_of(1), 110.0), nullptr) << "TTL boundary is exclusive";
@@ -86,6 +89,68 @@ TEST(TierCache, TtlExpiresAtFetchTime) {
   // The expired slot is free again.
   EXPECT_TRUE(cache.insert(key_of(1), fake_ladder(10), 110.0));
   EXPECT_NE(cache.fetch(key_of(1), 115.0), nullptr);
+}
+
+TEST(TierCache, TtlJitterSpreadsExpiryDeterministically) {
+  // 32 entries inserted in the same instant with a ±10% jittered 100s TTL:
+  // every lifetime lies in [90, 110], they do NOT all expire in one beat,
+  // and each key's lifetime is a pure function of the key (same verdict on
+  // every probe). All timestamps are injected — no sleeping.
+  const TierCacheOptions options{
+      .capacity_bytes = kMB, .shards = 1, .ttl_seconds = 100.0, .ttl_jitter = 0.1};
+  constexpr std::uint64_t kKeys = 32;
+  TierCache cache(options);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(cache.insert(key_of(k), fake_ladder(10), /*now=*/0.0));
+  }
+  // Probing must not expire anything below the jitter floor or keep
+  // anything past the ceiling.
+  TierCache floor_probe(options);  // fresh cache, same keys, same insert time
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(floor_probe.insert(key_of(k), fake_ladder(10), 0.0));
+    EXPECT_NE(floor_probe.fetch(key_of(k), 89.9), nullptr) << "lifetime floor is 90s";
+  }
+  std::uint64_t alive_at_100 = 0;
+  std::vector<bool> verdicts(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    verdicts[k] = cache.fetch(key_of(k), 100.0) != nullptr;
+    alive_at_100 += verdicts[k] ? 1u : 0u;
+  }
+  EXPECT_GT(alive_at_100, 0u) << "not a stampede: some entries outlive the nominal TTL";
+  EXPECT_LT(alive_at_100, kKeys) << "and some expire before it";
+  // Deterministic: the same key gets the same verdict on a second probe.
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(cache.fetch(key_of(k), 100.0) != nullptr, verdicts[k]) << "key " << k;
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(cache.fetch(key_of(k), 110.1), nullptr) << "lifetime ceiling is 110s";
+  }
+}
+
+TEST(TierCache, MarkStaleServesUntilReplaced) {
+  TierCache cache(TierCacheOptions{.capacity_bytes = kMB, .shards = 2});
+  const LadderPtr old_ladder = fake_ladder(10);
+  ASSERT_TRUE(cache.insert(key_of(1), old_ladder, 0.0));
+  ASSERT_TRUE(cache.insert(key_of(2, /*fingerprint=*/9), fake_ladder(10), 0.0));
+  EXPECT_EQ(cache.mark_stale_site(1), 1u) << "only site 1's entries are flagged";
+  EXPECT_EQ(cache.mark_stale_site(1), 0u) << "already stale: no re-flagging";
+
+  bool stale = false;
+  EXPECT_EQ(cache.fetch(key_of(1), 1.0, obs::RequestContext::none(), &stale).get(),
+            old_ladder.get())
+      << "a stale entry still serves";
+  EXPECT_TRUE(stale);
+  EXPECT_NE(cache.fetch(key_of(2, 9), 1.0, obs::RequestContext::none(), &stale), nullptr);
+  EXPECT_FALSE(stale) << "other sites' entries are untouched";
+  const TierCacheStats mid = cache.stats();
+  EXPECT_EQ(mid.stale_marks, 1u);
+  EXPECT_EQ(mid.stale_hits, 1u);
+
+  const LadderPtr fresh = fake_ladder(20);
+  EXPECT_TRUE(cache.replace(key_of(1), fresh, 2.0));
+  stale = true;
+  EXPECT_EQ(cache.fetch(key_of(1), 3.0, obs::RequestContext::none(), &stale).get(), fresh.get());
+  EXPECT_FALSE(stale) << "replace() renews the entry";
 }
 
 TEST(TierCache, DuplicateInsertKeepsTheResidentLadder) {
@@ -469,12 +534,47 @@ TEST_F(OriginServerTest, CacheDisabledBuildsEveryTime) {
   EXPECT_EQ(origin.cache_stats().misses, 0u) << "cache fully out of the path";
 }
 
-TEST_F(OriginServerTest, InvalidateHostForcesARebuild) {
+TEST_F(OriginServerTest, InvalidateHostServesStaleWhileRevalidating) {
   OriginServer origin(sites());
   const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
   origin.handle(saver);
-  EXPECT_EQ(origin.invalidate_host("A.EXAMPLE"), 1u);
+  EXPECT_EQ(origin.invalidate_host("A.EXAMPLE"), 1u) << "one entry flagged stale";
   EXPECT_EQ(origin.invalidate_host("nobody.example"), 0u);
+  // The stale ladder answers immediately — no inline rebuild in this
+  // request's path — while a detached refresh rides the build queue.
+  const auto stale_answer = origin.handle(saver);
+  EXPECT_EQ(stale_answer.status, 200);
+  ASSERT_NE(stale_answer.header("AW4A-Tier"), nullptr);
+  EXPECT_NE(*stale_answer.header("AW4A-Tier"), "none") << "a real tier, not degraded";
+  EXPECT_EQ(origin.metrics().ladder_stale, 1u);
+  EXPECT_EQ(origin.metrics().stale_refreshes_queued, 1u);
+  EXPECT_EQ(origin.cache_stats().stale_marks, 1u);
+  EXPECT_EQ(origin.cache_stats().invalidations, 0u) << "nothing was dropped";
+
+  // The background rebuild lands and renews the entry.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (origin.metrics().builds_started < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(origin.metrics().builds_started, 2u) << "refresh build ran";
+  // The replace is wired into the refresh completion, so once the build
+  // count moved the insert may still be microseconds away — poll the cache.
+  while (origin.cache_stats().inserts < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(origin.cache_stats().inserts, 2u) << "refresh result admitted";
+  const auto fresh_answer = origin.handle(saver);
+  EXPECT_EQ(fresh_answer.status, 200);
+  EXPECT_EQ(origin.metrics().ladder_stale, 1u) << "entry is fresh again";
+}
+
+TEST_F(OriginServerTest, InvalidateHostWithoutQueueDropsAndRebuildsInline) {
+  OriginOptions options;
+  options.build_queue_enabled = false;
+  OriginServer origin(sites(), options);
+  const auto saver = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  origin.handle(saver);
+  EXPECT_EQ(origin.invalidate_host("A.EXAMPLE"), 1u);
   origin.handle(saver);
   EXPECT_EQ(origin.metrics().builds_started, 2u);
   EXPECT_EQ(origin.cache_stats().invalidations, 1u);
@@ -574,14 +674,27 @@ TEST_F(OriginServerTest, RequestCountersPartitionEveryOutcome) {
   net::HttpRequest trace_request = get("a.example", {{"Save-Data", "on"}});
   trace_request.path = "/aw4a/trace";
   origin.handle(trace_request);  // trace
+  // A queue-admission shed (the enqueue fault fires once, on b.example's
+  // cold build): degraded answer, counted apart from failure degradation.
+  fault::configure("serving.build.queue", {.probability = 1.0, .max_fires = 1});
+  const auto shed =
+      origin.handle(get("b.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  EXPECT_EQ(shed.status, 200);
+  EXPECT_NE(shed.header("Retry-After"), nullptr);
 
   const MetricsSnapshot m = origin.metrics();
-  EXPECT_EQ(m.requests_total, 8u);
+  EXPECT_EQ(m.requests_total, 9u);
   EXPECT_EQ(m.served_original + m.served_paw_tier + m.served_preference_tier +
-                m.served_degraded + m.stats_requests + m.trace_requests + m.not_found +
-                m.bad_method + m.bad_request + m.internal_errors,
+                m.served_degraded + m.served_shed_degraded + m.stats_requests +
+                m.trace_requests + m.not_found + m.bad_method + m.bad_request +
+                m.internal_errors,
             m.requests_total)
       << "every request lands in exactly one counter";
+  EXPECT_EQ(m.served_shed_degraded, 1u);
+  EXPECT_EQ(m.served_degraded, 0u);
+  EXPECT_EQ(m.served_paw_tier + m.served_preference_tier,
+            m.ladder_cached + m.ladder_stale + m.ladder_built)
+      << "every tier answer names its ladder source";
   EXPECT_EQ(m.stats_requests, 1u);
   EXPECT_EQ(m.trace_requests, 1u);
 }

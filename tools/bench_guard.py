@@ -5,7 +5,9 @@ Compares a freshly produced bench JSON (list of {name, unit, value} entries)
 against the committed copy and fails when a guarded metric regressed beyond
 the tolerance. Direction is inferred from the unit: for time-like units
 (ms, s) and counts lower is better, for rate-like units (req_per_s, x,
-ratio) higher is better.
+ratio) higher is better. A `:lower` or `:higher` suffix on the metric name
+overrides the inference — needed when the unit lies about the goal (a shed
+*rate* is a ratio, but lower is better).
 
 Only metrics named on the command line are guarded — the rest of the file is
 trajectory, not contract. Machine noise is absorbed by the default 25%
@@ -15,6 +17,7 @@ factored-DCT ladder, the single-flight cache) overshoots it by design.
 Usage:
   tools/bench_guard.py --committed BENCH_pipeline.json --fresh /tmp/fresh.json \
       --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
+  tools/bench_guard.py ... --metric 'overload_4x/shed_rate:lower'
   tools/bench_guard.py ... --tolerance 0.25
 
 Exit codes: 0 ok, 1 regression, 2 usage/data error.
@@ -42,7 +45,15 @@ def load_entries(path):
     return entries
 
 
-def check_metric(name, committed, fresh, tolerance):
+def parse_metric_spec(spec):
+    """Splits 'name' or 'name:lower|higher' into (name, direction-or-None)."""
+    name, sep, direction = spec.rpartition(":")
+    if sep and direction in ("lower", "higher"):
+        return name, direction
+    return spec, None
+
+
+def check_metric(name, direction, committed, fresh, tolerance):
     """Returns an error string, or None if the metric is within tolerance."""
     if name not in committed:
         return f"{name}: not present in committed baseline"
@@ -53,18 +64,25 @@ def check_metric(name, committed, fresh, tolerance):
     if unit and fresh_unit and unit != fresh_unit:
         return f"{name}: unit changed ({unit} -> {fresh_unit})"
 
-    if unit in HIGHER_IS_BETTER_UNITS:
+    if direction is None:
+        if unit in HIGHER_IS_BETTER_UNITS:
+            direction = "higher"
+        elif unit in LOWER_IS_BETTER_UNITS:
+            direction = "lower"
+        else:
+            return (f"{name}: unknown unit '{unit}' (cannot infer direction; "
+                    f"use --metric '{name}:lower' or ':higher')")
+
+    if direction == "higher":
         floor = committed_value * (1.0 - tolerance)
         if fresh_value < floor:
             return (f"{name}: {fresh_value:g} {unit} fell below {floor:g} "
                     f"(committed {committed_value:g}, tolerance {tolerance:.0%})")
-    elif unit in LOWER_IS_BETTER_UNITS:
+    else:
         ceiling = committed_value * (1.0 + tolerance)
         if fresh_value > ceiling:
             return (f"{name}: {fresh_value:g} {unit} exceeded {ceiling:g} "
                     f"(committed {committed_value:g}, tolerance {tolerance:.0%})")
-    else:
-        return f"{name}: unknown unit '{unit}' (cannot infer direction)"
     return None
 
 
@@ -74,7 +92,8 @@ def main():
     parser.add_argument("--committed", required=True, help="baseline JSON (committed)")
     parser.add_argument("--fresh", required=True, help="freshly measured JSON")
     parser.add_argument("--metric", action="append", default=[], required=True,
-                        help="metric name to guard (repeatable)")
+                        help="metric name to guard (repeatable); append ':lower' "
+                             "or ':higher' to override the unit-inferred direction")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative regression (default 0.25)")
     args = parser.parse_args()
@@ -85,8 +104,9 @@ def main():
     fresh = load_entries(args.fresh)
 
     failures = []
-    for name in args.metric:
-        error = check_metric(name, committed, fresh, args.tolerance)
+    for spec in args.metric:
+        name, direction = parse_metric_spec(spec)
+        error = check_metric(name, direction, committed, fresh, args.tolerance)
         committed_value = committed.get(name, (float("nan"),))[0]
         fresh_value = fresh.get(name, (float("nan"),))[0]
         status = "FAIL" if error else "ok"

@@ -22,27 +22,32 @@ cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target serving_test serving_stress_test >/dev/null
-(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test)$')
+cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test >/dev/null
+(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test|overload_test)$')
 
 # Release-mode perf smoke: the cold-build fast path must keep its speedups
 # (bench_perf_pipeline exits nonzero if any build mode, the integral SSIM, or
-# the factored encode ladder diverges from its reference). Fresh numbers are
-# measured into a scratch file first and gated against the committed
-# trajectory by bench_guard (>25% regression on a guarded metric fails the
-# gate); only then do they overwrite the repo-root JSONs.
+# the factored encode ladder diverges from its reference) and the serving
+# build plane must keep its overload contract (bench_serve_overload exits
+# nonzero when 4x overload produces any non-200 answer, drops goodput below
+# 80% of 1x, or blows the shed fast-path bound). Fresh numbers are measured
+# into a scratch file first and gated against the committed trajectory by
+# bench_guard (>25% regression on a guarded metric fails the gate); only
+# then do they overwrite the repo-root JSONs.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j --target bench_perf_pipeline bench_serve_cache >/dev/null
+cmake --build build-perf -j --target bench_perf_pipeline bench_serve_overload >/dev/null
 fresh_dir="$(mktemp -d)"
 trap 'rm -rf "$fresh_dir"' EXIT
 ./build-perf/bench/bench_perf_pipeline --repeat=2 --json="$fresh_dir/BENCH_pipeline.json"
-./build-perf/bench/bench_serve_cache --json="$fresh_dir/BENCH_serving.json"
+./build-perf/bench/bench_serve_overload --json="$fresh_dir/BENCH_serving.json"
 python3 tools/bench_guard.py \
   --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
   --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
 python3 tools/bench_guard.py \
   --committed BENCH_serving.json --fresh "$fresh_dir/BENCH_serving.json" \
-  --metric 'cache+single-flight/throughput'
+  --metric 'overload_2x/goodput' \
+  --metric 'overload_4x/shed_service_p99_ms' \
+  --metric 'overload_4x/shed_rate:lower'
 cp "$fresh_dir/BENCH_pipeline.json" BENCH_pipeline.json
 cp "$fresh_dir/BENCH_serving.json" BENCH_serving.json
 
