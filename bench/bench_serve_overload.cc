@@ -138,6 +138,11 @@ serving::OriginOptions plane_options() {
   serving::OriginOptions options;
   options.build_queue.capacity = kQueueCapacity;
   options.build_queue.workers = kQueueWorkers;
+  // This bench measures the *build plane* under load, so every build must
+  // cost real encode work: with the content-addressed asset store on,
+  // repeated cold builds of one site collapse into memo adoptions and the
+  // measured "capacity" becomes store throughput, not build throughput.
+  options.asset_store_enabled = false;
   return options;
 }
 

@@ -54,7 +54,7 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
     ImageSlot slot;
     slot.object = object;
     slot.area = object->image->display_area();
-    auto& ladder = ladders.ladder_for(*object);
+    auto& ladder = ladders.ladder_for(*object, ctx);
     for (int level = options.levels - 1; level >= 0; --level) {
       const double s = options.quality_threshold +
                        (1.0 - options.quality_threshold) * static_cast<double>(level) /

@@ -38,7 +38,7 @@ KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
   std::vector<std::vector<Candidate>> slots;
   double total_area = 0.0;
   for (const web::WebObject* object : images) {
-    auto& ladder = ladders.ladder_for(*object);
+    auto& ladder = ladders.ladder_for(*object, ctx);
     const double area = object->image->display_area();
     total_area += area;
     std::vector<Candidate> cands;

@@ -17,33 +17,60 @@ double weighted_quality(std::span<const ObjectiveTerm> terms) {
   return num / den;
 }
 
-LadderCache::LadderCache(imaging::LadderOptions options) : options_(std::move(options)) {}
+LadderCache::LadderCache(imaging::LadderOptions options, imaging::AssetLadderSource* assets)
+    : options_(std::move(options)), assets_(assets) {}
 
-imaging::VariantLadder& LadderCache::ladder_for(const web::WebObject& object) {
+LadderCache::Slot& LadderCache::slot_for(const web::WebObject& object) {
   AW4A_EXPECTS(object.type == web::ObjectType::kImage);
   AW4A_EXPECTS(object.image != nullptr);
   const auto it = ladders_.find(object.id);
   if (it != ladders_.end()) return it->second;
-  return ladders_.emplace(object.id, imaging::VariantLadder(object.image, options_))
+  return ladders_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(object.id),
+               std::forward_as_tuple(imaging::VariantLadder(object.image, options_)))
       .first->second;
+}
+
+imaging::VariantLadder& LadderCache::ladder_for(const web::WebObject& object,
+                                                const obs::RequestContext& ctx) {
+  Slot& slot = slot_for(object);
+  if (assets_ != nullptr && !slot.probed) {
+    // One content-keyed probe per object: a hit adopts the shared families
+    // (bit-identical to local enumeration for exact hits), a miss — or a
+    // store failure, which surfaces as nullptr — leaves the ladder lazy.
+    slot.probed = true;
+    if (const auto memo = assets_->acquire(object.image, options_, ctx)) {
+      slot.ladder.adopt(*memo);
+    }
+  }
+  return slot.ladder;
 }
 
 void LadderCache::prewarm(const web::WebPage& page, const obs::RequestContext& ctx) {
   AW4A_SPAN(ctx, "prewarm");
   const std::vector<const web::WebObject*> images = rich_images(page);
-  // Create every ladder serially: map insertion is the only shared-state
+  // Create every slot serially: map insertion is the only shared-state
   // mutation, and doing it up front means the parallel section below touches
-  // one distinct, already-constructed ladder per index.
-  std::vector<imaging::VariantLadder*> ladders;
-  ladders.reserve(images.size());
-  for (const web::WebObject* object : images) ladders.push_back(&ladder_for(*object));
+  // one distinct, already-constructed slot per index. The asset-source probe
+  // moves into the parallel body so store warms for distinct assets overlap
+  // instead of serializing here.
+  std::vector<Slot*> slots;
+  slots.reserve(images.size());
+  for (const web::WebObject* object : images) slots.push_back(&slot_for(*object));
 
   try {
     parallel_for(
-        ladders.size(),
+        slots.size(),
         [&](std::size_t i) {
-          imaging::VariantLadder& ladder = *ladders[i];
+          Slot& slot = *slots[i];
+          imaging::VariantLadder& ladder = slot.ladder;
           try {
+            if (assets_ != nullptr && !slot.probed) {
+              slot.probed = true;
+              if (const auto memo = assets_->acquire(images[i]->image, options_, ctx)) {
+                ladder.adopt(*memo);
+              }
+            }
             ladder.webp_full(ctx);
             ladder.resolution_family(ladder.asset().format, ctx);
             ladder.resolution_family(imaging::ImageFormat::kWebp, ctx);

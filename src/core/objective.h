@@ -48,12 +48,23 @@ struct TranscodeResult {
 
 /// Memoized VariantLadders for the rich image objects of one page. Solvers
 /// share one cache so Grid Search and RBR pay enumeration cost once.
+///
+/// With an AssetLadderSource attached (the serving asset store), the first
+/// ladder_for of each object additionally probes the source by asset
+/// *content* and adopts the shared memo on a hit, so an asset another site
+/// already built skips enumeration entirely. The probe happens once per
+/// object (hit or miss); a nullptr result just leaves the ladder lazy.
 class LadderCache {
  public:
-  explicit LadderCache(imaging::LadderOptions options = {});
+  explicit LadderCache(imaging::LadderOptions options = {},
+                       imaging::AssetLadderSource* assets = nullptr);
 
-  /// Ladder for an image object (requires object.image != nullptr).
-  imaging::VariantLadder& ladder_for(const web::WebObject& object);
+  /// Ladder for an image object (requires object.image != nullptr). The
+  /// context feeds the asset-source probe (spans, deadline union) — callers
+  /// without one get the probe without tracing.
+  imaging::VariantLadder& ladder_for(
+      const web::WebObject& object,
+      const obs::RequestContext& ctx = obs::RequestContext::none());
 
   /// Enumerates every rich image's variant families (both formats' resolution
   /// and quality ladders plus the WebP transcode) across ctx.workers()
@@ -79,8 +90,19 @@ class LadderCache {
   const imaging::LadderOptions& options() const { return options_; }
 
  private:
+  struct Slot {
+    explicit Slot(imaging::VariantLadder l) : ladder(std::move(l)) {}
+    imaging::VariantLadder ladder;
+    bool probed = false;  ///< asset source consulted (prewarm or ladder_for)
+  };
+
+  /// Creates (or finds) the slot without probing the asset source — prewarm
+  /// separates creation (serial) from probing/enumeration (parallel).
+  Slot& slot_for(const web::WebObject& object);
+
   imaging::LadderOptions options_;
-  std::map<std::uint64_t, imaging::VariantLadder> ladders_;
+  imaging::AssetLadderSource* assets_ = nullptr;
+  std::map<std::uint64_t, Slot> ladders_;
 };
 
 /// Rich image objects of a page (those carrying rasters), in page order.

@@ -159,7 +159,8 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page) const {
 }
 
 std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page,
-                                            const obs::RequestContext& ctx) const {
+                                            const obs::RequestContext& ctx,
+                                            imaging::AssetLadderSource* assets) const {
   AW4A_SPAN(ctx, "build_tiers");
   std::vector<Tier> tiers;
   tiers.reserve(config_.tier_reductions.size());
@@ -173,7 +174,7 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page,
   // across threads first; failures are absorbed (see LadderCache::prewarm),
   // so the per-tier retry/degradation ladder below behaves exactly as it
   // would on a cold cache.
-  LadderCache ladders(ladder_options());
+  LadderCache ladders(ladder_options(), assets);
   if (ctx.workers() > 0) {
     ladders.prewarm(page, ctx);
   }

@@ -139,8 +139,11 @@ class Aw4aPipeline {
   /// deadline is shared across all tiers (later tiers degrade to their
   /// Stage-1 result when earlier ones consumed the budget) rather than reset
   /// per tier. Worker budget for the ladder prewarm comes from ctx.workers().
+  /// An optional AssetLadderSource (the serving asset store) is consulted
+  /// per image by content before any enumeration; nullptr builds locally.
   std::vector<Tier> build_tiers(const web::WebPage& page,
-                                const obs::RequestContext& ctx) const;
+                                const obs::RequestContext& ctx,
+                                imaging::AssetLadderSource* assets = nullptr) const;
 
  private:
   DeveloperConfig config_;

@@ -50,7 +50,7 @@ std::vector<std::pair<std::uint64_t, double>> reducibility_ranking(
     // Smaller area => higher reducibility, so feed the negated area in.
     area_raw.push_back(-object->image->display_area());
     eff_raw.push_back(
-        ladders.ladder_for(*object).bytes_efficiency(options.quality_threshold, ctx));
+        ladders.ladder_for(*object, ctx).bytes_efficiency(options.quality_threshold, ctx));
   }
   const std::vector<double> area_norm = normalize(std::move(area_raw));
   const std::vector<double> eff_norm = normalize(std::move(eff_raw));
@@ -95,7 +95,7 @@ RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, Ladder
       if (ctx.expired() || ctx.cancelled()) break;  // anytime: keep what we have
       if (served.is_dropped(object->id) || served.images.count(object->id)) continue;
       if (object->image->format != imaging::ImageFormat::kPng) continue;
-      auto& ladder = ladders.ladder_for(*object);
+      auto& ladder = ladders.ladder_for(*object, ctx);
       const imaging::ImageVariant& webp = ladder.webp_full(ctx);
       if (webp.ssim + 1e-12 >= options.quality_threshold &&
           webp.bytes < object->transfer_bytes) {
@@ -116,7 +116,7 @@ RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, Ladder
     if (ctx.expired() || ctx.cancelled()) break;  // anytime: stop between images
     const web::WebObject* object = page.find(object_id);
     if (object == nullptr || served.is_dropped(object_id)) continue;
-    auto& ladder = ladders.ladder_for(*object);
+    auto& ladder = ladders.ladder_for(*object, ctx);
     const imaging::ImageFormat format = working_format(served, *object);
     const auto& family = ladder.resolution_family(format, ctx);
 

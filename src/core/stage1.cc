@@ -45,7 +45,7 @@ Bytes apply_stage1(web::ServedPage& served, LadderCache& ladders, const Stage1Op
         // Keep any existing variant decision; Stage-1 only upgrades the
         // untouched original.
         if (served.images.count(object.id)) break;
-        auto& ladder = ladders.ladder_for(object);
+        auto& ladder = ladders.ladder_for(object, ctx);
         const imaging::ImageVariant& webp = ladder.webp_full(ctx);
         const bool visually_equivalent = webp.ssim + 1e-12 >= options.min_transcode_ssim;
         const bool smaller = webp.bytes < object.transfer_bytes;

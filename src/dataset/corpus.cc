@@ -103,6 +103,28 @@ imaging::ImageClass class_for_size(Rng& rng, Bytes size) {
 
 CorpusGenerator::CorpusGenerator(CorpusOptions options) : options_(options) {
   AW4A_EXPECTS(options_.page_size_cv >= 0.0 && options_.page_size_cv < 1.5);
+  AW4A_EXPECTS(options_.cross_site_duplication_rate >= 0.0 &&
+               options_.cross_site_duplication_rate <= 1.0);
+  AW4A_EXPECTS(options_.shared_asset_pool > 0);
+  if (options_.rich && options_.cross_site_duplication_rate > 0.0) {
+    // The pool rides its own RNG stream: page generation consumes exactly
+    // the same draws whether or not the pool exists, so turning the knob on
+    // cannot perturb any *non-shared* object of the corpus.
+    Rng pool_rng = Rng(options_.seed).fork("shared-assets");
+    shared_assets_.reserve(static_cast<std::size_t>(options_.shared_asset_pool));
+    for (int i = 0; i < options_.shared_asset_pool; ++i) {
+      // Log-spaced wire sizes across the common asset range, so any page
+      // image has a pool neighbor of comparable weight.
+      const double t = options_.shared_asset_pool == 1
+                           ? 0.5
+                           : static_cast<double>(i) /
+                                 static_cast<double>(options_.shared_asset_pool - 1);
+      const Bytes size = static_cast<Bytes>(
+          20.0 * static_cast<double>(kKB) * std::pow(20.0, t));  // 20 KB .. 400 KB
+      shared_assets_.push_back(std::make_shared<const imaging::SourceImage>(
+          imaging::make_source_image(pool_rng, class_for_size(pool_rng, size), size)));
+    }
+  }
 }
 
 CompositionProfile CorpusGenerator::country_profile(const Country& country) const {
@@ -192,9 +214,29 @@ WebPage CorpusGenerator::make_page(Rng& rng, Bytes target_transfer,
     WebObject& o = add_object(ObjectType::kImage, size);
     o.third_party = rng.bernoulli(0.3);
     if (options_.rich) {
-      Rng img_rng = rng.fork(o.id);
-      o.image = std::make_shared<const imaging::SourceImage>(
-          imaging::make_source_image(img_rng, class_for_size(img_rng, size), size));
+      // The pool-empty check short-circuits the bernoulli: with the knob
+      // off, this loop consumes exactly the draws it always did, keeping
+      // existing corpora byte-identical.
+      if (!shared_assets_.empty() &&
+          rng.bernoulli(options_.cross_site_duplication_rate)) {
+        // Nearest pool asset by wire size; the object inherits the asset's
+        // real bytes so page byte accounting matches the shared raster.
+        const auto nearest = std::min_element(
+            shared_assets_.begin(), shared_assets_.end(),
+            [size](const auto& a, const auto& b) {
+              const auto gap = [size](Bytes w) {
+                return w > size ? w - size : size - w;
+              };
+              return gap(a->wire_bytes) < gap(b->wire_bytes);
+            });
+        o.image = *nearest;
+        o.transfer_bytes = o.image->wire_bytes;
+        o.raw_bytes = o.transfer_bytes;  // binary formats ship compressed
+      } else {
+        Rng img_rng = rng.fork(o.id);
+        o.image = std::make_shared<const imaging::SourceImage>(
+            imaging::make_source_image(img_rng, class_for_size(img_rng, size), size));
+      }
     }
   }
 

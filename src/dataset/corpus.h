@@ -14,6 +14,7 @@
 // reproducing the spread behind the paper's what-if reduction ranges.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "dataset/countries.h"
@@ -36,6 +37,15 @@ struct CorpusOptions {
   bool rich = false;
   /// Relative within-country spread of page sizes.
   double page_size_cv = 0.45;
+  /// Probability that a rich image is drawn from a corpus-wide shared asset
+  /// pool (CDN logos, framework sprites, stock photos reused across sites)
+  /// instead of being synthesized per page. 0 disables the pool entirely —
+  /// generation is then byte-identical to a corpus without the knob. Only
+  /// meaningful with `rich` (inventory pages carry no rasters).
+  double cross_site_duplication_rate = 0.0;
+  /// Distinct shared assets in the pool (a small pool means each shared
+  /// asset recurs often, which is the realistic CDN shape).
+  int shared_asset_pool = 6;
 };
 
 class CorpusGenerator {
@@ -71,6 +81,12 @@ class CorpusGenerator {
   Site make_site(Rng& rng, Bytes landing_target, const CompositionProfile& profile,
                  int inner_count) const;
 
+  /// The shared asset pool (empty unless rich && rate > 0); exposed so
+  /// tests can pin the realized duplication rate against pool membership.
+  const std::vector<std::shared_ptr<const imaging::SourceImage>>& shared_assets() const {
+    return shared_assets_;
+  }
+
   /// The paper's 10 user-study sites (§4.2), as rich pages with fixed seeds:
   /// google/yahoo/microsoft/imdb/wordpress/amazon/stackoverflow/youtube .com,
   /// wikipedia.org, savefrom.net.
@@ -78,6 +94,7 @@ class CorpusGenerator {
 
  private:
   CorpusOptions options_;
+  std::vector<std::shared_ptr<const imaging::SourceImage>> shared_assets_;
 };
 
 }  // namespace aw4a::dataset

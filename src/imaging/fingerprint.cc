@@ -1,0 +1,87 @@
+#include "imaging/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "imaging/resize.h"
+#include "imaging/ssim.h"
+#include "util/hash.h"
+
+namespace aw4a::imaging {
+
+std::uint64_t raster_fingerprint(const Raster& raster) {
+  std::uint64_t h = hash_mix(0x6177346166703121ULL, static_cast<std::uint64_t>(raster.width()));
+  h = hash_mix(h, static_cast<std::uint64_t>(raster.height()));
+  const std::vector<Pixel>& pixels = raster.pixels();
+  // Two RGBA pixels per mix step; the loop reads raw bytes, so the digest is
+  // independent of how the compiler lays out struct Pixel's members beyond
+  // their declared order.
+  std::size_t i = 0;
+  for (; i + 2 <= pixels.size(); i += 2) {
+    std::uint64_t word;
+    std::memcpy(&word, &pixels[i], sizeof(word));
+    h = hash_mix(h, word);
+  }
+  if (i < pixels.size()) {
+    std::uint32_t tail;
+    std::memcpy(&tail, &pixels[i], sizeof(tail));
+    h = hash_mix(h, static_cast<std::uint64_t>(tail));
+  }
+  return h;
+}
+
+std::uint64_t asset_shape_fingerprint(const SourceImage& asset) {
+  std::uint64_t h = hash_mix(0x6177346173686121ULL,
+                             static_cast<std::uint64_t>(asset.original.width()));
+  h = hash_mix(h, static_cast<std::uint64_t>(asset.original.height()));
+  h = hash_mix(h, static_cast<std::uint64_t>(asset.format));
+  h = hash_mix(h, static_cast<std::uint64_t>(asset.ship_quality));
+  h = hash_mix(h, static_cast<std::uint64_t>(asset.wire_bytes));
+  h = hash_mix(h, asset.byte_scale);
+  return h;
+}
+
+std::uint64_t asset_fingerprint(const SourceImage& asset) {
+  return hash_mix(asset_shape_fingerprint(asset), raster_fingerprint(asset.original));
+}
+
+std::uint64_t ladder_options_fingerprint(const LadderOptions& options) {
+  std::uint64_t h =
+      hash_mix(0x6177346c6f707421ULL, static_cast<std::uint64_t>(options.metric));
+  h = hash_mix(h, options.min_ssim);
+  h = hash_mix(h, options.scale_granularity);
+  h = hash_mix(h, options.min_scale);
+  h = hash_mix(h, static_cast<std::uint64_t>(options.quality_steps.size()));
+  for (const int q : options.quality_steps) h = hash_mix(h, static_cast<std::uint64_t>(q));
+  return h;
+}
+
+PlaneF luma_thumbprint(const Raster& raster, int dim) {
+  AW4A_EXPECTS(!raster.empty() && dim > 0);
+  const int w = std::min(dim, raster.width());
+  const int h = std::min(dim, raster.height());
+  if (w == raster.width() && h == raster.height()) return luma_plane(raster);
+  return luma_plane(resize_box(raster, w, h));
+}
+
+std::uint64_t average_hash(const Raster& raster) {
+  AW4A_EXPECTS(!raster.empty());
+  const PlaneF luma = luma_thumbprint(raster, 8);
+  const std::size_t n = luma.v.size();
+  double mean = 0.0;
+  for (const float value : luma.v) mean += value;
+  mean /= static_cast<double>(n);
+  // Rasters smaller than 8x8 yield fewer than 64 cells; unused high bits
+  // stay zero, which is fine — buckets only ever mix equal-shape assets.
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < n && i < 64; ++i) {
+    if (luma.v[i] > mean) bits |= 1ULL << i;
+  }
+  return bits;
+}
+
+double thumbprint_similarity(const PlaneF& a, const PlaneF& b) {
+  return ssim(a, b, SsimOptions{.window = 8, .stride = 1});
+}
+
+}  // namespace aw4a::imaging

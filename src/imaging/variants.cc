@@ -1,6 +1,7 @@
 #include "imaging/variants.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "imaging/resize.h"
@@ -71,7 +72,32 @@ Encoded encode_prepared_retrying(ImageFormat format, const Codec::Prepared& prep
                          retry);
 }
 
+// Ladder-measurement work counters (build_work_stats). Bumped at the
+// measurement sites, not inside the codec funnels above, so synthesis
+// (make_source_image) and page rendering (render_variant) — which reuse the
+// funnels but are not "build" work — stay out of the tally.
+std::atomic<std::uint64_t> g_encodes{0};
+std::atomic<std::uint64_t> g_encoded_bytes{0};
+std::atomic<std::uint64_t> g_prepares{0};
+
+void count_encode(const Encoded& enc) {
+  g_encodes.fetch_add(1, std::memory_order_relaxed);
+  g_encoded_bytes.fetch_add(static_cast<std::uint64_t>(enc.bytes), std::memory_order_relaxed);
+}
+
 }  // namespace
+
+BuildWorkStats build_work_stats() {
+  return BuildWorkStats{g_encodes.load(std::memory_order_relaxed),
+                        g_encoded_bytes.load(std::memory_order_relaxed),
+                        g_prepares.load(std::memory_order_relaxed)};
+}
+
+void reset_build_work_stats() {
+  g_encodes.store(0, std::memory_order_relaxed);
+  g_encoded_bytes.store(0, std::memory_order_relaxed);
+  g_prepares.store(0, std::memory_order_relaxed);
+}
 
 SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes) {
   AW4A_EXPECTS(target_wire_bytes > 0);
@@ -128,6 +154,7 @@ ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, doubl
     AW4A_SPAN(ctx, encode_span_name(format));
     return encode_retrying(format, reduced, quality);
   }();
+  count_encode(enc);
   const Raster shown = redisplay(enc.decoded, asset.original.width(), asset.original.height());
   ImageVariant v;
   v.format = format;
@@ -159,6 +186,7 @@ const Raster& VariantLadder::reduced_raster(double scale) const {
 ImageVariant VariantLadder::finish_measurement(const Encoded& enc, ImageFormat format,
                                                double scale, int quality,
                                                const obs::RequestContext& ctx) const {
+  count_encode(enc);
   // Full-resolution variants need no redisplay; alias the decoded raster
   // instead of copying it (quality ladders hit this once per rung).
   const bool full_res = enc.decoded.width() == asset_->original.width() &&
@@ -243,6 +271,7 @@ const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat forma
           ctx.check("imaging.quality_family");
           AW4A_SPAN(ctx, "encode.prepare");
           prep = prepare_retrying(format, reduced_raster(1.0));
+          g_prepares.fetch_add(1, std::memory_order_relaxed);
         }
         ImageVariant v = measure_prepared(format, *prep, 1.0, q, ctx);
         const double ssim_v = v.ssim;
@@ -309,6 +338,32 @@ double VariantLadder::bytes_efficiency(double ssim_threshold, const obs::Request
     return dbytes / 1e-9;
   }
   return dbytes / dssim;
+}
+
+VariantMemo VariantLadder::snapshot() const {
+  VariantMemo memo;
+  for (std::size_t i = 0; i < 3; ++i) {
+    memo.res_family[i] = res_family_[i];
+    memo.qual_family[i] = qual_family_[i];
+  }
+  memo.webp_full = webp_full_;
+  return memo;
+}
+
+void VariantLadder::adopt(const VariantMemo& memo) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!res_family_[i] && memo.res_family[i]) res_family_[i] = memo.res_family[i];
+    if (!qual_family_[i] && memo.qual_family[i]) qual_family_[i] = memo.qual_family[i];
+  }
+  if (!webp_full_ && memo.webp_full) webp_full_ = memo.webp_full;
+}
+
+void VariantLadder::warm(const obs::RequestContext& ctx) {
+  webp_full(ctx);
+  resolution_family(asset_->format, ctx);
+  resolution_family(ImageFormat::kWebp, ctx);
+  quality_family(asset_->format, ctx);
+  quality_family(ImageFormat::kWebp, ctx);
 }
 
 std::vector<ImageVariant> VariantLadder::all_variants() const {

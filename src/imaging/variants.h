@@ -83,6 +83,29 @@ struct LadderOptions {
 /// the user's screen shows (used by the page renderer and QFS).
 Raster render_variant(const SourceImage& asset, const ImageVariant& v);
 
+/// A portable snapshot of a VariantLadder's memoized families — what the
+/// serving asset store shares across sites. Slots are optional per family:
+/// adopting a partial memo is sound because an unset slot simply enumerates
+/// lazily (and enumeration is deterministic, so a slot filled locally equals
+/// the slot a warmer ladder would have shared).
+struct VariantMemo {
+  std::optional<std::vector<ImageVariant>> res_family[3];
+  std::optional<std::vector<ImageVariant>> qual_family[3];
+  std::optional<ImageVariant> webp_full;
+};
+
+/// Process-wide counters of ladder-measurement encode work (relaxed atomics;
+/// safe from any thread). `encoded_bytes` sums encoder output at proxy scale
+/// — the "bytes built" a dedup layer avoids. Benches snapshot/reset around a
+/// workload to measure build work without instrumenting the codecs.
+struct BuildWorkStats {
+  std::uint64_t encodes = 0;        ///< variant measurements that ran a codec
+  std::uint64_t encoded_bytes = 0;  ///< encoder output bytes (proxy scale)
+  std::uint64_t prepares = 0;       ///< Codec::prepare calls (forward DCT work)
+};
+BuildWorkStats build_work_stats();
+void reset_build_work_stats();
+
 /// Fixed wire-size header constant applied to every page-scale variant.
 Bytes wire_header_bytes();
 
@@ -152,6 +175,22 @@ class VariantLadder {
   /// Everything enumerated so far (for Fig. 8 style dumps and tests).
   std::vector<ImageVariant> all_variants() const;
 
+  /// Copies every memoized family into a shareable memo (unset slots stay
+  /// unset — snapshot never forces enumeration).
+  VariantMemo snapshot() const;
+
+  /// Fills this ladder's *unset* slots from `memo`. Locally enumerated
+  /// families always win, so adopting can never replace measured data; the
+  /// caller is responsible for only adopting memos whose asset content and
+  /// options match this ladder's (the asset store keys on exactly that).
+  void adopt(const VariantMemo& memo);
+
+  /// Enumerates the five standard families (the WebP transcode plus both
+  /// formats' resolution and quality families — the same set prewarm fills).
+  /// Unlike prewarm this propagates failures: a store warming an entry must
+  /// know the memo is complete before sharing it.
+  void warm(const obs::RequestContext& ctx = obs::RequestContext::none());
+
   /// Re-creates the decoded, redisplayed raster of a variant (used by the
   /// page renderer; not cached to keep memory bounded).
   Raster render_variant(const ImageVariant& v) const;
@@ -191,6 +230,21 @@ class VariantLadder {
   std::optional<std::vector<ImageVariant>> res_family_[3];
   std::optional<std::vector<ImageVariant>> qual_family_[3];
   std::optional<ImageVariant> webp_full_;
+};
+
+/// A provider of shared VariantMemos keyed by asset *content* — implemented
+/// by serving::AssetStore and threaded (as a nullable pointer) through
+/// core::LadderCache, so the optimizer layer can consume cross-site dedup
+/// without depending on the serving layer. acquire() returns the memo for
+/// this asset under these options (building and caching it if needed), or
+/// nullptr when the source cannot help (store failure, budget exhausted) —
+/// callers then fall back to plain lazy enumeration.
+class AssetLadderSource {
+ public:
+  virtual ~AssetLadderSource() = default;
+  virtual std::shared_ptr<const VariantMemo> acquire(
+      const std::shared_ptr<const SourceImage>& asset, const LadderOptions& options,
+      const obs::RequestContext& ctx) = 0;
 };
 
 }  // namespace aw4a::imaging

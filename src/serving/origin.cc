@@ -135,6 +135,9 @@ OriginServer::OriginServer(std::vector<OriginSite> sites, OriginOptions options)
     sites_.push_back(std::move(site));
   }
   popularity_ = std::make_unique<std::atomic<std::uint64_t>[]>(sites_.size());
+  if (options.asset_store_enabled) {
+    asset_store_ = std::make_unique<AssetStore>(options.asset_store);
+  }
   if (options.build_queue_enabled) {
     // One timeline for TTLs, deadlines and queue expiry.
     if (!options.build_queue.clock) options.build_queue.clock = clock_;
@@ -397,7 +400,8 @@ LadderPtr OriginServer::build_ladder(const Site& site, const obs::RequestContext
     auto ladder = std::make_shared<TierLadder>();
     // Deadline and prewarm workers ride in on the context (request_context),
     // so the site config is used as-is.
-    ladder->tiers = core::Aw4aPipeline(site.origin.config).build_tiers(site.origin.page, ctx);
+    ladder->tiers = core::Aw4aPipeline(site.origin.config)
+                        .build_tiers(site.origin.page, ctx, asset_store_.get());
     for (const core::Tier& tier : ladder->tiers) ladder->cost_bytes += tier.result.result_bytes;
     ladder->build_seconds = clock_() - started;
     metrics_.build_seconds.record(ladder->build_seconds);
@@ -531,6 +535,32 @@ std::string OriginServer::stats_json() const {
     json.field("stale_refreshes_queued", m.stale_refreshes_queued);
     json.field("stale_refresh_sheds", m.stale_refresh_sheds);
     histogram_json(json, "queue_wait_seconds", q.queue_wait_seconds);
+    json.end();
+  }
+  {
+    // The content-addressed layer under the cache. All zeros when disabled
+    // (the enabled flag disambiguates). Partition invariant mirrored by the
+    // tests: lookups == exact_hits + semantic_hits + misses.
+    const AssetStoreStats a = asset_store_ ? asset_store_->stats() : AssetStoreStats{};
+    const SingleFlightStats af =
+        asset_store_ ? asset_store_->flight_stats() : SingleFlightStats{};
+    json.begin("asset_store");
+    json.field("enabled", asset_store_ != nullptr);
+    json.field("shards",
+               static_cast<std::uint64_t>(asset_store_ ? asset_store_->shard_count() : 0));
+    json.field("capacity_bytes", asset_store_ ? asset_store_->capacity_bytes() : 0);
+    json.field("entries", a.resident_entries);
+    json.field("bytes", a.resident_bytes);
+    json.field("lookups", a.lookups);
+    json.field("exact_hits", a.exact_hits);
+    json.field("semantic_hits", a.semantic_hits);
+    json.field("misses", a.misses);
+    json.field("probes", a.probes);
+    json.field("inserts", a.inserts);
+    json.field("evictions", a.evictions);
+    json.field("build_failures", a.build_failures);
+    json.field("flight_leads", af.leads);
+    json.field("flight_joins", af.joins);
     json.end();
   }
   json.begin("stage_breakdown");

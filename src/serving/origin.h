@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "serving/asset_store.h"
 #include "serving/build_queue.h"
 #include "serving/metrics.h"
 #include "serving/single_flight.h"
@@ -95,6 +96,13 @@ struct OriginOptions {
   BuildQueueOptions build_queue;
   /// The Retry-After hint (seconds) attached to shed responses.
   int retry_after_seconds = 1;
+  /// Off: ladder builds enumerate every image locally (no cross-site
+  /// content-addressed reuse). On by default — the store can only save
+  /// work, never change a request's outcome (exact hits adopt bit-identical
+  /// families; any store failure falls back to local enumeration).
+  bool asset_store_enabled = true;
+  /// Capacity/sharding/semantic knobs of the content-addressed store.
+  AssetStoreOptions asset_store;
 };
 
 class OriginServer {
@@ -121,6 +129,14 @@ class OriginServer {
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   TierCacheStats cache_stats() const { return cache_.stats(); }
   SingleFlightStats single_flight_stats() const { return flight_.stats(); }
+  /// Zeroed stats when the store is disabled.
+  AssetStoreStats asset_store_stats() const {
+    return asset_store_ ? asset_store_->stats() : AssetStoreStats{};
+  }
+  SingleFlightStats asset_flight_stats() const {
+    return asset_store_ ? asset_store_->flight_stats() : SingleFlightStats{};
+  }
+  const AssetStore* asset_store() const { return asset_store_.get(); }
   /// Zeroed stats when the queue is disabled.
   BuildQueueStats build_queue_stats() const {
     return queue_ ? queue_->stats() : BuildQueueStats{};
@@ -181,6 +197,9 @@ class OriginServer {
   int retry_after_seconds_;
   std::function<double()> clock_;
   mutable TierCache cache_;
+  /// The content-addressed layer under the cache (null when disabled).
+  /// Shared by every site's builds: that sharing *is* the feature.
+  mutable std::unique_ptr<AssetStore> asset_store_;
   mutable SingleFlight<TierKey, TierLadder, TierKeyHash> flight_;
   mutable ServingMetrics metrics_;
   /// Per-site save-data request counts: the queue's popularity ordering.

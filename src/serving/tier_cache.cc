@@ -1,26 +1,17 @@
 #include "serving/tier_cache.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/hash.h"
 
 namespace aw4a::serving {
 namespace {
 
-/// splitmix64-style avalanche of `v`, folded into the running digest `h`.
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  v += 0x9e3779b97f4a7c15ULL;
-  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
-  v ^= v >> 31;
-  return (h ^ v) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
-}
-
-std::uint64_t mix(std::uint64_t h, double v) {
-  return mix(h, std::bit_cast<std::uint64_t>(v));
-}
+// The digest primitive lives in util/hash.h (shared with the imaging content
+// fingerprints); `mix` keeps the call sites below readable.
+constexpr auto mix = [](std::uint64_t h, auto v) { return hash_mix(h, v); };
 
 }  // namespace
 

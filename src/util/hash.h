@@ -1,0 +1,29 @@
+// Shared 64-bit digest primitive: a splitmix64-style avalanche of one value
+// folded into a running digest. Used wherever the repo needs a stable
+// fingerprint that is identical across processes and runs (pure arithmetic,
+// no pointers, no ASLR): the serving tier-cache config fingerprint and the
+// imaging content fingerprints both build on it, so their digests can never
+// drift apart idiomatically.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace aw4a {
+
+/// splitmix64-style avalanche of `v`, folded into the running digest `h`.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return (h ^ v) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+}
+
+/// Doubles are digested by bit pattern: same value -> same digest, and the
+/// distinct patterns of 0.0/-0.0 or NaNs are deliberately distinct inputs.
+inline std::uint64_t hash_mix(std::uint64_t h, double v) {
+  return hash_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace aw4a

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "dataset/httparchive.h"
 #include "util/stats.h"
 
@@ -156,6 +158,89 @@ TEST(Corpus, UserStudySitesNamedAndDistinct) {
   const double yt_img = static_cast<double>(yt->transfer_size(ObjectType::kImage)) /
                         static_cast<double>(yt->transfer_size());
   EXPECT_LT(wiki_img, yt_img);
+}
+
+TEST(Corpus, SharedAssetPoolOffByDefaultAndAtRateZero) {
+  // rate == 0 must be byte-identical to a corpus generated before the knob
+  // existed: no pool, no extra RNG draws, same objects.
+  CorpusGenerator off(CorpusOptions{.seed = 77, .rich = true});
+  CorpusGenerator zero(CorpusOptions{
+      .seed = 77, .rich = true, .cross_site_duplication_rate = 0.0});
+  EXPECT_TRUE(off.shared_assets().empty());
+  EXPECT_TRUE(zero.shared_assets().empty());
+  Rng ra(5);
+  Rng rb(5);
+  const auto pa = off.make_page(ra, 400 * kKB, off.global_profile());
+  const auto pb = zero.make_page(rb, 400 * kKB, zero.global_profile());
+  ASSERT_EQ(pa.objects.size(), pb.objects.size());
+  for (std::size_t i = 0; i < pa.objects.size(); ++i) {
+    EXPECT_EQ(pa.objects[i].transfer_bytes, pb.objects[i].transfer_bytes);
+    EXPECT_EQ(pa.objects[i].type, pb.objects[i].type);
+  }
+}
+
+TEST(Corpus, CrossSiteDuplicationRateIsRealized) {
+  const double rate = 0.3;
+  CorpusGenerator gen(CorpusOptions{
+      .seed = 78, .rich = true, .cross_site_duplication_rate = rate});
+  ASSERT_FALSE(gen.shared_assets().empty());
+
+  // Over many pages ("sites"), the fraction of rich images drawn from the
+  // shared pool must track the configured rate.
+  Rng rng(9);
+  int images = 0;
+  int shared = 0;
+  std::set<const imaging::SourceImage*> distinct_shared;
+  for (int p = 0; p < 40; ++p) {
+    const auto page = gen.make_page(rng, 400 * kKB, gen.global_profile());
+    for (const auto& o : page.objects) {
+      if (o.type != ObjectType::kImage) continue;
+      ASSERT_NE(o.image, nullptr);
+      ++images;
+      for (const auto& pooled : gen.shared_assets()) {
+        if (o.image == pooled) {
+          ++shared;
+          distinct_shared.insert(o.image.get());
+          // Shared objects inherit the pooled asset's real wire size, so
+          // page byte accounting matches the raster being served.
+          EXPECT_EQ(o.transfer_bytes, o.image->wire_bytes);
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(images, 100);
+  const double realized = static_cast<double>(shared) / images;
+  EXPECT_NEAR(realized, rate, 0.08) << shared << "/" << images;
+  // The pool is small by design: shared assets recur across pages, which is
+  // the cross-site duplication the asset store exists to collapse.
+  EXPECT_GT(static_cast<int>(distinct_shared.size()), 1);
+  EXPECT_GT(shared, static_cast<int>(distinct_shared.size()));
+}
+
+TEST(Corpus, SharedAssetsAreTheIdenticalObjectAcrossPages) {
+  CorpusGenerator gen(CorpusOptions{
+      .seed = 79, .rich = true, .cross_site_duplication_rate = 0.5});
+  Rng rng(3);
+  std::vector<web::WebPage> pages;
+  for (int i = 0; i < 6; ++i) {
+    pages.push_back(gen.make_page(rng, 600 * kKB, gen.global_profile()));
+  }
+  // At 50% duplication this many pages share pooled rasters *by pointer* —
+  // content-identity across sites, not just equal bytes. That pointer
+  // sharing is what the serving asset store's exact fingerprint collapses.
+  bool found = false;
+  for (std::size_t a = 0; a < pages.size() && !found; ++a) {
+    for (std::size_t b = a + 1; b < pages.size() && !found; ++b) {
+      for (const auto& oa : pages[a].objects) {
+        if (oa.type != ObjectType::kImage) continue;
+        for (const auto& ob : pages[b].objects) {
+          if (ob.type == ObjectType::kImage && oa.image == ob.image) found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(Corpus, HttpArchiveAnchors) {

@@ -648,7 +648,8 @@ TEST_F(OriginServerTest, StatsEndpointSpeaksJsonOverTheWire) {
   EXPECT_EQ(stats.content_length, stats.body.size());
   for (const char* needle :
        {"\"sites\":2", "\"requests\":", "\"cache\":", "\"hit_rate\":", "\"builds\":",
-        "\"latency_seconds\":", "\"served_page_bytes\":", "\"duplicates\":0"}) {
+        "\"latency_seconds\":", "\"served_page_bytes\":", "\"duplicates\":0",
+        "\"asset_store\":", "\"exact_hits\":", "\"semantic_hits\":", "\"probes\":"}) {
     EXPECT_NE(stats.body.find(needle), std::string::npos) << needle << " missing in\n"
                                                           << stats.body;
   }
@@ -697,6 +698,59 @@ TEST_F(OriginServerTest, RequestCountersPartitionEveryOutcome) {
       << "every tier answer names its ladder source";
   EXPECT_EQ(m.stats_requests, 1u);
   EXPECT_EQ(m.trace_requests, 1u);
+
+  // The content-addressed store under the cache keeps its own partition:
+  // every per-image consult lands in exactly one outcome counter.
+  const AssetStoreStats a = origin.asset_store_stats();
+  EXPECT_GT(a.lookups, 0u) << "the cold builds above must consult the store";
+  EXPECT_EQ(a.lookups, a.exact_hits + a.semantic_hits + a.misses);
+}
+
+TEST_F(OriginServerTest, MirroredSitesShareBuiltAssetsByContent) {
+  // Two hosts serving the same page: the tier cache keys on site identity so
+  // each cold build runs, but the asset store keys on content — the mirror's
+  // build must exact-hit every image and serve byte-identical results.
+  const std::vector<OriginSite> mirrored = {
+      OriginSite{"a.example", (*pages_)[0], config(), net::PlanType::kDataVoiceLowUsage},
+      OriginSite{"mirror.example", (*pages_)[0], config(), net::PlanType::kDataVoiceLowUsage}};
+  const OriginServer origin(mirrored);
+
+  const auto first =
+      origin.handle(get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  const AssetStoreStats after_first = origin.asset_store_stats();
+  EXPECT_GT(after_first.misses, 0u);
+  EXPECT_GT(after_first.inserts, 0u);
+  EXPECT_EQ(after_first.exact_hits, 0u);
+
+  const auto second =
+      origin.handle(get("mirror.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}}));
+  const AssetStoreStats after_second = origin.asset_store_stats();
+  EXPECT_GT(after_second.exact_hits, 0u) << "the mirror build must reuse shared families";
+  EXPECT_EQ(after_second.inserts, after_first.inserts)
+      << "nothing new to build: every asset was already resident";
+  EXPECT_EQ(after_second.lookups,
+            after_second.exact_hits + after_second.semantic_hits + after_second.misses);
+
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(first.content_length, second.content_length)
+      << "adopted families are bit-identical, so the served tiers match";
+}
+
+TEST_F(OriginServerTest, AssetStoreCanBeDisabledWithoutChangingResults) {
+  OriginOptions off;
+  off.asset_store_enabled = false;
+  const OriginServer disabled(sites(), off);
+  const OriginServer enabled(sites());
+  const auto request = get("a.example", {{"Save-Data", "on"}, {"X-Geo-Country", "ET"}});
+  const auto without = disabled.handle(request);
+  const auto with = enabled.handle(request);
+  EXPECT_EQ(disabled.asset_store_stats().lookups, 0u);
+  EXPECT_GT(enabled.asset_store_stats().lookups, 0u);
+  EXPECT_EQ(without.status, 200);
+  EXPECT_EQ(with.status, 200);
+  EXPECT_EQ(without.content_length, with.content_length)
+      << "the store only saves work; it never changes what is served";
 }
 
 TEST_F(OriginServerTest, ColdBuildFillsEveryStageHistogram) {

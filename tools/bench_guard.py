@@ -14,6 +14,13 @@ trajectory, not contract. Machine noise is absorbed by the default 25%
 tolerance; a genuine algorithmic regression (the integral-SSIM build, the
 factored-DCT ladder, the single-flight cache) overshoots it by design.
 
+Independent of the guarded set, every entry present in the committed
+baseline must still be present in the fresh JSON: a bench that silently
+stops emitting a metric would otherwise erode the baseline on the next
+`cp fresh -> committed` and un-guard it forever. Missing names are printed
+as MISSING lines and fail the run (fresh-only names are fine — that is how
+new metrics land).
+
 Usage:
   tools/bench_guard.py --committed BENCH_pipeline.json --fresh /tmp/fresh.json \
       --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
@@ -103,6 +110,11 @@ def main():
     committed = load_entries(args.committed)
     fresh = load_entries(args.fresh)
 
+    missing = [name for name in committed if name not in fresh]
+    for name in missing:
+        print(f"bench_guard: MISSING: {name}: in committed baseline "
+              f"but absent from fresh results", file=sys.stderr)
+
     failures = []
     for spec in args.metric:
         name, direction = parse_metric_spec(spec)
@@ -118,9 +130,11 @@ def main():
     if failures:
         for failure in failures:
             print(f"bench_guard: REGRESSION: {failure}", file=sys.stderr)
+    if failures or missing:
         return 1
     print(f"bench_guard: {len(args.metric)} metric(s) within "
-          f"{args.tolerance:.0%} of the committed baseline")
+          f"{args.tolerance:.0%} of the committed baseline; "
+          f"{len(committed)} baseline name(s) all present in fresh")
     return 0
 
 

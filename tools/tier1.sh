@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite in the standard configuration, plus the
-# robustness suite under ASan+UBSan (fault injection exercises the error
-# paths — exactly where lifetime and UB bugs hide), plus the full suite
-# under UBSan alone (cheap enough to run everything), plus the serving
-# suite under TSan (the tier cache and single-flight are the concurrent
+# robustness and asset-store suites under ASan+UBSan (fault injection and
+# eviction churn exercise the error paths — exactly where lifetime and UB
+# bugs hide), plus the full suite under UBSan alone (cheap enough to run
+# everything), plus the serving suite under TSan (the tier cache,
+# single-flight, and the content-addressed asset store are the concurrent
 # core). Every ctest run carries a per-test timeout so a deadline-
 # propagation bug hangs the suite loudly instead of forever.
 set -euo pipefail
@@ -14,16 +15,16 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target robustness_test >/dev/null
-(cd build-asan && ctest --output-on-failure --timeout 300 -R '^robustness_test$')
+cmake --build build-asan -j --target robustness_test serving_asset_store_test >/dev/null
+(cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test)$')
 
 cmake -B build-ubsan -S . -DAW4A_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test >/dev/null
-(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test|overload_test)$')
+cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test serving_asset_store_test >/dev/null
+(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test|overload_test|asset_store_test)$')
 
 # Release-mode perf smoke: the cold-build fast path must keep its speedups
 # (bench_perf_pipeline exits nonzero if any build mode, the integral SSIM, or
@@ -35,11 +36,17 @@ cmake --build build-tsan -j --target serving_test serving_stress_test serving_ov
 # bench_guard (>25% regression on a guarded metric fails the gate); only
 # then do they overwrite the repo-root JSONs.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j --target bench_perf_pipeline bench_serve_overload >/dev/null
+cmake --build build-perf -j --target bench_perf_pipeline bench_serve_overload bench_asset_dedup >/dev/null
 fresh_dir="$(mktemp -d)"
 trap 'rm -rf "$fresh_dir"' EXIT
 ./build-perf/bench/bench_perf_pipeline --repeat=2 --json="$fresh_dir/BENCH_pipeline.json"
 ./build-perf/bench/bench_serve_overload --json="$fresh_dir/BENCH_serving.json"
+# bench_asset_dedup exits nonzero on its own acceptance criteria (< 20%
+# bytes/time saved at 30% duplication, or the store changing any served
+# length); the guard then pins the bytes-built trajectory, which is a
+# deterministic function of the corpus — regressions here are algorithmic,
+# never noise.
+./build-perf/bench/bench_asset_dedup --json="$fresh_dir/BENCH_dedup.json"
 python3 tools/bench_guard.py \
   --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
   --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
@@ -48,7 +55,12 @@ python3 tools/bench_guard.py \
   --metric 'overload_2x/goodput' \
   --metric 'overload_4x/shed_service_p99_ms' \
   --metric 'overload_4x/shed_rate:lower'
+python3 tools/bench_guard.py \
+  --committed BENCH_dedup.json --fresh "$fresh_dir/BENCH_dedup.json" \
+  --metric 'dedup_30/bytes_built:lower' \
+  --metric 'dedup_30/bytes_saved_ratio'
 cp "$fresh_dir/BENCH_pipeline.json" BENCH_pipeline.json
 cp "$fresh_dir/BENCH_serving.json" BENCH_serving.json
+cp "$fresh_dir/BENCH_dedup.json" BENCH_dedup.json
 
 echo "tier1: OK"
