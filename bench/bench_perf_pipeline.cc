@@ -12,6 +12,12 @@
 //   encode-once  a full JPEG quality ladder encoded single-shot per rung vs.
 //                one prepare() + per-rung encode_prepared() (PR 5), with the
 //                rungs checked bit-identical
+//   rANS A/B     the same ladder under both entropy backends (PR 8): encode
+//                and decode wall time per backend plus the payload-byte
+//                reduction at equal SSIM (decoded rasters are checked
+//                pixel-identical across backends, so "equal SSIM" is exact,
+//                not approximate). Exits nonzero if rANS saves < 5% payload
+//                bytes or its ladder decode exceeds 1.5x its ladder encode.
 //
 // Every timed pair is also checked for equivalence: tier bytes/QSS must be
 // identical across build modes, and integral SSIM must match the reference
@@ -37,6 +43,7 @@
 #include "core/pipeline.h"
 #include "dataset/corpus.h"
 #include "imaging/codec.h"
+#include "imaging/codec_detail.h"
 #include "imaging/ssim.h"
 #include "imaging/synth.h"
 #include "util/rng.h"
@@ -291,12 +298,96 @@ int main(int argc, char** argv) {
   entries.push_back({"encode_ladder_factored", "ms", ladder_factored_ms});
   entries.push_back({"dct_factored_speedup", "x", factored_speedup});
 
+  // --- rANS entropy backend A/B: the same factored ladder with a real
+  // interleaved-rANS payload, plus the decode side of both backends. The
+  // Huffman backend has no bitstream (its payload is an analytic cost), so
+  // its "decode" is the dequantize+IDCT reconstruction on pre-parsed levels;
+  // the rANS decode additionally entropy-parses its payload blob. ---
+  std::vector<imaging::Encoded> rans_ladder;
+  const double ladder_rans_ms = time_best_ms(options.repeat, [&] {
+    rans_ladder.clear();
+    const imaging::Codec::PreparedPtr prep = jpeg.prepare(photo);
+    for (const int q : ladder_steps) {
+      rans_ladder.push_back(
+          jpeg.encode_prepared(*prep, q, imaging::EntropyBackend::kRans));
+    }
+  });
+
+  // Equal SSIM, proven not measured: entropy coding is lossless, so every
+  // rung must reconstruct the exact pixels of its Huffman twin.
+  double huff_payload = 0.0, rans_payload = 0.0;
+  for (std::size_t i = 0; i < ladder_steps.size(); ++i) {
+    if (rans_ladder[i].decoded.pixels() != factored[i].decoded.pixels()) {
+      std::fprintf(stderr, "FAIL: rANS rung q=%d decoded differently from Huffman\n",
+                   ladder_steps[i]);
+      ok = false;
+    }
+    huff_payload += static_cast<double>(factored[i].payload_bytes());
+    rans_payload += static_cast<double>(rans_ladder[i].payload_bytes());
+  }
+  const double rans_reduction =
+      huff_payload == 0.0 ? 0.0 : 1.0 - rans_payload / huff_payload;
+
+  // Decode inputs prepared outside the timers: levels for the Huffman path,
+  // payload blobs for the rANS path.
+  const imaging::detail::LossyParams jpeg_params =
+      imaging::detail::lossy_params_for(imaging::ImageFormat::kJpeg);
+  const imaging::detail::PreparedLossy prep_lossy =
+      imaging::detail::prepare_lossy(photo, jpeg_params);
+  std::vector<imaging::detail::DecodedLossy> ladder_levels;
+  for (const int q : ladder_steps) {
+    ladder_levels.push_back(imaging::detail::quantize_levels(prep_lossy, q, jpeg_params));
+  }
+  const double decode_huffman_ms = time_best_ms(options.repeat, [&] {
+    for (const auto& levels : ladder_levels) {
+      (void)imaging::detail::reconstruct_lossy(levels);
+    }
+  });
+  const double decode_rans_ms = time_best_ms(options.repeat, [&] {
+    for (const imaging::Encoded& enc : rans_ladder) {
+      (void)imaging::lossy_decode(enc.payload);
+    }
+  });
+  // Decode equivalence: the blob round-trips to the encoder's exact levels
+  // and pixels.
+  for (std::size_t i = 0; i < ladder_steps.size(); ++i) {
+    const imaging::detail::DecodedLossy parsed = imaging::detail::rans_parse_payload(
+        rans_ladder[i].payload.data(), rans_ladder[i].payload.size());
+    if (parsed.luma != ladder_levels[i].luma || parsed.cb != ladder_levels[i].cb ||
+        parsed.cr != ladder_levels[i].cr) {
+      std::fprintf(stderr, "FAIL: rANS payload q=%d did not round-trip its levels\n",
+                   ladder_steps[i]);
+      ok = false;
+    }
+    if (imaging::lossy_decode(rans_ladder[i].payload).pixels() !=
+        rans_ladder[i].decoded.pixels()) {
+      std::fprintf(stderr, "FAIL: lossy_decode q=%d diverged from Encoded.decoded\n",
+                   ladder_steps[i]);
+      ok = false;
+    }
+  }
+  if (rans_reduction < 0.05) {
+    std::fprintf(stderr, "FAIL: rANS payload reduction %.1f%% below the 5%% floor\n",
+                 rans_reduction * 100.0);
+    ok = false;
+  }
+  if (decode_rans_ms > 1.5 * ladder_rans_ms) {
+    std::fprintf(stderr, "FAIL: rANS ladder decode %.2fms exceeds 1.5x encode %.2fms\n",
+                 decode_rans_ms, ladder_rans_ms);
+    ok = false;
+  }
+  entries.push_back({"encode_ladder_rans", "ms", ladder_rans_ms});
+  entries.push_back({"decode_ladder_huffman", "ms", decode_huffman_ms});
+  entries.push_back({"decode_ladder_rans", "ms", decode_rans_ms});
+  entries.push_back({"rans_payload_reduction", "ratio", rans_reduction});
+
   std::printf("\n%-34s %10s %10s\n", "benchmark", "value", "unit");
   for (const Entry& e : entries) {
     std::printf("%-34s %10.3f %10s\n", e.name.c_str(), e.value, e.unit.c_str());
   }
-  std::printf("\ncold build: %.1fx faster; dense SSIM: %.1fx faster\n", build_speedup,
-              dense_speedup);
+  std::printf("\ncold build: %.1fx faster; dense SSIM: %.1fx faster; "
+              "rANS payload: %.1f%% smaller at equal SSIM\n",
+              build_speedup, dense_speedup, rans_reduction * 100.0);
 
   write_json(options.json_path, entries);
   std::printf("wrote %s\n", options.json_path.c_str());

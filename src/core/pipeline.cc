@@ -19,6 +19,7 @@ imaging::LadderOptions Aw4aPipeline::ladder_options() const {
   // A little slack below Qt so the Bytes Efficiency probe can reach the
   // threshold from below.
   options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
+  options.entropy_backend = config_.entropy_backend;
   return options;
 }
 
@@ -56,6 +57,7 @@ TranscodeResult Aw4aPipeline::transcode_to_target(const web::WebPage& page, Byte
   // different variant space than a fresh run — reject the mismatch up front.
   AW4A_EXPECTS(ladders.options().min_ssim == ladder_options().min_ssim);
   AW4A_EXPECTS(ladders.options().metric == ladder_options().metric);
+  AW4A_EXPECTS(ladders.options().entropy_backend == ladder_options().entropy_backend);
   const double started = ctx.now();
   auto elapsed = [&] { return ctx.now() - started; };
 

@@ -56,6 +56,13 @@ struct DeveloperConfig {
   /// happens — so it is deliberately NOT part of the serving tier-cache
   /// config fingerprint.
   int prewarm_workers = 0;
+  /// Entropy coder of the lossy codec family for every variant measured
+  /// under this config (DESIGN.md §13): kHuffman is the analytic cost
+  /// model, kRans actually entropy-codes the coefficients (fewer bytes at
+  /// identical SSIM, more encode CPU). Flows into ladder_options() and IS
+  /// part of the config fingerprint — cached tiers and asset-store recipes
+  /// built under different backends never mix.
+  imaging::EntropyBackend entropy_backend = imaging::EntropyBackend::kHuffman;
 };
 
 /// One pre-generated low-complexity version of a page.

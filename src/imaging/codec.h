@@ -18,8 +18,10 @@
 // enumeration and one-off encodes can never diverge.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "imaging/raster.h"
 #include "util/bytes.h"
@@ -30,6 +32,16 @@ enum class ImageFormat { kJpeg, kPng, kWebp };
 
 const char* to_string(ImageFormat f);
 
+/// Entropy back end of the lossy codec family (DESIGN.md §13). kHuffman is
+/// the original analytic optimal-Huffman cost model (no bitstream exists);
+/// kRans produces a real, decodable interleaved-rANS payload whose measured
+/// size replaces the model. Entropy coding is lossless, so the decoded
+/// raster — and therefore SSIM — is identical under both; only bytes and
+/// CPU differ. Lossless codecs (PNG, WebP q>=100) ignore the choice.
+enum class EntropyBackend : std::uint8_t { kHuffman = 0, kRans = 1 };
+
+const char* to_string(EntropyBackend b);
+
 /// Result of an encode: wire size plus what the user would see.
 struct Encoded {
   ImageFormat format = ImageFormat::kJpeg;
@@ -39,6 +51,12 @@ struct Encoded {
                            ///< variant ladder scales proxy rasters up to
                            ///< page-scale wire sizes)
   Raster decoded;
+  EntropyBackend entropy = EntropyBackend::kHuffman;
+  /// kRans only: the self-contained payload blob (tables + states + streams,
+  /// DESIGN.md §13) that lossy_decode() round-trips bit-exactly back to
+  /// `decoded`. Empty for kHuffman and the lossless codecs. Stored raw
+  /// (pre-payload_scale); `bytes`/`header_bytes` carry the scaled accounting.
+  std::vector<std::uint8_t> payload;
 
   Bytes payload_bytes() const { return bytes > header_bytes ? bytes - header_bytes : 1; }
 };
@@ -64,34 +82,48 @@ class Codec {
   virtual bool supports_alpha() const = 0;
 
   /// Encodes at `quality` in [1, 100] (ignored by lossless codecs).
-  virtual Encoded encode(const Raster& img, int quality) const = 0;
+  virtual Encoded encode(const Raster& img, int quality,
+                         EntropyBackend backend = EntropyBackend::kHuffman) const = 0;
 
   /// Runs the quality-independent encode work once. The default
   /// implementation holds a copy of the raster, making encode_prepared()
   /// equivalent to encode() for codecs with nothing to factor (PNG).
+  /// Backend-independent: the entropy coder is downstream of the DCT.
   virtual PreparedPtr prepare(const Raster& img) const;
 
   /// Encodes one quality rung from a prepare() result. Bit-identical to
-  /// encode(img, quality) on the raster prepare() was given.
-  virtual Encoded encode_prepared(const Prepared& prep, int quality) const;
+  /// encode(img, quality, backend) on the raster prepare() was given.
+  virtual Encoded encode_prepared(const Prepared& prep, int quality,
+                                  EntropyBackend backend = EntropyBackend::kHuffman) const;
 };
 
 /// Returns the singleton codec for a format.
 const Codec& codec_for(ImageFormat f);
 
 /// Free-function encoders (the Codec singletons delegate to these).
-Encoded jpeg_encode(const Raster& img, int quality);
+Encoded jpeg_encode(const Raster& img, int quality,
+                    EntropyBackend backend = EntropyBackend::kHuffman);
 Encoded png_encode(const Raster& img);                  ///< lossless
-Encoded webp_encode(const Raster& img, int quality);    ///< lossy + alpha plane
+Encoded webp_encode(const Raster& img, int quality,     ///< lossy + alpha plane
+                    EntropyBackend backend = EntropyBackend::kHuffman);
 Encoded webp_lossless_encode(const Raster& img);
 
 /// Factored lossy entry points (the Codec singletons delegate to these).
 /// Each fires the same "codec.<fmt>.encode" fault point as the single-shot
 /// encoder, so retry and fault-injection behavior is uniform per invocation.
 Codec::PreparedPtr jpeg_prepare(const Raster& img);
-Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality);
+Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality,
+                             EntropyBackend backend = EntropyBackend::kHuffman);
 Codec::PreparedPtr webp_prepare(const Raster& img);
-Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality);
+Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality,
+                             EntropyBackend backend = EntropyBackend::kHuffman);
+
+/// Decodes an EntropyBackend::kRans payload blob back to the raster. The
+/// result is bit-identical to the `Encoded.decoded` the encoder returned
+/// (alpha-less formats; a kept WebP alpha plane is cost-modeled, not coded,
+/// so it decodes opaque). Throws aw4a::Error on truncated/corrupt input —
+/// never reads out of bounds.
+Raster lossy_decode(const std::vector<std::uint8_t>& payload);
 
 /// Picks a plausible original format for a synthesized image: logos/icons and
 /// anything with alpha ship as PNG, photographic content as JPEG.

@@ -26,6 +26,25 @@ struct LossyParams {
   Bytes header_bytes = 0;
   /// Whether the format carries an alpha plane (encoded losslessly).
   bool alpha = false;
+  /// Which entropy coder prices (kHuffman) or produces (kRans) the payload.
+  EntropyBackend entropy = EntropyBackend::kHuffman;
+};
+
+/// The lossy-family knobs for a format (entropy left at kHuffman; callers
+/// overlay the requested backend). Only kJpeg and kWebp are lossy.
+LossyParams lossy_params_for(ImageFormat format);
+
+/// Calibration of solver-facing byte estimates across entropy backends.
+/// kRansVsHuffman is the measured mean ratio of real rANS payload bytes to
+/// the Huffman-model payload estimate over the synth corpus x the default
+/// quality ladder; ImagingAnsTest.EntropyCostCalibration pins it with a
+/// tolerance band so drift in either coder shows up in CI.
+struct EntropyCost {
+  static constexpr double kRansVsHuffman = 0.86;
+
+  static double payload_multiplier(EntropyBackend backend) {
+    return backend == EntropyBackend::kRans ? kRansVsHuffman : 1.0;
+  }
 };
 
 /// The quality-independent half of a lossy encode: YCbCr conversion, 4:2:0
@@ -69,6 +88,37 @@ Encoded lossy_encode_prepared(const PreparedLossy& prep, int quality,
 /// Full encode: 4:2:0 YCbCr DCT quantization with an optimal-Huffman entropy
 /// cost estimate. Returns wire bytes and the decoded raster.
 Encoded lossy_encode(const Raster& img, int quality, const LossyParams& params);
+
+/// The quantized coefficient levels of every plane at one quality rung —
+/// exactly what the entropy backends code. Blocks in row-major order, 64
+/// levels each in natural (row-major pixel) order; chroma dims are the
+/// subsampled plane's. This is both the encoder's capture (quantize_levels)
+/// and the decoder's output (rans_parse_payload), so round-trip tests can
+/// compare coefficient blocks bit-exactly without touching pixels.
+struct DecodedLossy {
+  ImageFormat format = ImageFormat::kJpeg;
+  int quality = 0;
+  int width = 0;   ///< luma pixel dims
+  int height = 0;
+  std::vector<std::int16_t> luma;
+  std::vector<std::int16_t> cb;
+  std::vector<std::int16_t> cr;
+};
+
+/// Quantizes `prep` at `quality` and returns the levels (no entropy work).
+DecodedLossy quantize_levels(const PreparedLossy& prep, int quality,
+                             const LossyParams& params);
+
+/// Entropy-decodes a kRans payload blob to levels. Throws aw4a::Error on
+/// truncated or corrupt input; never reads out of bounds.
+DecodedLossy rans_parse_payload(const std::uint8_t* data, std::size_t size);
+
+/// Dequantize + masked inverse DCT + chroma upsample + color conversion —
+/// the decode-side reconstruction both backends share (the Huffman backend
+/// has no bitstream to parse, so this alone is its decode path; see
+/// bench_perf_pipeline's decode_ladder_huffman). Bit-identical to the
+/// `Encoded.decoded` the encoder produced for the same levels.
+Raster reconstruct_lossy(const DecodedLossy& levels);
 
 /// PNG-style per-row filtering (best-of None/Sub/Up/Average/Paeth by the
 /// minimum-sum-of-absolute-differences heuristic); returns the filtered byte

@@ -12,21 +12,17 @@
 namespace aw4a::imaging {
 namespace {
 
-detail::LossyParams jpeg_params() {
-  return detail::LossyParams{
-      .format = ImageFormat::kJpeg,
-      .payload_scale = 1.0,
-      .hf_quant_scale = 1.0,
-      .header_bytes = 330,  // SOI + DQTx2 + SOF0 + DHTx4 + SOS
-      .alpha = false,
-  };
+detail::LossyParams jpeg_params(EntropyBackend backend = EntropyBackend::kHuffman) {
+  detail::LossyParams params = detail::lossy_params_for(ImageFormat::kJpeg);
+  params.entropy = backend;
+  return params;
 }
 
 }  // namespace
 
-Encoded jpeg_encode(const Raster& img, int quality) {
+Encoded jpeg_encode(const Raster& img, int quality, EntropyBackend backend) {
   AW4A_FAULT_POINT("codec.jpeg.encode");
-  return detail::lossy_encode(img, quality, jpeg_params());
+  return detail::lossy_encode(img, quality, jpeg_params(backend));
 }
 
 Codec::PreparedPtr jpeg_prepare(const Raster& img) {
@@ -36,11 +32,12 @@ Codec::PreparedPtr jpeg_prepare(const Raster& img) {
   return prep;
 }
 
-Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality) {
+Encoded jpeg_encode_prepared(const Codec::Prepared& prep, int quality,
+                             EntropyBackend backend) {
   AW4A_FAULT_POINT("codec.jpeg.encode");
   const auto* lossy = dynamic_cast<const detail::LossyPreparedImage*>(&prep);
   AW4A_EXPECTS(lossy != nullptr);
-  return detail::lossy_encode_prepared(lossy->planes, quality, jpeg_params());
+  return detail::lossy_encode_prepared(lossy->planes, quality, jpeg_params(backend));
 }
 
 }  // namespace aw4a::imaging

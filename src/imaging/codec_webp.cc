@@ -13,21 +13,17 @@
 namespace aw4a::imaging {
 namespace {
 
-detail::LossyParams webp_params() {
-  return detail::LossyParams{
-      .format = ImageFormat::kWebp,
-      .payload_scale = 0.72,
-      .hf_quant_scale = 0.85,
-      .header_bytes = 60,  // RIFF/VP8 headers are far leaner than JFIF
-      .alpha = true,
-  };
+detail::LossyParams webp_params(EntropyBackend backend = EntropyBackend::kHuffman) {
+  detail::LossyParams params = detail::lossy_params_for(ImageFormat::kWebp);
+  params.entropy = backend;
+  return params;
 }
 
 }  // namespace
 
-Encoded webp_encode(const Raster& img, int quality) {
+Encoded webp_encode(const Raster& img, int quality, EntropyBackend backend) {
   AW4A_FAULT_POINT("codec.webp.encode");
-  return detail::lossy_encode(img, quality, webp_params());
+  return detail::lossy_encode(img, quality, webp_params(backend));
 }
 
 Encoded webp_lossless_encode(const Raster& img) {
@@ -55,12 +51,13 @@ Codec::PreparedPtr webp_prepare(const Raster& img) {
   return prep;
 }
 
-Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality) {
+Encoded webp_encode_prepared(const Codec::Prepared& prep, int quality,
+                             EntropyBackend backend) {
   const auto* lossy = dynamic_cast<const detail::LossyPreparedImage*>(&prep);
   AW4A_EXPECTS(lossy != nullptr);
   if (quality >= 100) return webp_lossless_encode(lossy->raster);
   AW4A_FAULT_POINT("codec.webp.encode");
-  return detail::lossy_encode_prepared(lossy->planes, quality, webp_params());
+  return detail::lossy_encode_prepared(lossy->planes, quality, webp_params(backend));
 }
 
 }  // namespace aw4a::imaging

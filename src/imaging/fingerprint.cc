@@ -53,6 +53,10 @@ std::uint64_t ladder_options_fingerprint(const LadderOptions& options) {
   h = hash_mix(h, options.min_scale);
   h = hash_mix(h, static_cast<std::uint64_t>(options.quality_steps.size()));
   for (const int q : options.quality_steps) h = hash_mix(h, static_cast<std::uint64_t>(q));
+  // The entropy backend changes every measured byte count, so ladders (and
+  // therefore AssetStore recipes, which embed this fingerprint) must never
+  // mix backends.
+  h = hash_mix(h, static_cast<std::uint64_t>(options.entropy_backend));
   return h;
 }
 

@@ -53,10 +53,12 @@ const char* encode_span_name(ImageFormat format) {
 // fault (crashed worker, injected fault) is retried once before the error
 // escapes to the tier-build ladder. The prepare/encode_prepared pair gets
 // the same treatment — each fires the codec's fault point per invocation.
-Encoded encode_retrying(ImageFormat format, const Raster& raster, int quality) {
+Encoded encode_retrying(ImageFormat format, const Raster& raster, int quality,
+                        EntropyBackend backend = EntropyBackend::kHuffman) {
   RetryOptions retry;
   retry.max_attempts = 2;
-  return retry_transient([&] { return codec_for(format).encode(raster, quality); }, retry);
+  return retry_transient([&] { return codec_for(format).encode(raster, quality, backend); },
+                         retry);
 }
 
 Codec::PreparedPtr prepare_retrying(ImageFormat format, const Raster& raster) {
@@ -65,11 +67,12 @@ Codec::PreparedPtr prepare_retrying(ImageFormat format, const Raster& raster) {
   return retry_transient([&] { return codec_for(format).prepare(raster); }, retry);
 }
 
-Encoded encode_prepared_retrying(ImageFormat format, const Codec::Prepared& prep, int quality) {
+Encoded encode_prepared_retrying(ImageFormat format, const Codec::Prepared& prep, int quality,
+                                 EntropyBackend backend = EntropyBackend::kHuffman) {
   RetryOptions retry;
   retry.max_attempts = 2;
-  return retry_transient([&] { return codec_for(format).encode_prepared(prep, quality); },
-                         retry);
+  return retry_transient(
+      [&] { return codec_for(format).encode_prepared(prep, quality, backend); }, retry);
 }
 
 // Ladder-measurement work counters (build_work_stats). Bumped at the
@@ -147,12 +150,13 @@ ImageVariant VariantLadder::original() const {
 Bytes wire_header_bytes() { return 420; }
 
 ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
-                             int quality, const obs::RequestContext& ctx) {
+                             int quality, const obs::RequestContext& ctx,
+                             EntropyBackend backend) {
   ctx.check("imaging.measure_variant");
   const Raster reduced = reduce_resolution(asset.original, scale);
   Encoded enc = [&] {
     AW4A_SPAN(ctx, encode_span_name(format));
-    return encode_retrying(format, reduced, quality);
+    return encode_retrying(format, reduced, quality, backend);
   }();
   count_encode(enc);
   const Raster shown = redisplay(enc.decoded, asset.original.width(), asset.original.height());
@@ -217,7 +221,7 @@ ImageVariant VariantLadder::measure(ImageFormat format, double scale, int qualit
   const Raster& reduced = reduced_raster(scale);
   Encoded enc = [&] {
     AW4A_SPAN(ctx, encode_span_name(format));
-    return encode_retrying(format, reduced, quality);
+    return encode_retrying(format, reduced, quality, options_.entropy_backend);
   }();
   return finish_measurement(enc, format, scale, quality, ctx);
 }
@@ -228,7 +232,7 @@ ImageVariant VariantLadder::measure_prepared(ImageFormat format, const Codec::Pr
   ctx.check("imaging.measure");
   Encoded enc = [&] {
     AW4A_SPAN(ctx, encode_span_name(format));
-    return encode_prepared_retrying(format, prep, quality);
+    return encode_prepared_retrying(format, prep, quality, options_.entropy_backend);
   }();
   return finish_measurement(enc, format, scale, quality, ctx);
 }
@@ -386,6 +390,9 @@ Raster VariantLadder::render_variant(const ImageVariant& v) const {
 Raster render_variant(const SourceImage& asset, const ImageVariant& v) {
   if (v.is_original) return asset.original;
   const Raster reduced = reduce_resolution(asset.original, v.scale);
+  // Entropy coding is lossless, so the decoded raster is identical under
+  // either backend; rendering always takes the cheap Huffman path even for
+  // ladders measured with rANS.
   const Encoded enc = encode_retrying(v.format, reduced, v.quality);
   return redisplay(enc.decoded, asset.original.width(), asset.original.height());
 }

@@ -77,6 +77,10 @@ struct LadderOptions {
   double min_scale = 0.1;
   /// Quality steps of the Grid Search family (at full resolution).
   std::vector<int> quality_steps = {92, 85, 75, 65, 55, 45, 35};
+  /// Entropy coder of the lossy codecs for every measured variant. Part of
+  /// ladder identity: mixed into ladder_options_fingerprint(), so TierCache
+  /// entries and AssetStore recipes never mix backends.
+  EntropyBackend entropy_backend = EntropyBackend::kHuffman;
 };
 
 /// Re-creates the decoded, redisplayed raster of a variant of `asset` — what
@@ -116,7 +120,8 @@ Bytes wire_header_bytes();
 /// "encode.<fmt>" / "ssim" spans when tracing.
 ImageVariant measure_variant(const SourceImage& asset, ImageFormat format, double scale,
                              int quality,
-                             const obs::RequestContext& ctx = obs::RequestContext::none());
+                             const obs::RequestContext& ctx = obs::RequestContext::none(),
+                             EntropyBackend backend = EntropyBackend::kHuffman);
 
 /// Lazily enumerated, memoized variant space for one asset.
 class VariantLadder {

@@ -54,6 +54,8 @@ namespace aw4a::serving {
 class Overloaded : public Error {
  public:
   explicit Overloaded(const std::string& what) : Error(what) {}
+  std::shared_ptr<const Error> clone() const override { return std::make_shared<Overloaded>(*this); }
+  [[noreturn]] void raise() const override { throw Overloaded(*this); }
 };
 
 struct BuildQueueOptions {

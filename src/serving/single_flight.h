@@ -1,10 +1,11 @@
 // Single-flight build collapsing — the thundering-herd guard in front of
 // TierCache. When N threads miss on the same key at once, exactly one (the
 // leader) runs the expensive build; the other N-1 join the flight, block,
-// and share the leader's result. A leader failure is propagated through a
-// shared exception_ptr to every member of that flight and the flight
-// dissolves, so the next request elects a fresh leader: one failure is
-// observed once per waiting request, never retried N times concurrently.
+// and share the leader's result. A leader failure is snapshotted once
+// (Error::clone) and re-raised as a private copy in every member of that
+// flight, then the flight dissolves, so the next request elects a fresh
+// leader: one failure is observed once per waiting request, never retried
+// N times concurrently.
 //
 // The registry lock is held only to find/erase flights and publish results;
 // the build itself runs unlocked, so flights for different keys proceed in
@@ -29,6 +30,8 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+
+#include "util/error.h"
 
 namespace aw4a::serving {
 
@@ -68,7 +71,8 @@ class SingleFlight {
                                        seen, deadline_at, std::memory_order_relaxed)) {
       }
       flight->done_cv.wait(lock, [&] { return flight->done; });
-      if (flight->error) std::rethrow_exception(flight->error);
+      if (flight->error) flight->error->raise();
+      if (flight->raw_error) std::rethrow_exception(flight->raw_error);
       return flight->value;
     }
     const auto flight = std::make_shared<Flight>();
@@ -78,16 +82,20 @@ class SingleFlight {
     lock.unlock();
 
     ValuePtr value;
-    std::exception_ptr error;
+    std::shared_ptr<const Error> error;
+    std::exception_ptr raw_error;
     try {
       value = build(flight->deadline_union);
+    } catch (const Error& e) {
+      error = e.clone();
     } catch (...) {
-      error = std::current_exception();
+      raw_error = std::current_exception();
     }
 
     lock.lock();
     flight->value = std::move(value);
     flight->error = error;
+    flight->raw_error = raw_error;
     flight->done = true;
     flights_.erase(key);
     lock.unlock();
@@ -95,7 +103,8 @@ class SingleFlight {
     // the erase (and outside the lock) is safe and wakes them uncontended.
     flight->done_cv.notify_all();
 
-    if (error) std::rethrow_exception(error);
+    if (error) error->raise();
+    if (raw_error) std::rethrow_exception(raw_error);
     return flight->value;
   }
 
@@ -111,9 +120,18 @@ class SingleFlight {
 
  private:
   struct Flight {
-    bool done = false;         // guarded by mutex_
-    ValuePtr value;            // written once, before done flips
-    std::exception_ptr error;  // likewise
+    bool done = false;  // guarded by mutex_
+    ValuePtr value;     // written once, before done flips
+    /// A failed leader's aw4a::Error, snapshotted via clone(); every member
+    /// of the flight raise()s its own fresh copy. Rethrowing one shared
+    /// exception_ptr from N threads would hand them all the same exception
+    /// object, refcounted inside the uninstrumented C++ runtime — a pattern
+    /// ThreadSanitizer reports as a race on the object's destruction.
+    std::shared_ptr<const Error> error;  // written once, before done flips
+    /// Fallback for non-Error exceptions (LogicError, bad_alloc): those
+    /// indicate a bug rather than a recoverable failure, so the shared
+    /// rethrow is acceptable there.
+    std::exception_ptr raw_error;  // likewise
     std::condition_variable done_cv;
     /// Max over the leader's and every joiner's deadline (monotonic
     /// seconds); the leader's build reads it live through the reference

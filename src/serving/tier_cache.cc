@@ -40,6 +40,9 @@ std::uint64_t config_fingerprint(const core::DeveloperConfig& config) {
   h = mix(h, static_cast<std::uint64_t>(config.js_strategy));
   h = mix(h, config.stage2_deadline_seconds);
   h = mix(h, static_cast<std::uint64_t>(config.tier_build_attempts));
+  // The entropy backend changes every measured byte count, so tiers built
+  // under different backends must never be served interchangeably.
+  h = mix(h, static_cast<std::uint64_t>(config.entropy_backend));
   // config.prewarm_workers is deliberately excluded: it only parallelizes
   // ladder enumeration and cannot change tier contents, so caching across
   // different worker counts is correct (and desirable).

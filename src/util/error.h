@@ -12,6 +12,7 @@
 // aggregated report names the tier/object/stage a failure came from.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -29,6 +30,18 @@ class Error : public std::runtime_error {
   /// with_context to build a chain while preserving the dynamic type.
   void add_context(const std::string& context) { message_ = context + ": " + message_; }
 
+  /// Type-preserving copy and re-throw, for propagating one failure to many
+  /// threads. Rethrowing a shared std::exception_ptr from several threads
+  /// at once hands every thread the SAME exception object, whose lifetime
+  /// is refcounted inside the (uninstrumented) C++ runtime — ThreadSanitizer
+  /// cannot see that synchronization and flags reads of the object against
+  /// its eventual destruction. clone() snapshots the failure once and
+  /// raise() throws each consumer a fresh copy, keeping every exception
+  /// object thread-private. Every subclass overrides both (same two lines)
+  /// so the dynamic type survives the round trip.
+  virtual std::shared_ptr<const Error> clone() const { return std::make_shared<Error>(*this); }
+  [[noreturn]] virtual void raise() const { throw Error(*this); }
+
  private:
   std::string message_;
 };
@@ -44,6 +57,8 @@ class LogicError : public std::logic_error {
 class Infeasible : public Error {
  public:
   explicit Infeasible(const std::string& what) : Error(what) {}
+  std::shared_ptr<const Error> clone() const override { return std::make_shared<Infeasible>(*this); }
+  [[noreturn]] void raise() const override { throw Infeasible(*this); }
 };
 
 /// A failure that may succeed on retry (injected faults, exhausted scratch
@@ -51,6 +66,8 @@ class Infeasible : public Error {
 class TransientError : public Error {
  public:
   explicit TransientError(const std::string& what) : Error(what) {}
+  std::shared_ptr<const Error> clone() const override { return std::make_shared<TransientError>(*this); }
+  [[noreturn]] void raise() const override { throw TransientError(*this); }
 };
 
 /// A work unit ran out of wall-clock budget. Never retried (the budget will
@@ -58,6 +75,8 @@ class TransientError : public Error {
 class DeadlineExceeded : public Error {
  public:
   explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+  std::shared_ptr<const Error> clone() const override { return std::make_shared<DeadlineExceeded>(*this); }
+  [[noreturn]] void raise() const override { throw DeadlineExceeded(*this); }
 };
 
 /// Runs `fn`, prefixing any aw4a::Error that escapes with `context`. The

@@ -34,6 +34,8 @@ namespace aw4a::fault {
 class InjectedFault : public TransientError {
  public:
   explicit InjectedFault(const std::string& what) : TransientError(what) {}
+  std::shared_ptr<const Error> clone() const override { return std::make_shared<InjectedFault>(*this); }
+  [[noreturn]] void raise() const override { throw InjectedFault(*this); }
 };
 
 /// When an armed point fires.

@@ -4,11 +4,16 @@
 // of any calibration target.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/grid_search.h"
 #include "core/paw.h"
 #include "core/pipeline.h"
 #include "core/rbr.h"
 #include "dataset/corpus.h"
+#include "imaging/ans.h"
+#include "imaging/codec.h"
+#include "imaging/synth.h"
 #include "net/compress.h"
 #include "net/http.h"
 #include "util/rng.h"
@@ -180,6 +185,84 @@ TEST_P(PropertyTest, CachedCostNeverExceedsColdCost) {
   const double cached = page.cached_transfer_size();
   EXPECT_LE(cached, static_cast<double>(page.transfer_size()) + 1e-6);
   EXPECT_GT(cached, 0.0);
+}
+
+// --- rANS entropy coder ---------------------------------------------------
+
+TEST_P(PropertyTest, RansRoundTripsRandomSymbolStreams) {
+  Rng rng(GetParam() ^ 0xA45);
+  // Random alphabet size, length, and skew each seed — including degenerate
+  // shapes: single-symbol runs, uniform tables, and heavy ESCAPE folding.
+  const int n_alphabet = static_cast<int>(rng.uniform_int(1, 256));
+  const int length = static_cast<int>(rng.uniform_int(0, 4000));
+  const double skew = rng.uniform(0.0, 3.0);
+  std::vector<int> symbols(static_cast<std::size_t>(length));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n_alphabet), 0);
+  for (int& s : symbols) {
+    const double u = rng.uniform(0.0, 1.0);
+    s = static_cast<int>(std::pow(u, 1.0 + skew) * n_alphabet);
+    s = std::min(s, n_alphabet - 1);
+    counts[static_cast<std::size_t>(s)]++;
+  }
+  namespace ans = imaging::ans;
+  const ans::FreqTable table = ans::build_table(counts.data(), n_alphabet);
+  std::vector<ans::SymbolRef> ops;
+  ans::BitWriter side;
+  for (const int s : symbols) {
+    if (table.has(s)) {
+      ops.push_back({0, static_cast<std::uint16_t>(s)});
+    } else {
+      ops.push_back({0, static_cast<std::uint16_t>(ans::kEscapeSymbol)});
+      side.put(static_cast<std::uint32_t>(s), 8);
+    }
+  }
+  const ans::EncodedStreams enc = ans::encode_interleaved(ops, {table});
+  const std::vector<std::uint8_t> side_bytes = side.finish();
+  ans::InterleavedDecoder dec(enc.states, enc.stream.data(), enc.stream.size());
+  ans::BitReader side_in(side_bytes.data(), side_bytes.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    int s = dec.get(table);
+    if (s == ans::kEscapeSymbol && !table.has(symbols[i])) {
+      s = static_cast<int>(side_in.get(8));
+    }
+    ASSERT_EQ(s, symbols[i]);
+  }
+  dec.expect_exhausted();
+}
+
+TEST_P(PropertyTest, RansPayloadDecodeNeverReadsOutOfBounds) {
+  // Truncations and random byte corruptions of a real payload blob must
+  // either throw aw4a::Error or decode to something — never crash or read
+  // out of bounds (the sanitizer tier-1 legs re-run this).
+  Rng rng(GetParam() ^ 0xDEC0DE);
+  Rng img_rng(GetParam());
+  const imaging::Raster img =
+      imaging::synth_image(img_rng, imaging::ImageClass::kPhoto, 48, 48);
+  const int quality = static_cast<int>(rng.uniform_int(30, 95));
+  const std::vector<std::uint8_t> blob =
+      imaging::jpeg_encode(img, quality, imaging::EntropyBackend::kRans).payload;
+  ASSERT_FALSE(blob.empty());
+  // Exact round trip on the pristine blob.
+  (void)imaging::lossy_decode(blob);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::uint8_t> bad = blob;
+    if (rng.bernoulli(0.5)) {
+      bad.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1)));
+    } else {
+      const int flips = static_cast<int>(rng.uniform_int(1, 8));
+      for (int f = 0; f < flips; ++f) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1));
+        bad[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+    }
+    try {
+      (void)imaging::lossy_decode(bad);
+    } catch (const Error&) {
+      // Clean rejection is the expected common case.
+    }
+  }
 }
 
 // --- HTTP parser robustness -----------------------------------------------

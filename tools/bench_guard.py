@@ -122,8 +122,16 @@ def main():
         committed_value = committed.get(name, (float("nan"),))[0]
         fresh_value = fresh.get(name, (float("nan"),))[0]
         status = "FAIL" if error else "ok"
+        # Percent delta vs committed, printed for every compared metric so a
+        # slow drift is visible in CI logs long before it trips the tolerance.
+        if committed_value == committed_value and fresh_value == fresh_value \
+                and committed_value != 0:
+            delta = (fresh_value - committed_value) / committed_value
+            delta_str = f" ({delta:+.1%})"
+        else:
+            delta_str = ""
         print(f"bench_guard: {status:4s} {name}: committed {committed_value:g}, "
-              f"fresh {fresh_value:g}")
+              f"fresh {fresh_value:g}{delta_str}")
         if error:
             failures.append(error)
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite in the standard configuration, plus the
-# robustness and asset-store suites under ASan+UBSan (fault injection and
-# eviction churn exercise the error paths — exactly where lifetime and UB
-# bugs hide), plus the full suite under UBSan alone (cheap enough to run
-# everything), plus the serving suite under TSan (the tier cache,
+# robustness, asset-store, and rANS-coder suites under ASan+UBSan (fault
+# injection, eviction churn, and attacker-controlled entropy-coded payloads
+# exercise the error paths — exactly where lifetime and UB bugs hide), plus
+# the full suite under UBSan alone (cheap enough to run everything), plus
+# the serving suite and the rANS coder under TSan (the tier cache,
 # single-flight, and the content-addressed asset store are the concurrent
-# core). Every ctest run carries a per-test timeout so a deadline-
-# propagation bug hangs the suite loudly instead of forever.
+# core; the coder's thread-local scratch must stay race-free under the
+# ladder's worker pool). Every ctest run carries a per-test timeout so a
+# deadline-propagation bug hangs the suite loudly instead of forever.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,16 +17,16 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target robustness_test serving_asset_store_test >/dev/null
-(cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test)$')
+cmake --build build-asan -j --target robustness_test serving_asset_store_test imaging_ans_test >/dev/null
+(cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test|imaging_ans_test)$')
 
 cmake -B build-ubsan -S . -DAW4A_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test serving_asset_store_test >/dev/null
-(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^serving_(test|stress_test|overload_test|asset_store_test)$')
+cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test serving_asset_store_test imaging_ans_test >/dev/null
+(cd build-tsan && ctest --output-on-failure --timeout 300 -R '^(serving_(test|stress_test|overload_test|asset_store_test)|imaging_ans_test)$')
 
 # Release-mode perf smoke: the cold-build fast path must keep its speedups
 # (bench_perf_pipeline exits nonzero if any build mode, the integral SSIM, or
@@ -49,7 +51,9 @@ trap 'rm -rf "$fresh_dir"' EXIT
 ./build-perf/bench/bench_asset_dedup --json="$fresh_dir/BENCH_dedup.json"
 python3 tools/bench_guard.py \
   --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
-  --metric cold_build_tiers_shared_cache --metric ssim_dense_integral
+  --metric cold_build_tiers_shared_cache --metric ssim_dense_integral \
+  --metric encode_ladder_rans --metric decode_ladder_huffman \
+  --metric decode_ladder_rans --metric rans_payload_reduction
 python3 tools/bench_guard.py \
   --committed BENCH_serving.json --fresh "$fresh_dir/BENCH_serving.json" \
   --metric 'overload_2x/goodput' \
