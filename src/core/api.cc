@@ -6,13 +6,23 @@
 
 namespace aw4a::core {
 
+// Savings plateaus are the normal case with heterogeneous rungs: ultra-low
+// tiers that bottom out on the same markup blob, or failed tiers borrowing a
+// neighbor's result, produce runs of (near-)identical savings. Selection over
+// such a plateau must be deterministic and mildest-wins, so both pickers
+// compare with an epsilon and keep the earliest (mildest) index on ties —
+// floating noise in the last bits can never flip the served tier.
+namespace {
+constexpr double kTieEps = 1e-9;
+}
+
 std::size_t closest_savings_tier(std::span<const Tier> tiers, double preferred_pct) {
   AW4A_EXPECTS(!tiers.empty());
   std::size_t best = 0;
   double best_gap = 1e300;
   for (std::size_t i = 0; i < tiers.size(); ++i) {
     const double gap = std::abs(tiers[i].savings_fraction() * 100.0 - preferred_pct);
-    if (gap < best_gap) {
+    if (gap + kTieEps < best_gap) {
       best_gap = gap;
       best = i;
     }
@@ -24,17 +34,26 @@ std::size_t paw_tier(std::span<const Tier> tiers, const dataset::Country& countr
                      net::PlanType plan) {
   AW4A_EXPECTS(!tiers.empty());
   const double paw = paw_index(country, plan);
-  // The mildest tier whose achieved reduction is at least PAW.
-  std::size_t best = tiers.size() - 1;  // deepest as fallback
+  // The mildest tier whose achieved reduction is at least PAW. Fallback when
+  // none suffices: the tier with the deepest *achieved* reduction (mildest
+  // index on plateaus) — with a non-monotone ladder the last tier is not
+  // necessarily the deepest, so "deepest index" would under-serve savings.
+  std::size_t best = tiers.size();
   double best_reduction = 1e300;
+  std::size_t deepest = 0;
+  double deepest_reduction = -1.0;
   for (std::size_t i = 0; i < tiers.size(); ++i) {
     const double achieved = tiers[i].achieved_reduction();
-    if (achieved + 1e-9 >= paw && achieved < best_reduction) {
+    if (achieved > deepest_reduction + kTieEps) {
+      deepest_reduction = achieved;
+      deepest = i;
+    }
+    if (achieved + kTieEps >= paw && achieved + kTieEps < best_reduction) {
       best_reduction = achieved;
       best = i;
     }
   }
-  return best;
+  return best == tiers.size() ? deepest : best;
 }
 
 ServeDecision decide_version(const UserProfile& user, std::span<const Tier> tiers) {

@@ -38,11 +38,16 @@ struct ServeDecision {
 /// non-empty when data saving can trigger; the original is always available.
 ServeDecision decide_version(const UserProfile& user, std::span<const Tier> tiers);
 
-/// The tier whose achieved savings are closest to `preferred_pct`.
+/// The tier whose achieved savings are closest to `preferred_pct`. On a
+/// savings plateau (several tiers within 1e-9 of the same gap) the mildest
+/// — earliest — tier wins, so heterogeneous ladders whose deep rungs bottom
+/// out on the same bytes never serve a harsher tier than needed.
 std::size_t closest_savings_tier(std::span<const Tier> tiers, double preferred_pct);
 
-/// The mildest tier that still meets the country's PAW target for the plan
-/// (falls back to the deepest tier when none suffices).
+/// The mildest tier that still meets the country's PAW target for the plan.
+/// When none suffices, falls back to the tier with the deepest *achieved*
+/// reduction (mildest index on plateaus) — with a non-monotone ladder the
+/// last tier is not necessarily the deepest.
 std::size_t paw_tier(std::span<const Tier> tiers, const dataset::Country& country,
                      net::PlanType plan);
 

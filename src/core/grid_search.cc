@@ -67,6 +67,13 @@ GridSearchOutcome grid_search(web::ServedPage& served, Bytes target_bytes,
           });
       if (!duplicate) slot.candidates.push_back({*v, slot.area * v->ssim});
     }
+    // Placeholder rung (DESIGN.md §14): same threshold filter as the encode
+    // rungs, so it only enters the move set when the search runs with an
+    // ultra-low Qt — where it is byte-minimal and unlocks the deep tiers.
+    if (const auto ph = ladders.placeholder_rung(*object);
+        ph && ph->ssim + 1e-12 >= options.quality_threshold) {
+      slot.candidates.push_back({*ph, slot.area * ph->ssim});
+    }
     if (slot.candidates.empty()) {
       slot.candidates.push_back(
           {ladder.original(), slot.area * 1.0});

@@ -57,6 +57,18 @@ KnapsackOutcome knapsack_optimize(web::ServedPage& served, Bytes target_bytes,
           });
       if (!duplicate) cands.push_back({*v, area * v->ssim, cost});
     }
+    // The heterogeneous rung space (DESIGN.md §14): the placeholder rung
+    // joins the multiple-choice group under the same threshold filter as the
+    // encode rungs. With any practical Qt its similarity floor disqualifies
+    // it, so image-only configs see the exact candidate sets as before; under
+    // an ultra-low threshold it is the byte-minimal choice, so the
+    // feasibility floor — and therefore tight budgets — select it.
+    if (const auto ph = ladders.placeholder_rung(*object);
+        ph && ph->ssim + 1e-12 >= options.quality_threshold) {
+      const std::size_t cost = static_cast<std::size_t>(
+          (ph->bytes + options.byte_granularity - 1) / options.byte_granularity);
+      cands.push_back({*ph, area * ph->ssim, cost});
+    }
     if (cands.empty()) {
       const auto orig = ladder.original();
       cands.push_back({orig,

@@ -94,6 +94,14 @@ void LadderCache::prewarm(const web::WebPage& page, const obs::RequestContext& c
   }
 }
 
+std::optional<imaging::ImageVariant> LadderCache::placeholder_rung(
+    const web::WebObject& object) const {
+  if (!options_.placeholder_rung) return std::nullopt;
+  AW4A_EXPECTS(object.type == web::ObjectType::kImage);
+  AW4A_EXPECTS(object.image != nullptr);
+  return imaging::placeholder_variant(*object.image, options_, object.alt_text.size());
+}
+
 std::vector<const web::WebObject*> rich_images(const web::WebPage& page) {
   std::vector<const web::WebObject*> out;
   for (const auto& object : page.objects) {

@@ -87,6 +87,14 @@ class LadderCache {
     prewarm(page, obs::RequestContext().with_workers(workers));
   }
 
+  /// The placeholder rung of an image object (DESIGN.md §14), or nullopt when
+  /// the options don't enable it. Lives here rather than on VariantLadder
+  /// because the alt text is a *page-object* property while ladders are keyed
+  /// by asset content (the same logo shared across sites can carry different
+  /// alt text on each); the rung is pure arithmetic, so nothing is memoized
+  /// and asset-store sharing is unaffected.
+  std::optional<imaging::ImageVariant> placeholder_rung(const web::WebObject& object) const;
+
   const imaging::LadderOptions& options() const { return options_; }
 
  private:

@@ -2,11 +2,21 @@
 
 #include <sstream>
 
+#include "core/ultra_low.h"
 #include "util/error.h"
 #include "util/retry.h"
 #include "util/table.h"
 
 namespace aw4a::core {
+
+const char* to_string(TierKind kind) {
+  switch (kind) {
+    case TierKind::kImage: return "image";
+    case TierKind::kTextOnly: return "text-only";
+    case TierKind::kMarkupRewrite: return "markup-rewrite";
+  }
+  return "?";
+}
 
 Aw4aPipeline::Aw4aPipeline(DeveloperConfig config) : config_(std::move(config)) {
   AW4A_EXPECTS(config_.min_image_ssim > 0.0 && config_.min_image_ssim < 1.0);
@@ -20,6 +30,12 @@ imaging::LadderOptions Aw4aPipeline::ladder_options() const {
   // threshold from below.
   options.min_ssim = std::max(0.0, config_.min_image_ssim - 0.15);
   options.entropy_backend = config_.entropy_backend;
+  // Ultra-low tiers extend the rung space with the placeholder rung; with
+  // both tiers off these three fields keep their defaults, so image-only
+  // configs enumerate (and fingerprint) exactly the pre-§14 ladder.
+  options.placeholder_rung = config_.ultra_low.any();
+  options.placeholder_base_similarity = config_.ultra_low.placeholder_base_similarity;
+  options.placeholder_alt_bonus = config_.ultra_low.placeholder_alt_bonus;
   return options;
 }
 
@@ -237,6 +253,49 @@ std::vector<Tier> Aw4aPipeline::build_tiers(const web::WebPage& page,
     tiers[i].result = tiers[source].result;
     tiers[i].note = "fell back to tier " + fmt(tiers[source].requested_reduction, 2) +
                     "x (" + tiers[i].note + ")";
+  }
+
+  // Ultra-low tiers (DESIGN.md §14), appended below the deepest image tier.
+  // Their "requested" reduction is whatever they achieve — they are
+  // constructions, not target searches. A failed ultra tier borrows the
+  // deepest built image tier's result, mirroring the ladder above (serving
+  // milder is safe; a missing tier index is not).
+  auto append_ultra = [&](TierKind kind, auto&& build) {
+    Tier tier;
+    tier.kind = kind;
+    try {
+      tier.result = retry_transient(
+          [&] { return with_context(to_string(kind), [&] { return build(); }); }, retry);
+      tier.requested_reduction = std::max(1.0, tier.result.reduction_factor());
+      if (tier.result.degraded) tier.note = tier.result.degradation_reason;
+    } catch (const Error& e) {
+      std::size_t source = tiers.size();
+      for (std::size_t j = tiers.size(); j-- > 0;) {
+        if (tiers[j].built && tiers[j].kind == TierKind::kImage) {
+          source = j;
+          break;
+        }
+      }
+      AW4A_EXPECTS(source < tiers.size());  // built_count > 0 guarantees one
+      tier.built = false;
+      tier.result = tiers[source].result;
+      tier.requested_reduction = tiers[source].requested_reduction;
+      tier.note = std::string("fell back to tier ") +
+                  fmt(tiers[source].requested_reduction, 2) + "x (" + e.what() + ")";
+    }
+    tiers.push_back(std::move(tier));
+  };
+  if (config_.ultra_low.text_only) {
+    append_ultra(TierKind::kTextOnly, [&] {
+      return build_text_only(page, ladders, config_.stage1, config_.quality_weights,
+                             config_.measure_qfs, ctx);
+    });
+  }
+  if (config_.ultra_low.markup_rewrite) {
+    append_ultra(TierKind::kMarkupRewrite, [&] {
+      return build_markup_rewrite(page, ladder_options(), config_.quality_weights,
+                                  config_.measure_qfs, ctx);
+    });
   }
   return tiers;
 }

@@ -63,11 +63,36 @@ struct DeveloperConfig {
   /// part of the config fingerprint — cached tiers and asset-store recipes
   /// built under different backends never mix.
   imaging::EntropyBackend entropy_backend = imaging::EntropyBackend::kHuffman;
+  /// The ultra-low tiers below the image ladder (DESIGN.md §14). Both off by
+  /// default: every pre-existing image-only config builds a bit-identical
+  /// ladder. All four knobs are part of the serving config fingerprint.
+  struct UltraLowTierOptions {
+    /// Append the text-only tier: Stage-1, every image replaced by its
+    /// alt-text placeholder rung, media/iframes shed; scripts are kept, so
+    /// functionality (QFS) survives intact.
+    bool text_only = false;
+    /// Append the markup-rewrite tier: the whole page collapsed into one
+    /// self-contained AWML blob (web/markup.h) — the deepest rung.
+    bool markup_rewrite = false;
+    /// Placeholder similarity model (imaging::LadderOptions pass-through).
+    double placeholder_base_similarity = 0.22;
+    double placeholder_alt_bonus = 0.16;
+
+    bool any() const { return text_only || markup_rewrite; }
+  };
+  UltraLowTierOptions ultra_low;
 };
+
+/// What a tier fundamentally serves: image-rung reductions of the original
+/// page, or one of the ultra-low representations below the image ladder.
+enum class TierKind { kImage, kTextOnly, kMarkupRewrite };
+
+const char* to_string(TierKind kind);
 
 /// One pre-generated low-complexity version of a page.
 struct Tier {
   double requested_reduction = 1.0;
+  TierKind kind = TierKind::kImage;
   TranscodeResult result;
   /// False when this tier's own transcode failed and `result` was borrowed
   /// from the nearest coarser built tier (the degradation ladder).

@@ -148,6 +148,36 @@ RbrOutcome rank_based_reduce(web::ServedPage& served, Bytes target_bytes, Ladder
     if (touched) ++outcome.images_touched;
   }
 
+  // Placeholder descent (DESIGN.md §14): the resolution ladders are
+  // exhausted and the target is still unmet — substitute alt-text
+  // placeholders, in the same reducibility order, wherever the rung's
+  // similarity floor clears Qt and it actually saves bytes. With any
+  // practical Qt the floor disqualifies every placeholder, so this pass is a
+  // no-op for image-only configs; under an ultra-low Qt it is what carries
+  // RBR (and HBS) past the deepest encode rung.
+  if (!done()) {
+    for (const auto& [object_id, score] : ranking) {
+      if (ctx.expired() || ctx.cancelled()) break;
+      const web::WebObject* object = page.find(object_id);
+      if (object == nullptr || served.is_dropped(object_id)) continue;
+      const auto ph = ladders.placeholder_rung(*object);
+      if (!ph || ph->ssim + 1e-12 < options.quality_threshold) continue;
+      Bytes current_bytes = object->transfer_bytes;
+      if (const auto it = served.images.find(object_id);
+          it != served.images.end() && it->second.variant) {
+        current_bytes = it->second.variant->bytes;
+      }
+      if (ph->bytes >= current_bytes) continue;
+      served.images[object_id] = web::ServedImage{.variant = *ph, .dropped = false};
+      ++outcome.images_touched;
+      if (done()) {
+        outcome.met_target = true;
+        outcome.bytes_after = current_total();
+        return outcome;
+      }
+    }
+  }
+
   outcome.bytes_after = current_total();
   outcome.met_target = done();
   return outcome;

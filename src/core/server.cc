@@ -59,8 +59,13 @@ ServeOutcome answer_checked(const web::WebPage& page, std::span<const Tier> tier
                            ? ServeOutcome::Served::kPawTier
                            : ServeOutcome::Served::kPreferenceTier;
       const Tier& tier = tiers[decision.tier_index];
+      outcome.tier_kind = tier.kind;
       response.content_length = tier.result.result_bytes;
-      response.headers.push_back({"AW4A-Tier", std::to_string(decision.tier_index)});
+      // Ultra-low tiers are named (the index still travels in AW4A-Reason's
+      // decision); image tiers keep their bare index, as clients pin today.
+      response.headers.push_back({"AW4A-Tier", tier.kind == TierKind::kImage
+                                                   ? std::to_string(decision.tier_index)
+                                                   : to_string(tier.kind)});
       response.headers.push_back(
           {"AW4A-Savings-Achieved", fmt(tier.savings_fraction() * 100.0, 1)});
       if (!tier.built || tier.result.degraded) {

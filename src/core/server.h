@@ -29,6 +29,10 @@ namespace aw4a::core {
 struct ServeOutcome {
   enum class Served { kOriginal, kPawTier, kPreferenceTier, kDegraded };
   Served served = Served::kOriginal;
+  /// Rung kind of the tier actually served (kImage when the original or a
+  /// degraded page went out) — lets stats partition serves by rung kind
+  /// without re-parsing the AW4A-Tier header.
+  TierKind tier_kind = TierKind::kImage;
   net::HttpResponse response;
 };
 

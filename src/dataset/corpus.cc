@@ -6,8 +6,10 @@
 
 #include "js/callgraph.h"
 #include "web/dom.h"
+#include "web/markup.h"
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/hash.h"
 
 namespace aw4a::dataset {
 
@@ -213,6 +215,13 @@ WebPage CorpusGenerator::make_page(Rng& rng, Bytes target_transfer,
   for (Bytes size : split_budget(rng, img_budget, n_img, 1.0, 800)) {
     WebObject& o = add_object(ObjectType::kImage, size);
     o.third_party = rng.bernoulli(0.3);
+    // Alt text feeds the placeholder rungs (DESIGN.md §14). Derived from the
+    // object id alone — no draw from `rng` — so every other field of existing
+    // corpora stays byte-identical. Roughly a quarter of images ship without
+    // alt text, matching the accessibility gap the paper laments.
+    if (const std::uint64_t ah = hash_mix(0x616c74746578747aULL, o.id); ah % 4 != 0) {
+      o.alt_text = web::synth_prose(ah, 16 + ah % 97);
+    }
     if (options_.rich) {
       // The pool-empty check short-circuits the bernoulli: with the knob
       // off, this loop consumes exactly the draws it always did, keeping

@@ -57,6 +57,16 @@ std::uint64_t ladder_options_fingerprint(const LadderOptions& options) {
   // therefore AssetStore recipes, which embed this fingerprint) must never
   // mix backends.
   h = hash_mix(h, static_cast<std::uint64_t>(options.entropy_backend));
+  // The heterogeneous rung knobs (DESIGN.md §14): enabling the placeholder
+  // rung — or moving its similarity floor — changes the candidate space every
+  // solver sees, so mixed-rung configs must never alias image-only ones.
+  // Folded in only when enabled, so every pre-existing image-only fingerprint
+  // is bit-identical to before the refactor.
+  if (options.placeholder_rung) {
+    h = hash_mix(h, std::uint64_t{0x6177346578726e67ULL});
+    h = hash_mix(h, options.placeholder_base_similarity);
+    h = hash_mix(h, options.placeholder_alt_bonus);
+  }
   return h;
 }
 

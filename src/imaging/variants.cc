@@ -291,7 +291,11 @@ const std::vector<ImageVariant>& VariantLadder::quality_family(ImageFormat forma
 const ImageVariant& VariantLadder::webp_full(const obs::RequestContext& ctx) {
   if (!webp_full_) {
     const int q = asset_->format == ImageFormat::kPng ? 100 : asset_->ship_quality;
-    webp_full_ = measure(ImageFormat::kWebp, 1.0, q, ctx);
+    ImageVariant v = measure(ImageFormat::kWebp, 1.0, q, ctx);
+    // Full-fidelity settings in a different container: a transcode rung, not
+    // a quality rung (kind is informational — bytes/ssim drive selection).
+    v.kind = DegradationKind::kTranscode;
+    webp_full_ = std::move(v);
   }
   return *webp_full_;
 }
@@ -387,8 +391,67 @@ Raster VariantLadder::render_variant(const ImageVariant& v) const {
   return imaging::render_variant(*asset_, v);
 }
 
+ImageVariant placeholder_variant(const SourceImage& asset, const LadderOptions& options,
+                                 std::size_t alt_text_chars) {
+  // Pure arithmetic: no encode, no RNG, no memoization needed. The wire cost
+  // is the placeholder markup (a sized box + border) plus the alt text, which
+  // compresses like prose (~2.6x); both are page-scale bytes already, so
+  // byte_scale does not apply.
+  constexpr Bytes kMarkupBytes = 54;  // <div class=ph style="w;h"></div> etc.
+  const Bytes alt_bytes =
+      static_cast<Bytes>(std::llround(static_cast<double>(alt_text_chars) / 2.6));
+  ImageVariant v;
+  v.format = asset.format;
+  v.scale = 0.0;
+  v.quality = 0;
+  v.kind = DegradationKind::kPlaceholder;
+  v.alt_chars = static_cast<std::uint32_t>(std::min<std::size_t>(alt_text_chars, 1u << 20));
+  v.bytes = kMarkupBytes + alt_bytes;
+  const double described =
+      std::min(1.0, static_cast<double>(alt_text_chars) / 80.0);
+  v.ssim = std::min(1.0, options.placeholder_base_similarity +
+                             options.placeholder_alt_bonus * described);
+  return v;
+}
+
+Raster render_placeholder(const SourceImage& asset, std::size_t alt_text_chars) {
+  // A quiet light box with a darker border and text-like stripes: what a
+  // browser shows for <img alt=...> without the bytes. Deterministic in
+  // (dims, alt length) so QFS screenshot comparisons are stable.
+  const int w = asset.original.width();
+  const int h = asset.original.height();
+  Raster box(w, h, Pixel{236, 238, 240, 255});
+  const Pixel border{176, 180, 186, 255};
+  for (int x = 0; x < w; ++x) {
+    box.at(x, 0) = border;
+    box.at(x, h - 1) = border;
+  }
+  for (int y = 0; y < h; ++y) {
+    box.at(0, y) = border;
+    box.at(w - 1, y) = border;
+  }
+  // One stripe per ~24 alt chars, capped to what fits; a bare placeholder
+  // (no alt text) stays an empty box.
+  const int stripes = static_cast<int>(
+      std::min<std::size_t>(alt_text_chars / 24, static_cast<std::size_t>(h / 6)));
+  const Pixel ink{120, 126, 134, 255};
+  for (int s = 0; s < stripes; ++s) {
+    const int y = 3 + s * 6;
+    if (y + 1 >= h - 1) break;
+    const int len = std::max(4, w - 6 - (s % 3) * (w / 8));
+    for (int x = 3; x < 3 + len && x < w - 1; ++x) {
+      box.at(x, y) = ink;
+      box.at(x, y + 1) = ink;
+    }
+  }
+  return box;
+}
+
 Raster render_variant(const SourceImage& asset, const ImageVariant& v) {
   if (v.is_original) return asset.original;
+  if (v.kind == DegradationKind::kPlaceholder) {
+    return render_placeholder(asset, v.alt_chars);
+  }
   const Raster reduced = reduce_resolution(asset.original, v.scale);
   // Entropy coding is lossless, so the decoded raster is identical under
   // either backend; rendering always takes the cheap Huffman path even for

@@ -53,13 +53,31 @@ struct SourceImage {
 /// `target_wire_bytes`; display dims default to a class-typical size.
 SourceImage make_source_image(Rng& rng, ImageClass cls, Bytes target_wire_bytes);
 
+/// What a degradation rung *does* to the object. The ladder used to be
+/// image-quality-only; the heterogeneous rung space (DESIGN.md §14) adds
+/// non-encode actions that the same solvers trade off against encode rungs.
+enum class DegradationKind : std::uint8_t {
+  kQualityRung = 0,  ///< re-encode at reduced scale and/or quality
+  kTranscode = 1,    ///< format change at full fidelity settings (PNG->WebP)
+  kPlaceholder = 2,  ///< alt-text placeholder box replaces the pixels
+  kDrop = 3,         ///< object removed entirely (markup-rewrite tier)
+};
+
 /// One reduced version of an asset.
 struct ImageVariant {
   ImageFormat format = ImageFormat::kJpeg;
   double scale = 1.0;   ///< resolution scale applied before encoding
   int quality = 85;     ///< codec quality
   Bytes bytes = 0;      ///< page-scale wire bytes (byte_scale applied)
-  double ssim = 1.0;    ///< vs original, measured after redisplay at full size
+  /// Quality point vs the original. For encode rungs this is measured SSIM
+  /// after redisplay; for kPlaceholder it is the analytic similarity floor
+  /// (see placeholder_variant) — stored in the same field so QSS and every
+  /// `ssim >= threshold` candidate filter work unchanged over mixed rungs.
+  double ssim = 1.0;
+  DegradationKind kind = DegradationKind::kQualityRung;
+  /// Alt-text length backing a kPlaceholder rung (drives both the similarity
+  /// floor and the rendered text stripes); 0 for every encode rung.
+  std::uint32_t alt_chars = 0;
 
   bool is_original = false;
 };
@@ -81,11 +99,37 @@ struct LadderOptions {
   /// ladder identity: mixed into ladder_options_fingerprint(), so TierCache
   /// entries and AssetStore recipes never mix backends.
   EntropyBackend entropy_backend = EntropyBackend::kHuffman;
+  /// Expose the placeholder (alt-text substitution) rung below the encode
+  /// families. Off by default: with it off the rung space — and therefore
+  /// every fingerprint-pinned image-only config — is bit-identical to the
+  /// pre-heterogeneous ladder. Mixed into ladder_options_fingerprint().
+  bool placeholder_rung = false;
+  /// Analytic similarity floor of a bare placeholder box (no alt text). Far
+  /// below any practical Qt, so placeholders only enter candidate sets when a
+  /// solver is explicitly run with an ultra-low threshold.
+  double placeholder_base_similarity = 0.22;
+  /// Similarity credit for descriptive alt text, applied as
+  /// base + bonus * min(1, alt_chars/80): a described image placeholder
+  /// carries more of the original's meaning than an anonymous gray box.
+  double placeholder_alt_bonus = 0.16;
 };
 
 /// Re-creates the decoded, redisplayed raster of a variant of `asset` — what
 /// the user's screen shows (used by the page renderer and QFS).
 Raster render_variant(const SourceImage& asset, const ImageVariant& v);
+
+/// The placeholder rung of `asset`: pure arithmetic, no encode, no RNG. The
+/// byte cost is the markup of a placeholder box plus the (compressible) alt
+/// text; the quality point is the analytic similarity floor from `options`,
+/// raised by descriptive alt text. Deterministic in (asset, options,
+/// alt_text_chars) only — safe to compute outside the memoized families.
+ImageVariant placeholder_variant(const SourceImage& asset, const LadderOptions& options,
+                                 std::size_t alt_text_chars);
+
+/// Renders what the placeholder rung shows on screen: a flat quiet box with a
+/// thin border and text-like stripes derived from the alt text length —
+/// deterministic so renderer-based QFS comparisons are stable.
+Raster render_placeholder(const SourceImage& asset, std::size_t alt_text_chars);
 
 /// A portable snapshot of a VariantLadder's memoized families — what the
 /// serving asset store shares across sites. Slots are optional per family:

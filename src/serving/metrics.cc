@@ -92,6 +92,9 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   out.ladder_cached = load(ladder_cached);
   out.ladder_stale = load(ladder_stale);
   out.ladder_built = load(ladder_built);
+  out.served_kind_image = load(served_kind_image);
+  out.served_kind_text_only = load(served_kind_text_only);
+  out.served_kind_markup_rewrite = load(served_kind_markup_rewrite);
   out.stats_requests = load(stats_requests);
   out.trace_requests = load(trace_requests);
   out.not_found = load(not_found);

@@ -91,6 +91,12 @@ struct MetricsSnapshot {
   std::uint64_t ladder_cached = 0;  ///< fresh cache hit
   std::uint64_t ladder_stale = 0;   ///< stale hit (refresh queued behind it)
   std::uint64_t ladder_built = 0;   ///< built this flight (or cache off/bypassed)
+  // Rung kind of the tier behind each tier answer (core::TierKind).
+  // Partition: served_paw_tier + served_preference_tier ==
+  // served_kind_image + served_kind_text_only + served_kind_markup_rewrite.
+  std::uint64_t served_kind_image = 0;
+  std::uint64_t served_kind_text_only = 0;
+  std::uint64_t served_kind_markup_rewrite = 0;
   // Non-page answers.
   std::uint64_t stats_requests = 0;
   std::uint64_t trace_requests = 0;
@@ -130,6 +136,9 @@ struct ServingMetrics {
   std::atomic<std::uint64_t> ladder_cached{0};
   std::atomic<std::uint64_t> ladder_stale{0};
   std::atomic<std::uint64_t> ladder_built{0};
+  std::atomic<std::uint64_t> served_kind_image{0};
+  std::atomic<std::uint64_t> served_kind_text_only{0};
+  std::atomic<std::uint64_t> served_kind_markup_rewrite{0};
   std::atomic<std::uint64_t> stats_requests{0};
   std::atomic<std::uint64_t> trace_requests{0};
   std::atomic<std::uint64_t> not_found{0};

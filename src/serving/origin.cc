@@ -224,6 +224,15 @@ net::HttpResponse OriginServer::handle_checked(const net::HttpRequest& request) 
       case LadderSource::kStale: bump(metrics_.ladder_stale); break;
       case LadderSource::kBuilt: bump(metrics_.ladder_built); break;
     }
+    // Second exact partition over the same answers: which *rung kind* the
+    // served tier was built from (image ladder vs DESIGN.md §14 ultra tiers).
+    switch (answer.outcome.tier_kind) {
+      case core::TierKind::kImage: bump(metrics_.served_kind_image); break;
+      case core::TierKind::kTextOnly: bump(metrics_.served_kind_text_only); break;
+      case core::TierKind::kMarkupRewrite:
+        bump(metrics_.served_kind_markup_rewrite);
+        break;
+    }
   }
   metrics_.served_page_bytes.record(
       static_cast<double>(answer.outcome.response.content_length));
@@ -507,6 +516,11 @@ std::string OriginServer::stats_json() const {
   json.field("cached", m.ladder_cached);
   json.field("stale", m.ladder_stale);
   json.field("built", m.ladder_built);
+  json.end();
+  json.begin("tier_kinds");
+  json.field("image", m.served_kind_image);
+  json.field("text_only", m.served_kind_text_only);
+  json.field("markup_rewrite", m.served_kind_markup_rewrite);
   json.end();
   json.begin("builds");
   json.field("started", m.builds_started);

@@ -43,6 +43,17 @@ std::uint64_t config_fingerprint(const core::DeveloperConfig& config) {
   // The entropy backend changes every measured byte count, so tiers built
   // under different backends must never be served interchangeably.
   h = mix(h, static_cast<std::uint64_t>(config.entropy_backend));
+  // The ultra-low tier knobs (DESIGN.md §14) change both the tier *count* and
+  // the rung space every solver searches, so mixed-rung configs must never
+  // alias image-only ones. Folded in only when a tier is enabled, keeping
+  // every pre-existing image-only fingerprint bit-identical.
+  if (config.ultra_low.any()) {
+    h = mix(h, std::uint64_t{0x6177347574696c21ULL});
+    h = mix(h, static_cast<std::uint64_t>(config.ultra_low.text_only));
+    h = mix(h, static_cast<std::uint64_t>(config.ultra_low.markup_rewrite));
+    h = mix(h, config.ultra_low.placeholder_base_similarity);
+    h = mix(h, config.ultra_low.placeholder_alt_bonus);
+  }
   // config.prewarm_workers is deliberately excluded: it only parallelizes
   // ladder enumeration and cannot change tier contents, so caching across
   // different worker counts is correct (and desirable).

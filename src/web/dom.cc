@@ -81,7 +81,8 @@ int layout_node(const DomNode& node, int x, int y, int width, const LayoutContex
                                         {x, y, width, height},
                                         0,
                                         0,
-                                        node.style_seed});
+                                        node.style_seed,
+                                        node.text_chars});
       return height;
     }
     case Tag::kImg: {

@@ -46,6 +46,11 @@ struct WebObject {
   /// too — the transitive effect behind Brave block-scripts' deep cuts.
   std::uint64_t injected_by = 0;
 
+  /// Markup alt text of an image object ("" when the author supplied none).
+  /// The placeholder rung serves this instead of pixels: its length feeds
+  /// both the rung's byte cost and its similarity floor (DESIGN.md §14).
+  std::string alt_text;
+
   /// Rich-mode payloads (null on inventory pages).
   std::shared_ptr<const imaging::SourceImage> image;  ///< for kImage
   std::shared_ptr<const js::Script> script;           ///< for kJs

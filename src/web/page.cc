@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "web/markup.h"
 
 namespace aw4a::web {
 
@@ -67,6 +68,9 @@ Bytes ServedPage::object_transfer(const WebObject& object) const {
 
 Bytes ServedPage::transfer_size() const {
   AW4A_EXPECTS(page != nullptr);
+  // Markup-rewrite tier: one self-contained blob replaces every fetch, so
+  // its compressed size is the whole page's transfer.
+  if (rewrite != nullptr) return rewrite->transfer_bytes;
   Bytes total = 0;
   for (const auto& o : page->objects) total += object_transfer(o);
   return total;
@@ -74,6 +78,10 @@ Bytes ServedPage::transfer_size() const {
 
 Bytes ServedPage::transfer_size(ObjectType type) const {
   AW4A_EXPECTS(page != nullptr);
+  // Under a rewrite the single file is markup: all bytes account as kHtml.
+  if (rewrite != nullptr) {
+    return type == ObjectType::kHtml ? rewrite->transfer_bytes : 0;
+  }
   Bytes total = 0;
   for (const auto& o : page->objects) {
     if (o.type == type) total += object_transfer(o);

@@ -34,6 +34,11 @@ struct LayoutBlock {
   std::uint64_t object_id = 0;  ///< image/ad object this block shows (if any)
   js::WidgetId widget = 0;      ///< for kWidget: the JS-controlled widget id
   std::uint32_t style_seed = 0; ///< deterministic texture seed for text blocks
+  /// Visible characters a kText block carries (from the DOM paragraph that
+  /// produced it). The markup rewrite re-emits exactly this much prose per
+  /// block — visible text, not HTML source, is what the single-file tier
+  /// ships, which is where its deep reduction comes from.
+  int text_chars = 0;
 };
 
 /// An immutable page: object inventory + layout.
@@ -72,6 +77,8 @@ struct ServedScript {
   bool dropped = false;
 };
 
+struct MarkupRewrite;  // web/markup.h: the single-file rewrite container
+
 /// A transcoded view of a page. Objects absent from every map are served
 /// unmodified.
 struct ServedPage {
@@ -81,6 +88,12 @@ struct ServedPage {
   std::map<std::uint64_t, Bytes> retextured;  ///< minified text: new transfer size
   std::map<std::uint64_t, MediaRendition> media;  ///< lite-video renditions
   std::set<std::uint64_t> dropped;            ///< whole objects removed
+  /// Markup-rewrite tier (DESIGN.md §14): the whole page collapsed into one
+  /// self-contained markup blob. When set, the blob's compressed size IS the
+  /// page's transfer size — per-object decisions above still describe what
+  /// the blob contains (placeholdered images, dropped scripts) so QSS, QFS
+  /// and the renderer agree with the single file actually shipped.
+  std::shared_ptr<const MarkupRewrite> rewrite;
 
   /// Transfer size after all decisions.
   Bytes transfer_size() const;

@@ -98,6 +98,71 @@ TEST_F(ApiTest, PawTierIsMildestSufficientOne) {
   }
 }
 
+// Synthetic tier whose served bytes are exact: plateau regressions need tiers
+// whose savings are *identical to the last bit*, which real builds rarely are.
+Tier synthetic_tier(const web::WebPage& page, Bytes result_bytes) {
+  Tier tier;
+  tier.result.served = web::serve_original(page);
+  tier.result.result_bytes = result_bytes;
+  tier.result.target_bytes = result_bytes;
+  tier.result.met_target = true;
+  return tier;
+}
+
+TEST_F(ApiTest, SavingsPlateauServesTheMildestTier) {
+  // Three tiers bottoming out on the same bytes — the shape heterogeneous
+  // ladders produce when deep rungs all collapse to one markup blob, or when
+  // failed tiers borrow a neighbor's result. Mildest (earliest) must win.
+  const Bytes original = page_->transfer_size();
+  std::vector<Tier> plateau;
+  plateau.push_back(synthetic_tier(*page_, original / 2));
+  plateau.push_back(synthetic_tier(*page_, original / 10));
+  plateau.push_back(synthetic_tier(*page_, original / 10));
+  plateau.push_back(synthetic_tier(*page_, original / 10));
+
+  EXPECT_EQ(closest_savings_tier(plateau, 90.0), 1u)
+      << "ties on the savings gap must keep the earliest index";
+
+  UserProfile user;
+  user.data_saving_on = true;
+  user.preferred_savings_pct = 90.0;
+  EXPECT_EQ(decide_version(user, plateau).tier_index, 1u);
+}
+
+TEST_F(ApiTest, PawFallbackPicksDeepestAchievedNotLastIndex) {
+  // Non-monotone ladder where no tier meets PAW: the fallback must serve the
+  // deepest *achieved* reduction (index 1), not blindly the last tier.
+  const Bytes original = page_->transfer_size();
+  const dataset::Country* country = nullptr;
+  double hardest = 0.0;
+  for (const dataset::Country& c : dataset::countries()) {
+    if (!c.has_price_data) continue;
+    const double paw = paw_index(c, net::PlanType::kDataVoiceLowUsage);
+    if (paw > hardest) {
+      hardest = paw;
+      country = &c;
+    }
+  }
+  ASSERT_NE(country, nullptr);
+  ASSERT_GT(hardest, 1.5) << "fixture needs a country with an unmet PAW target";
+  // Every tier sits below the PAW target; the deepest one is in the middle.
+  const auto below_paw = [&](double fraction) {
+    return synthetic_tier(
+        *page_, static_cast<Bytes>(static_cast<double>(original) / (1.0 + (hardest - 1.0) * fraction)));
+  };
+  std::vector<Tier> tiers;
+  tiers.push_back(below_paw(0.2));
+  tiers.push_back(below_paw(0.8));
+  tiers.push_back(below_paw(0.5));
+  EXPECT_EQ(paw_tier(tiers, *country, net::PlanType::kDataVoiceLowUsage), 1u);
+
+  // On an achieved-reduction plateau the fallback keeps the mildest index.
+  std::vector<Tier> flat;
+  flat.push_back(synthetic_tier(*page_, tiers[1].result.result_bytes));
+  flat.push_back(synthetic_tier(*page_, tiers[1].result.result_bytes));
+  EXPECT_EQ(paw_tier(flat, *country, net::PlanType::kDataVoiceLowUsage), 0u);
+}
+
 TEST_F(ApiTest, EmptyTiersRejectedWhenSavingOn) {
   UserProfile user;
   user.data_saving_on = true;

@@ -6,10 +6,13 @@
 
 #include <cmath>
 
+#include "core/api.h"
 #include "core/grid_search.h"
 #include "core/paw.h"
 #include "core/pipeline.h"
 #include "core/rbr.h"
+#include "imaging/fingerprint.h"
+#include "web/markup.h"
 #include "dataset/corpus.h"
 #include "imaging/ans.h"
 #include "imaging/codec.h"
@@ -262,6 +265,196 @@ TEST_P(PropertyTest, RansPayloadDecodeNeverReadsOutOfBounds) {
     } catch (const Error&) {
       // Clean rejection is the expected common case.
     }
+  }
+}
+
+// --- markup rewrite container ----------------------------------------------
+
+web::MarkupDoc random_markup_doc(Rng& rng) {
+  web::MarkupDoc doc;
+  doc.page_id = rng.next_u64();
+  doc.viewport_w = static_cast<int>(rng.uniform_int(0, 4096));
+  doc.page_height = static_cast<int>(rng.uniform_int(0, 100000));
+  const auto random_text = [&rng] {
+    std::string s(static_cast<std::size_t>(rng.uniform_int(0, 60)), '\0');
+    // Any byte, including NULs, newlines, and digits that mimic the syntax:
+    // length-prefixed fields must shield the parser from all of them.
+    for (auto& c : s) c = static_cast<char>(rng.uniform_int(0, 255));
+    return s;
+  };
+  doc.css = random_text();
+  const int n = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < n; ++i) {
+    web::MarkupBlock b;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        b.kind = web::MarkupBlock::Kind::kText;
+        b.text = random_text();
+        break;
+      case 1:
+        b.kind = web::MarkupBlock::Kind::kImage;
+        b.object_id = rng.next_u64();
+        b.w = static_cast<int>(rng.uniform_int(0, 65535));
+        b.h = static_cast<int>(rng.uniform_int(0, 65535));
+        b.text = random_text();
+        break;
+      default:
+        b.kind = web::MarkupBlock::Kind::kWidget;
+        b.widget = static_cast<js::WidgetId>(rng.uniform_int(0, 1000));
+        break;
+    }
+    doc.blocks.push_back(std::move(b));
+  }
+  return doc;
+}
+
+TEST_P(PropertyTest, MarkupSerializationRoundTripsRandomDocs) {
+  Rng rng(GetParam() ^ 0x4157414dULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    const web::MarkupDoc doc = random_markup_doc(rng);
+    EXPECT_EQ(web::parse_markup(web::serialize_markup(doc)), doc);
+  }
+}
+
+TEST_P(PropertyTest, MarkupParserNeverReadsOutOfBoundsOnCorruptBlobs) {
+  // Truncations, byte corruptions, and appended garbage of a valid blob must
+  // either parse (a mutation can land on another valid document) or throw
+  // aw4a::Error — never crash or read OOB (the sanitizer legs re-run this).
+  Rng rng(GetParam() ^ 0xC0FFEEULL);
+  const std::string blob = web::serialize_markup(random_markup_doc(rng));
+  ASSERT_FALSE(blob.empty());
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string bad = blob;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        bad.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1)));
+        break;
+      case 1: {
+        const int flips = static_cast<int>(rng.uniform_int(1, 8));
+        for (int f = 0; f < flips; ++f) {
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1));
+          bad[at] = static_cast<char>(rng.uniform_int(0, 255));
+        }
+        break;
+      }
+      default:
+        bad += static_cast<char>(rng.uniform_int(0, 255));
+        break;
+    }
+    try {
+      (void)web::parse_markup(bad);
+    } catch (const Error&) {
+      // Clean rejection is the expected common case.
+    }
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string garbage(static_cast<std::size_t>(rng.uniform_int(0, 200)), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.uniform_int(0, 255));
+    try {
+      (void)web::parse_markup(garbage);
+    } catch (const Error&) {
+    }
+  }
+}
+
+// --- serving decisions over heterogeneous ladders ---------------------------
+
+TEST_P(PropertyTest, ServeDecisionsAreSoundOverRandomUltraLadders) {
+  // Random ladders shaped like heterogeneous builds: image rungs first, then
+  // ultra rungs whose reductions can plateau or regress. decide_version must
+  // always return a valid index; closest_savings_tier must return the
+  // earliest argmin; paw_tier's pick must be mildest-sufficient or the
+  // deepest-achieved fallback.
+  dataset::CorpusGenerator gen(dataset::CorpusOptions{.seed = GetParam()});
+  Rng page_rng(GetParam());
+  const web::WebPage page = gen.make_page(page_rng, from_mb(0.5), gen.global_profile());
+  const Bytes original = page.transfer_size();
+  Rng rng(GetParam() ^ 0x1add3fULL);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<core::Tier> tiers;
+    const int n = static_cast<int>(rng.uniform_int(1, 7));
+    for (int i = 0; i < n; ++i) {
+      core::Tier tier;
+      tier.result.served = web::serve_original(page);
+      // Duplicated bytes are likely (small divisor set) — plateaus on purpose.
+      tier.result.result_bytes = original / static_cast<Bytes>(rng.uniform_int(1, 12));
+      if (tier.result.result_bytes == 0) tier.result.result_bytes = 1;
+      tier.kind = i < n / 2 ? core::TierKind::kImage
+                            : (rng.bernoulli(0.5) ? core::TierKind::kTextOnly
+                                                  : core::TierKind::kMarkupRewrite);
+      tiers.push_back(std::move(tier));
+    }
+
+    const double preferred = rng.uniform(0.0, 99.0);
+    const std::size_t by_pref = core::closest_savings_tier(tiers, preferred);
+    ASSERT_LT(by_pref, tiers.size());
+    const auto gap = [&](std::size_t i) {
+      return std::abs(tiers[i].savings_fraction() * 100.0 - preferred);
+    };
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+      EXPECT_GE(gap(i) + 1e-9, gap(by_pref));
+      if (i < by_pref) {
+        EXPECT_GT(gap(i), gap(by_pref) - 1e-9)
+            << "an earlier (milder) tier tied the gap but lost the pick";
+      }
+    }
+
+    for (const dataset::Country* country :
+         {dataset::find_country("Nigeria"), dataset::find_country("Honduras")}) {
+      ASSERT_NE(country, nullptr);
+      const double paw = core::paw_index(*country, net::PlanType::kDataVoiceLowUsage);
+      const std::size_t idx =
+          core::paw_tier(tiers, *country, net::PlanType::kDataVoiceLowUsage);
+      ASSERT_LT(idx, tiers.size());
+      const double achieved = tiers[idx].achieved_reduction();
+      if (achieved + 1e-9 >= paw) {
+        for (std::size_t i = 0; i < tiers.size(); ++i) {
+          const double other = tiers[i].achieved_reduction();
+          if (other + 1e-9 >= paw) {
+            // idx is the mildest sufficient tier: no sufficient tier is
+            // milder, and equal ones sit at or after idx.
+            EXPECT_GE(other + 1e-9, achieved);
+            if (std::abs(other - achieved) <= 1e-9) {
+              EXPECT_GE(i, idx);
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < tiers.size(); ++i) {
+          EXPECT_LE(tiers[i].achieved_reduction(), achieved + 1e-9);
+          if (std::abs(tiers[i].achieved_reduction() - achieved) <= 1e-9) {
+            EXPECT_GE(i, idx) << "fallback must keep the mildest index on plateaus";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, LadderFingerprintsSeparatePlaceholderRungSpaces) {
+  Rng rng(GetParam() ^ 0xF1239EULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    imaging::LadderOptions off;
+    off.placeholder_base_similarity = rng.uniform(0.0, 1.0);
+    off.placeholder_alt_bonus = rng.uniform(0.0, 0.5);
+    imaging::LadderOptions off2 = off;
+    off2.placeholder_base_similarity = rng.uniform(0.0, 1.0);
+    off2.placeholder_alt_bonus = rng.uniform(0.0, 0.5);
+    // Disabled rung: the knobs are inert and must not leak into the space.
+    EXPECT_EQ(imaging::ladder_options_fingerprint(off),
+              imaging::ladder_options_fingerprint(off2));
+
+    imaging::LadderOptions on = off;
+    on.placeholder_rung = true;
+    EXPECT_NE(imaging::ladder_options_fingerprint(off),
+              imaging::ladder_options_fingerprint(on));
+    imaging::LadderOptions on2 = on;
+    on2.placeholder_base_similarity = on.placeholder_base_similarity + 0.25;
+    EXPECT_NE(imaging::ladder_options_fingerprint(on),
+              imaging::ladder_options_fingerprint(on2));
   }
 }
 

@@ -233,6 +233,33 @@ TEST(ConfigFingerprint, StableForEqualConfigsSensitiveToEveryKnob) {
   }
 }
 
+TEST(ConfigFingerprint, UltraLowKnobsSeparateOnlyWhenEnabled) {
+  const core::DeveloperConfig base;
+  // Image-only configs must fingerprint exactly as before the ultra tiers
+  // existed: moving a disabled knob is a no-op (cached ladders stay valid).
+  core::DeveloperConfig knobs_moved = base;
+  knobs_moved.ultra_low.placeholder_base_similarity = 0.9;
+  knobs_moved.ultra_low.placeholder_alt_bonus = 0.02;
+  EXPECT_EQ(config_fingerprint(base), config_fingerprint(knobs_moved));
+
+  core::DeveloperConfig text_only = base;
+  text_only.ultra_low.text_only = true;
+  core::DeveloperConfig markup = base;
+  markup.ultra_low.markup_rewrite = true;
+  core::DeveloperConfig both = text_only;
+  both.ultra_low.markup_rewrite = true;
+  core::DeveloperConfig both_moved = both;
+  both_moved.ultra_low.placeholder_base_similarity = 0.5;
+  const std::vector<std::uint64_t> prints{
+      config_fingerprint(base), config_fingerprint(text_only), config_fingerprint(markup),
+      config_fingerprint(both), config_fingerprint(both_moved)};
+  for (std::size_t i = 0; i < prints.size(); ++i) {
+    for (std::size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j]) << "ultra variants " << i << " and " << j << " collide";
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Histogram (the log2 buckets behind every *_seconds / *_bytes metric)
 // ---------------------------------------------------------------------------
@@ -704,6 +731,47 @@ TEST_F(OriginServerTest, RequestCountersPartitionEveryOutcome) {
   const AssetStoreStats a = origin.asset_store_stats();
   EXPECT_GT(a.lookups, 0u) << "the cold builds above must consult the store";
   EXPECT_EQ(a.lookups, a.exact_hits + a.semantic_hits + a.misses);
+}
+
+TEST_F(OriginServerTest, TierKindCountersPartitionTierAnswers) {
+  // One site with ultra tiers on: a deep savings ask lands on an ultra rung
+  // (named in AW4A-Tier), a mild ask on an image rung — and the tier_kinds
+  // counters partition exactly the tier answers.
+  core::DeveloperConfig ultra = config();
+  ultra.ultra_low.text_only = true;
+  ultra.ultra_low.markup_rewrite = true;
+  const std::vector<OriginSite> one = {
+      OriginSite{"u.example", (*pages_)[0], ultra, net::PlanType::kDataVoiceLowUsage}};
+  const OriginServer origin(one);
+
+  const auto deep =
+      origin.handle(get("u.example", {{"Save-Data", "on"}, {"AW4A-Savings", "99"}}));
+  EXPECT_EQ(deep.status, 200);
+  ASSERT_NE(deep.header("AW4A-Tier"), nullptr);
+  EXPECT_TRUE(*deep.header("AW4A-Tier") == "text-only" ||
+              *deep.header("AW4A-Tier") == "markup-rewrite")
+      << "deep asks must land on a named ultra tier, got " << *deep.header("AW4A-Tier");
+
+  const auto mild =
+      origin.handle(get("u.example", {{"Save-Data", "on"}, {"AW4A-Savings", "40"}}));
+  ASSERT_NE(mild.header("AW4A-Tier"), nullptr);
+  EXPECT_EQ(*mild.header("AW4A-Tier"), "0") << "image tiers keep their bare index";
+
+  const MetricsSnapshot m = origin.metrics();
+  EXPECT_EQ(m.served_kind_image, 1u);
+  EXPECT_EQ(m.served_kind_image + m.served_kind_text_only + m.served_kind_markup_rewrite,
+            m.served_paw_tier + m.served_preference_tier)
+      << "every tier answer names its rung kind";
+  EXPECT_EQ(m.served_kind_text_only + m.served_kind_markup_rewrite, 1u);
+
+  net::HttpRequest stats_request;
+  stats_request.path = "/aw4a/stats";
+  const auto stats = origin.handle(stats_request);
+  for (const char* needle : {"\"tier_kinds\":", "\"image\":1", "\"text_only\":",
+                             "\"markup_rewrite\":"}) {
+    EXPECT_NE(stats.body.find(needle), std::string::npos) << needle << " missing in\n"
+                                                          << stats.body;
+  }
 }
 
 TEST_F(OriginServerTest, MirroredSitesShareBuiltAssetsByContent) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite in the standard configuration, plus the
-# robustness, asset-store, and rANS-coder suites under ASan+UBSan (fault
-# injection, eviction churn, and attacker-controlled entropy-coded payloads
+# robustness, asset-store, rANS-coder, and markup suites under ASan+UBSan
+# (fault injection, eviction churn, attacker-controlled entropy-coded
+# payloads, and the length-prefixed AWML parser on truncated/tampered blobs
 # exercise the error paths — exactly where lifetime and UB bugs hide), plus
 # the full suite under UBSan alone (cheap enough to run everything), plus
 # the serving suite and the rANS coder under TSan (the tier cache,
@@ -17,8 +18,8 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure --timeout 300 -j "$(nproc)")
 
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target robustness_test serving_asset_store_test imaging_ans_test >/dev/null
-(cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test|imaging_ans_test)$')
+cmake --build build-asan -j --target robustness_test serving_asset_store_test imaging_ans_test web_markup_test >/dev/null
+(cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test|imaging_ans_test|web_markup_test)$')
 
 cmake -B build-ubsan -S . -DAW4A_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j >/dev/null
@@ -38,7 +39,7 @@ cmake --build build-tsan -j --target serving_test serving_stress_test serving_ov
 # bench_guard (>25% regression on a guarded metric fails the gate); only
 # then do they overwrite the repo-root JSONs.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j --target bench_perf_pipeline bench_serve_overload bench_asset_dedup >/dev/null
+cmake --build build-perf -j --target bench_perf_pipeline bench_serve_overload bench_asset_dedup bench_ext04_ultra_low_tiers >/dev/null
 fresh_dir="$(mktemp -d)"
 trap 'rm -rf "$fresh_dir"' EXIT
 ./build-perf/bench/bench_perf_pipeline --repeat=2 --json="$fresh_dir/BENCH_pipeline.json"
@@ -49,6 +50,12 @@ trap 'rm -rf "$fresh_dir"' EXIT
 # deterministic function of the corpus — regressions here are algorithmic,
 # never noise.
 ./build-perf/bench/bench_asset_dedup --json="$fresh_dir/BENCH_dedup.json"
+# bench_ext04 exits nonzero on its own acceptance criteria (markup tier mean
+# savings < 85%, markup shallower than the image ladder on any page, ultra
+# tiers losing PAW reachability in any band, or a rewrite-blob round-trip
+# mismatch); the guard then pins the markup reduction and build-time
+# trajectories, deterministic functions of the seeded corpus.
+./build-perf/bench/bench_ext04_ultra_low_tiers --json="$fresh_dir/BENCH_ultra.json"
 python3 tools/bench_guard.py \
   --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
   --metric cold_build_tiers_shared_cache --metric ssim_dense_integral \
@@ -63,8 +70,18 @@ python3 tools/bench_guard.py \
   --committed BENCH_dedup.json --fresh "$fresh_dir/BENCH_dedup.json" \
   --metric 'dedup_30/bytes_built:lower' \
   --metric 'dedup_30/bytes_saved_ratio'
+# Wider tolerance here: markup builds are sub-millisecond, so scheduler
+# noise dominates the build-time metric at the default 25%; an algorithmic
+# regression overshoots 50% by orders of magnitude anyway.
+python3 tools/bench_guard.py \
+  --committed BENCH_ultra.json --fresh "$fresh_dir/BENCH_ultra.json" \
+  --metric 'ultra_low/bytes_reduction' \
+  --metric 'ultra_low/markup_build_ms' \
+  --metric 'ultra_low/paw_reachable_ratio' \
+  --tolerance 0.5
 cp "$fresh_dir/BENCH_pipeline.json" BENCH_pipeline.json
 cp "$fresh_dir/BENCH_serving.json" BENCH_serving.json
 cp "$fresh_dir/BENCH_dedup.json" BENCH_dedup.json
+cp "$fresh_dir/BENCH_ultra.json" BENCH_ultra.json
 
 echo "tier1: OK"
