@@ -1,9 +1,13 @@
 #include "imaging/ans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 
+#include "imaging/ans_simd.h"
 #include "util/error.h"
 
 namespace aw4a::imaging::ans {
@@ -130,15 +134,20 @@ void FreqTable::finalize() {
   AW4A_EXPECTS(!symbols.empty() && symbols.size() == freqs.size());
   cum.resize(symbols.size());
   entry_of.assign(kEscapeSymbol + 1, 0);
-  slot_entry.resize(kScaleTotal);
+  packed.resize(kScaleTotal);
+  recip.resize(symbols.size());
+  esc_start = kScaleTotal;
   std::uint32_t c = 0;
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     AW4A_EXPECTS(symbols[i] <= kEscapeSymbol && freqs[i] >= 1);
     AW4A_EXPECTS(i == 0 || symbols[i] > symbols[i - 1]);
     cum[i] = static_cast<std::uint16_t>(c);
     entry_of[symbols[i]] = static_cast<std::uint16_t>(i + 1);
+    if (symbols[i] == kEscapeSymbol) esc_start = c;
     for (std::uint32_t s = 0; s < freqs[i]; ++s)
-      slot_entry[c + s] = static_cast<std::uint16_t>(i);
+      packed[c + s] = pack_slot(freqs[i], s, symbols[i]);
+    // ceil(2^44 / f); exact floor division for all x < 2^32 (see kRecipShift).
+    recip[i] = ((std::uint64_t{1} << kRecipShift) + freqs[i] - 1) / freqs[i];
     c += freqs[i];
   }
   AW4A_EXPECTS(c == kScaleTotal);
@@ -269,16 +278,16 @@ std::uint8_t ByteReader::read_u8() {
 
 std::uint16_t ByteReader::read_u16() {
   if (size_ - pos_ < 2 || pos_ > size_) throw Error("ans: truncated buffer");
-  const std::uint16_t v =
-      static_cast<std::uint16_t>(data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  std::uint16_t v;
+  std::memcpy(&v, data_ + pos_, 2);  // little-endian wire == host order
   pos_ += 2;
   return v;
 }
 
 std::uint32_t ByteReader::read_u32() {
   if (size_ - pos_ < 4 || pos_ > size_) throw Error("ans: truncated buffer");
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+  std::uint32_t v;
+  std::memcpy(&v, data_ + pos_, 4);  // little-endian wire == host order
   pos_ += 4;
   return v;
 }
@@ -310,21 +319,14 @@ std::vector<std::uint8_t> BitWriter::finish() {
   return std::move(bytes_);
 }
 
-std::uint32_t BitReader::get(int nbits) {
-  AW4A_EXPECTS(nbits >= 0 && nbits <= 24);
-  while (nbits_ < nbits) {
-    if (pos_ >= size_) throw Error("ans: truncated bit stream");
-    acc_ = (acc_ << 8) | data_[pos_++];
-    nbits_ += 8;
-  }
-  nbits_ -= nbits;
-  const std::uint32_t v = (acc_ >> nbits_) & ((nbits == 0) ? 0u : ((1u << nbits) - 1u));
-  acc_ &= (1u << nbits_) - 1;
-  return v;
-}
+void throw_truncated_bits() { throw Error("ans: truncated bit stream"); }
+void throw_truncated_stream() { throw Error("ans: truncated buffer"); }
 
-EncodedStreams encode_interleaved(const std::vector<SymbolRef>& ops,
-                                  const std::vector<FreqTable>& tables) {
+namespace {
+
+template <bool kReciprocal>
+EncodedStreams encode_interleaved_impl(const std::vector<SymbolRef>& ops,
+                                       const std::vector<FreqTable>& tables) {
   EncodedStreams out;
   out.states.fill(kStateMin);
   std::vector<std::uint16_t> emitted;
@@ -346,7 +348,16 @@ EncodedStreams encode_interleaved(const std::vector<SymbolRef>& ops,
       emitted.push_back(static_cast<std::uint16_t>(x));
       x >>= 16;
     }
-    x = ((x / f) << kScaleBits) + (x % f) + t.cum[e];
+    if constexpr (kReciprocal) {
+      // q = floor(x / f) via the precomputed ceil(2^44 / f) multiplier —
+      // exact for every x < 2^32 (see kRecipShift), so the emitted states
+      // are bit-identical to the division reference below.
+      const std::uint32_t q = static_cast<std::uint32_t>(
+          (static_cast<unsigned __int128>(x) * t.recip[e]) >> kRecipShift);
+      x = (q << kScaleBits) + (x - q * f) + t.cum[e];
+    } else {
+      x = ((x / f) << kScaleBits) + (x % f) + t.cum[e];
+    }
   }
   out.stream.reserve(emitted.size() * 2);
   for (std::size_t k = emitted.size(); k-- > 0;) {
@@ -354,6 +365,18 @@ EncodedStreams encode_interleaved(const std::vector<SymbolRef>& ops,
     out.stream.push_back(static_cast<std::uint8_t>(emitted[k] >> 8));
   }
   return out;
+}
+
+}  // namespace
+
+EncodedStreams encode_interleaved(const std::vector<SymbolRef>& ops,
+                                  const std::vector<FreqTable>& tables) {
+  return encode_interleaved_impl<true>(ops, tables);
+}
+
+EncodedStreams encode_interleaved_reference(const std::vector<SymbolRef>& ops,
+                                            const std::vector<FreqTable>& tables) {
+  return encode_interleaved_impl<false>(ops, tables);
 }
 
 InterleavedDecoder::InterleavedDecoder(const std::array<std::uint32_t, kNumStreams>& states,
@@ -368,14 +391,123 @@ int InterleavedDecoder::get(const FreqTable& table) {
   std::uint32_t& x = states_[count_ % kNumStreams];
   ++count_;
   const std::uint32_t slot = x & (kScaleTotal - 1);
-  const std::size_t e = table.slot_entry[slot];
-  x = static_cast<std::uint32_t>(table.freqs[e]) * (x >> kScaleBits) + slot - table.cum[e];
+  const std::uint32_t p = table.packed[slot];
+  x = packed_freq(p) * (x >> kScaleBits) + packed_bias(p);
   while (x < kStateMin) x = (x << 16) | in_.read_u16();
-  return table.symbols[e];
+  return slot >= table.esc_start ? kEscapeSymbol : static_cast<int>(packed_symbol(p));
 }
 
 void InterleavedDecoder::expect_exhausted() const {
   if (in_.remaining() != 0) throw Error("ans: trailing bytes after final symbol");
+  for (const std::uint32_t x : states_) {
+    if (x != kStateMin) throw Error("ans: stream integrity check failed");
+  }
+}
+
+// --- SIMD dispatch ----------------------------------------------------------
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+SimdMode env_simd_mode() {
+  static const SimdMode mode = [] {
+    const char* v = std::getenv("AW4A_ANS_SIMD");
+    if (v != nullptr) {
+      if (std::strcmp(v, "scalar") == 0) return SimdMode::kScalar;
+      if (std::strcmp(v, "simd") == 0) return SimdMode::kSimd;
+    }
+    return SimdMode::kAuto;
+  }();
+  return mode;
+}
+
+// kAuto here means "defer to the environment variable"; the setter stores
+// an explicit override. Relaxed atomics: decoders sample the mode once at
+// construction and tests only flip it between decodes.
+std::atomic<SimdMode> g_mode_override{SimdMode::kAuto};
+
+}  // namespace
+
+bool simd_available() { return simd::kernel_compiled() && cpu_has_avx2(); }
+
+void set_simd_mode(SimdMode mode) {
+  g_mode_override.store(mode, std::memory_order_relaxed);
+}
+
+SimdMode simd_mode() {
+  const SimdMode forced = g_mode_override.load(std::memory_order_relaxed);
+  return forced != SimdMode::kAuto ? forced : env_simd_mode();
+}
+
+bool simd_active() { return simd_mode() != SimdMode::kScalar && simd_available(); }
+
+PackedSet deserialize_packed_set(ByteReader& in, int n_tables) {
+  AW4A_EXPECTS(n_tables >= 1);
+  PackedSet set;
+  set.slots.resize(static_cast<std::size_t>(n_tables) * kScaleTotal);
+  set.esc_start.assign(static_cast<std::size_t>(n_tables), kScaleTotal);
+  for (int t = 0; t < n_tables; ++t) {
+    std::uint32_t* slots = set.slots.data() + static_cast<std::size_t>(t) * kScaleTotal;
+    // Mirrors deserialize_table's reads and checks exactly (same error
+    // strings, same acceptance set) — keep the two in sync.
+    const std::uint16_t n = in.read_u16();
+    if (n == 0 || n > kEscapeSymbol + 1) throw Error("ans: bad table entry count");
+    NibbleReader nr(in);
+    int prev = -1;
+    std::uint32_t total = 0;
+    for (std::uint16_t i = 0; i < n; ++i) {
+      const std::uint32_t id = static_cast<std::uint32_t>(prev + 1) + nr.read_varint();
+      if (id > kEscapeSymbol) throw Error("ans: table symbol id out of range");
+      const std::uint32_t freq = nr.read_varint() + 1;
+      total += freq;
+      if (total > kScaleTotal) throw Error("ans: table frequencies exceed total");
+      if (id == kEscapeSymbol) set.esc_start[t] = total - freq;
+      for (std::uint32_t s = 0; s < freq; ++s)
+        slots[total - freq + s] = pack_slot(freq, s, static_cast<int>(id));
+      prev = static_cast<int>(id);
+    }
+    if (total != kScaleTotal) throw Error("ans: table frequencies do not sum to total");
+  }
+  return set;
+}
+
+PackedSet::PackedSet(const std::vector<FreqTable>& tables) {
+  AW4A_EXPECTS(!tables.empty());
+  slots.resize(tables.size() * static_cast<std::size_t>(kScaleTotal));
+  esc_start.reserve(tables.size());
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    AW4A_EXPECTS(tables[t].packed.size() == kScaleTotal);
+    std::memcpy(slots.data() + t * kScaleTotal, tables[t].packed.data(),
+                kScaleTotal * sizeof(std::uint32_t));
+    esc_start.push_back(tables[t].esc_start);
+  }
+}
+
+PackedDecoder::PackedDecoder(const std::array<std::uint32_t, kNumStreams>& states,
+                             const std::uint8_t* stream, std::size_t size,
+                             const PackedSet& set)
+    : states_(states),
+      slots_(set.slots.data()),
+      esc_start_(set.esc_start.data()),
+      stream_(stream),
+      size_(size),
+      simd_(simd_active()) {
+  for (const std::uint32_t x : states_) {
+    if (x < kStateMin) throw Error("ans: initial state below renormalization bound");
+  }
+}
+
+void PackedDecoder::expect_exhausted() {
+  if (simd_) flush_group();
+  if (pos_ != size_) throw Error("ans: trailing bytes after final symbol");
   for (const std::uint32_t x : states_) {
     if (x != kStateMin) throw Error("ans: stream integrity check failed");
   }

@@ -1,0 +1,114 @@
+// AVX2 group-flush kernel of the packed rANS decoder (DESIGN.md §13). The
+// kernel is a header-inline function carrying
+// __attribute__((target("avx2"))): every translation unit compiles it with
+// AVX2 codegen enabled locally (no per-file -mavx2 needed, and no ODR split
+// between AVX2 and non-AVX2 TUs), while the surrounding code keeps the
+// TU's own ISA baseline. Callers must still runtime-check the CPU — see
+// ans::simd_available() — before letting PackedDecoder dispatch here; on
+// toolchains without the attribute (or non-x86 targets) the kernel is
+// absent and PackedDecoder stays on its scalar path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define AW4A_ANS_SIMD_KERNEL 1
+#include <immintrin.h>
+#else
+#define AW4A_ANS_SIMD_KERNEL 0
+#endif
+
+namespace aw4a::imaging::ans::simd {
+
+/// The vector renorm compacts refill words out of one unaligned 16-byte
+/// load, so the caller must guarantee at least this many stream bytes
+/// remain before invoking the kernel (shorter tails flush scalar).
+inline constexpr std::size_t kGroupStreamBytes = 16;
+
+/// True when this binary contains the AVX2 kernel (the compiler supports
+/// the target attribute). Callers still need a runtime CPU check — see
+/// ans::simd_available().
+inline constexpr bool kernel_compiled() { return AW4A_ANS_SIMD_KERNEL != 0; }
+
+#if AW4A_ANS_SIMD_KERNEL
+
+namespace detail {
+
+// rank[mask][lane] = how many lanes below `lane` also refill under `mask`,
+// i.e. which of the 8 stream words belongs to this lane. Unused lanes get
+// an arbitrary (in-range) rank — the blend masks them off. 8 KB, built at
+// compile time.
+struct PermLut {
+  alignas(32) std::uint32_t rank[256][8];
+};
+
+constexpr PermLut make_perm_lut() {
+  PermLut lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int r = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      lut.rank[mask][lane] = static_cast<std::uint32_t>(r);
+      if ((mask >> lane) & 1) ++r;
+    }
+  }
+  return lut;
+}
+
+inline constexpr PermLut kPerm = make_perm_lut();
+
+}  // namespace detail
+
+/// Applies one full 8-lane group of deferred rANS state updates:
+///   x[i] = freq * (x[i] >> 12) + bias   (freq/bias unpacked from
+///                                        packed_vals[i])
+/// then renormalizes every lane that fell below 2^16 with consecutive
+/// little-endian u16 words from `stream`, in lane order — exactly the word
+/// order the scalar decoder consumes. `packed_vals` holds the packed slot
+/// entries the symbol fetches of this group already loaded (the order-1
+/// context model forces a scalar table read per symbol anyway, so the
+/// deferred values arrive as one aligned vector load here — a gather was
+/// measured strictly slower because it refetches those same lines).
+/// `states` and `packed_vals` must be 32-byte aligned. Returns the number
+/// of stream bytes consumed (2 * popcount of the refill mask,
+/// <= kGroupStreamBytes). Never reads more than kGroupStreamBytes from
+/// `stream`.
+__attribute__((target("avx2"))) inline std::size_t decode_group8_avx2(
+    std::uint32_t* states, const std::uint32_t* packed_vals, const std::uint8_t* stream) {
+  const __m256i x0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(states));
+  // One aligned load carries freq and bias for all 8 lanes: the deferred
+  // packed entries were already fetched scalar-ly at get() time (the
+  // order-1 context model needs each symbol before the next op), so the
+  // flush just replays them — no gather.
+  const __m256i p = _mm256_load_si256(reinterpret_cast<const __m256i*>(packed_vals));
+  const __m256i freq = _mm256_add_epi32(_mm256_srli_epi32(p, 20), _mm256_set1_epi32(1));
+  const __m256i bias = _mm256_and_si256(_mm256_srli_epi32(p, 8), _mm256_set1_epi32(0xFFF));
+  __m256i x = _mm256_add_epi32(_mm256_mullo_epi32(freq, _mm256_srli_epi32(x0, 12)), bias);
+  // Refill mask: x < 2^16 iff the high half is zero — an equality test on
+  // the shifted value, immune to the signed-compare pitfalls of epi32 min.
+  const __m256i need =
+      _mm256_cmpeq_epi32(_mm256_srli_epi32(x, 16), _mm256_setzero_si256());
+  const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(need));
+  // The shared stream hands word k to the k-th refilling lane (lane order ==
+  // op order, matching the scalar decoder): zero-extend 8 candidate words
+  // and permute each lane's word into place by its rank under the mask.
+  const __m128i w16 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(stream));
+  const __m256i words = _mm256_permutevar8x32_epi32(
+      _mm256_cvtepu16_epi32(w16),
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(detail::kPerm.rank[mask])));
+  const __m256i refilled = _mm256_or_si256(_mm256_slli_epi32(x, 16), words);
+  x = _mm256_blendv_epi8(x, refilled, need);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(states), x);
+  return 2 * static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+}
+
+#else  // !AW4A_ANS_SIMD_KERNEL: stub — PackedDecoder never dispatches here.
+
+inline std::size_t decode_group8_avx2(std::uint32_t*, const std::uint32_t*,
+                                      const std::uint8_t*) {
+  return 0;
+}
+
+#endif
+
+}  // namespace aw4a::imaging::ans::simd

@@ -744,16 +744,68 @@ DecodedLossy quantize_levels(const PreparedLossy& prep, int quality,
 
 namespace {
 
+/// The validated container fields of a kRans payload blob: everything
+/// between the magic and the entropy-coded spans, shared by the levels
+/// parser (rans_parse_payload) and the fused pixel decoder
+/// (rans_decode_fused) so the two paths cannot drift in what they accept.
+struct RansContainer {
+  ImageFormat format = ImageFormat::kJpeg;
+  int quality = 0;
+  int width = 0;
+  int height = 0;
+  ans::PackedSet tables;
+  std::array<std::uint32_t, ans::kNumStreams> states{};
+  const std::uint8_t* stream = nullptr;
+  std::uint32_t stream_len = 0;
+  const std::uint8_t* side = nullptr;
+  std::uint32_t side_len = 0;
+};
+
+RansContainer parse_rans_container(const std::uint8_t* data, std::size_t size) {
+  ans::ByteReader in(data, size);
+  if (in.read_u16() != kRansMagic) throw Error("ans: bad payload magic");
+  if (in.read_u8() != kRansVersion) throw Error("ans: unsupported payload version");
+  const int format = in.read_u8();
+  if (format != static_cast<int>(ImageFormat::kJpeg) &&
+      format != static_cast<int>(ImageFormat::kWebp)) {
+    throw Error("ans: payload format is not a lossy codec");
+  }
+  RansContainer out;
+  out.format = static_cast<ImageFormat>(format);
+  out.quality = in.read_u8();
+  if (out.quality < 1 || out.quality > 100) throw Error("ans: payload quality out of range");
+  out.width = in.read_u16();
+  out.height = in.read_u16();
+  // Bound allocations driven by attacker-controlled dims well above any
+  // proxy raster (the pipeline tops out around 0.2 MP).
+  if (out.width < 1 || out.height < 1 ||
+      static_cast<std::int64_t>(out.width) * out.height > (1 << 22)) {
+    throw Error("ans: payload dimensions out of range");
+  }
+  // Decode-only table parse: same bytes and validation as deserialize_table
+  // per table, but lands straight in the packed slot array the decoder
+  // indexes — no FreqTable, no encoder reciprocals, no per-table copies.
+  out.tables = ans::deserialize_packed_set(in, 2 * kCtxPerGroup);
+  for (std::uint32_t& s : out.states) s = in.read_u32();
+  out.stream_len = in.read_u32();
+  out.stream = in.read_span(out.stream_len);
+  out.side_len = in.read_u32();
+  out.side = in.read_span(out.side_len);
+  if (in.remaining() != 0) throw Error("ans: trailing bytes in payload");
+  return out;
+}
+
 /// Decodes one plane's blocks from the interleaved streams, mirroring
-/// RansCollector::add_plane symbol for symbol. `group_tables` points at the
-/// plane's group of kCtxPerGroup tables (3 DC-context, then 3 AC-context);
-/// the prediction and context state is plane-local, so cb and cr each get a
-/// fresh call even though they share the chroma tables.
-void decode_plane_levels(ans::InterleavedDecoder& dec, ans::BitReader& side,
-                         const ans::FreqTable* group_tables, std::int16_t* levels,
-                         int blocks_w, int blocks_h) {
-  auto resolve = [&side](ans::InterleavedDecoder& d, const ans::FreqTable& t) {
-    const int sym = d.get(t);
+/// RansCollector::add_plane symbol for symbol, through the packed-table
+/// production decoder (scalar or AVX2 by runtime dispatch). `table_base` is
+/// the index of the plane's group of kCtxPerGroup tables in the PackedSet
+/// (3 DC-context, then 3 AC-context); the prediction and context state is
+/// plane-local, so cb and cr each get a fresh call even though they share
+/// the chroma tables.
+void decode_plane_levels(ans::PackedDecoder& dec, ans::BitReader& side, int table_base,
+                         std::int16_t* levels, int blocks_w, int blocks_h) {
+  auto resolve = [&side, &dec, table_base](int t) {
+    const int sym = dec.get(static_cast<std::uint32_t>(table_base + t));
     return sym == ans::kEscapeSymbol ? static_cast<int>(side.get(8)) : sym;
   };
   std::array<int, 64> zz{};
@@ -763,7 +815,7 @@ void decode_plane_levels(ans::InterleavedDecoder& dec, ans::BitReader& side,
     int left = 0;
     for (int bx = 0; bx < blocks_w; ++bx) {
       zz.fill(0);
-      const int dcat = resolve(dec, group_tables[dc_ctx]);
+      const int dcat = resolve(dc_ctx);
       if (dcat > 15) throw Error("ans: bad dc category");
       const int diff = magnitude_extend(dcat > 0 ? side.get(dcat) : 0, dcat);
       const int pred = dc_predict(left, above[bx], bx > 0, by > 0);
@@ -774,7 +826,7 @@ void decode_plane_levels(ans::InterleavedDecoder& dec, ans::BitReader& side,
       int pos = 1;
       int ac_ctx = 0;
       while (pos < 64) {
-        const int sym = resolve(dec, group_tables[3 + ac_ctx]);
+        const int sym = resolve(3 + ac_ctx);
         if (sym == 0x00) break;  // EOB: rest of the block is zero
         if (sym == 0xF0) {       // ZRL: 16 zeros
           pos += 16;
@@ -794,42 +846,121 @@ void decode_plane_levels(ans::InterleavedDecoder& dec, ans::BitReader& side,
   }
 }
 
+/// The fused decode of one plane: entropy decode, sparse dequantization, and
+/// masked inverse DCT in a single pass, writing reconstructed (+128 domain)
+/// samples straight into `rec` — no levels buffer is ever materialized. The
+/// symbol walk is decode_plane_levels' exactly; the per-block dequant/mask/
+/// IDCT/store tail is reconstruct_lossy's exactly, with one structural
+/// change: instead of re-scanning 64 levels per block, the nonzeros are
+/// scattered into a zero-maintained `deq` block as they decode (the same +0.0f
+/// everywhere else, the same mask bits — only bits of genuinely nonzero
+/// levels, so DC-only and masked kernels see bit-identical inputs) and wiped
+/// after the IDCT. This is what lets a full rANS decode undercut the
+/// Huffman path's reconstruction despite also parsing a bitstream.
+void decode_plane_fused(ans::PackedDecoder& dec, ans::BitReader& side, int table_base,
+                        const std::array<int, 64>& quant, PlaneF& rec) {
+  int quant_nat[64];
+  for (int i = 0; i < 64; ++i) quant_nat[kZigzag[i]] = quant[i];
+  const int blocks_w = (rec.width + 7) / 8;
+  const int blocks_h = (rec.height + 7) / 8;
+  auto resolve = [&side, &dec, table_base](int t) {
+    const int sym = dec.get(static_cast<std::uint32_t>(table_base + t));
+    return sym == ans::kEscapeSymbol ? static_cast<int>(side.get(8)) : sym;
+  };
+  std::vector<int> above(static_cast<std::size_t>(blocks_w), 0);
+  alignas(32) float deq[64] = {};
+  float out[64];
+  std::uint8_t nz_at[64];
+  int dc_ctx = 0;
+  for (int by = 0; by < blocks_h; ++by) {
+    int left = 0;
+    for (int bx = 0; bx < blocks_w; ++bx) {
+      const int dcat = resolve(dc_ctx);
+      if (dcat > 15) throw Error("ans: bad dc category");
+      const int diff = magnitude_extend(dcat > 0 ? side.get(dcat) : 0, dcat);
+      const int pred = dc_predict(left, above[bx], bx > 0, by > 0);
+      const int dc = pred + diff;
+      dc_ctx = dc_ctx_of(dcat);
+      left = dc;
+      above[bx] = dc;
+      unsigned row_mask = 0;
+      unsigned col_mask = 0;
+      int n_nz = 0;
+      if (dc != 0) {
+        deq[0] = static_cast<float>(dc * quant_nat[0]);
+        row_mask = 1;
+        col_mask = 1;
+        nz_at[n_nz++] = 0;
+      }
+      int pos = 1;
+      int ac_ctx = 0;
+      while (pos < 64) {
+        const int sym = resolve(3 + ac_ctx);
+        if (sym == 0x00) break;  // EOB: rest of the block is zero
+        if (sym == 0xF0) {       // ZRL: 16 zeros
+          pos += 16;
+          continue;
+        }
+        const int run = sym >> 4;
+        const int cat = sym & 15;
+        pos += run;
+        if (pos > 63) throw Error("ans: coefficient run past block end");
+        const int level = magnitude_extend(cat > 0 ? side.get(cat) : 0, cat);
+        ac_ctx = ac_ctx_of(cat);
+        if (level != 0) {  // cat 0 inside a run symbol only occurs in corrupt streams
+          const int ni = kZigzag[pos];
+          deq[ni] = static_cast<float>(level * quant_nat[ni]);
+          row_mask |= 1u << (ni >> 3);
+          col_mask |= 1u << (ni & 7);
+          nz_at[n_nz++] = static_cast<std::uint8_t>(ni);
+        }
+        ++pos;
+      }
+      const int ymax = std::min(8, rec.height - by * 8);
+      const int xmax = std::min(8, rec.width - bx * 8);
+      float* block_tl = &rec.v[static_cast<std::size_t>(by) * 8 * rec.width +
+                               static_cast<std::size_t>(bx) * 8];
+      if (row_mask <= 1u && col_mask <= 1u) {
+        // DC-only blocks are flat (see idct8x8_dconly_value): fill the
+        // destination rows directly, skipping the 64-float scratch round
+        // trip. The value is bit-identical to idct8x8_dconly_fast's output
+        // plus the same +128.0f the generic tail adds.
+        const float v = idct8x8_dconly_value(deq[0]) + 128.0f;
+        for (int y = 0; y < ymax; ++y) {
+          float* row = block_tl + static_cast<std::size_t>(y) * rec.width;
+          for (int x = 0; x < xmax; ++x) row[x] = v;
+        }
+      } else if (n_nz <= 4 && ymax == 8 && xmax == 8) {
+        // The walk just told us this block carries at most 4 coefficients —
+        // information the 64-scan reconstruct path never has for free. The
+        // sparse kernel folds exactly those cells (bit-identical to the
+        // masked kernel + biased copy, see dct.h) with direct row stores.
+        idct8x8_sparse_biased(deq, row_mask, col_mask, block_tl, rec.width);
+      } else {
+        // Contiguous scratch then a vectorizable +128 copy: measured faster
+        // than folding the bias into a strided IDCT store pass, which costs
+        // the kernel its register-resident second pass.
+        idct8x8_fast_masked(deq, out, row_mask, col_mask);
+        for (int y = 0; y < ymax; ++y) {
+          float* row = block_tl + static_cast<std::size_t>(y) * rec.width;
+          for (int x = 0; x < xmax; ++x) row[x] = out[y * 8 + x] + 128.0f;
+        }
+      }
+      for (int i = 0; i < n_nz; ++i) deq[nz_at[i]] = 0.0f;
+    }
+  }
+}
+
 }  // namespace
 
 DecodedLossy rans_parse_payload(const std::uint8_t* data, std::size_t size) {
-  ans::ByteReader in(data, size);
-  if (in.read_u16() != kRansMagic) throw Error("ans: bad payload magic");
-  if (in.read_u8() != kRansVersion) throw Error("ans: unsupported payload version");
-  const int format = in.read_u8();
-  if (format != static_cast<int>(ImageFormat::kJpeg) &&
-      format != static_cast<int>(ImageFormat::kWebp)) {
-    throw Error("ans: payload format is not a lossy codec");
-  }
-  const int quality = in.read_u8();
-  if (quality < 1 || quality > 100) throw Error("ans: payload quality out of range");
-  const int w = in.read_u16();
-  const int h = in.read_u16();
-  // Bound allocations driven by attacker-controlled dims well above any
-  // proxy raster (the pipeline tops out around 0.2 MP).
-  if (w < 1 || h < 1 || static_cast<std::int64_t>(w) * h > (1 << 22)) {
-    throw Error("ans: payload dimensions out of range");
-  }
-
-  std::vector<ans::FreqTable> tables;
-  tables.reserve(2 * kCtxPerGroup);
-  for (int i = 0; i < 2 * kCtxPerGroup; ++i) tables.push_back(ans::deserialize_table(in));
-
-  std::array<std::uint32_t, ans::kNumStreams> states{};
-  for (std::uint32_t& s : states) s = in.read_u32();
-  const std::uint32_t stream_len = in.read_u32();
-  const std::uint8_t* stream = in.read_span(stream_len);
-  const std::uint32_t side_len = in.read_u32();
-  const std::uint8_t* side_bytes = in.read_span(side_len);
-  if (in.remaining() != 0) throw Error("ans: trailing bytes in payload");
+  const RansContainer c = parse_rans_container(data, size);
+  const int w = c.width;
+  const int h = c.height;
 
   DecodedLossy out;
-  out.format = static_cast<ImageFormat>(format);
-  out.quality = quality;
+  out.format = c.format;
+  out.quality = c.quality;
   out.width = w;
   out.height = h;
   const int cw = (w + 1) / 2;
@@ -839,15 +970,43 @@ DecodedLossy rans_parse_payload(const std::uint8_t* data, std::size_t size) {
   out.cb.resize(static_cast<std::size_t>(blocks(cw)) * blocks(ch) * 64);
   out.cr.resize(static_cast<std::size_t>(blocks(cw)) * blocks(ch) * 64);
 
-  ans::InterleavedDecoder dec(states, stream, stream_len);
-  ans::BitReader side(side_bytes, side_len);
-  decode_plane_levels(dec, side, &tables[0], out.luma.data(), blocks(w), blocks(h));
-  decode_plane_levels(dec, side, &tables[kCtxPerGroup], out.cb.data(), blocks(cw),
-                      blocks(ch));
-  decode_plane_levels(dec, side, &tables[kCtxPerGroup], out.cr.data(), blocks(cw),
-                      blocks(ch));
+  ans::PackedDecoder dec(c.states, c.stream, c.stream_len, c.tables);
+  ans::BitReader side(c.side, c.side_len);
+  decode_plane_levels(dec, side, 0, out.luma.data(), blocks(w), blocks(h));
+  decode_plane_levels(dec, side, kCtxPerGroup, out.cb.data(), blocks(cw), blocks(ch));
+  decode_plane_levels(dec, side, kCtxPerGroup, out.cr.data(), blocks(cw), blocks(ch));
   dec.expect_exhausted();
-  if (side.consumed_bytes() != side_len) throw Error("ans: side stream length mismatch");
+  if (side.consumed_bytes() != c.side_len) throw Error("ans: side stream length mismatch");
+  return out;
+}
+
+Raster rans_decode_fused(const std::uint8_t* data, std::size_t size) {
+  const RansContainer c = parse_rans_container(data, size);
+  const LossyParams params = lossy_params_for(c.format);
+  const auto lq = scaled_table(kLumaQuant, c.quality, params.hf_quant_scale);
+  const auto cq = scaled_table(kChromaQuant, c.quality, params.hf_quant_scale);
+  const int w = c.width;
+  const int h = c.height;
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+  static thread_local PlaneF ly, cb2, cr2;
+  auto reuse = [](PlaneF& p, int pw, int ph) {
+    p.width = pw;
+    p.height = ph;
+    p.v.resize(static_cast<std::size_t>(pw) * static_cast<std::size_t>(ph));
+  };
+  reuse(ly, w, h);
+  reuse(cb2, cw, ch);
+  reuse(cr2, cw, ch);
+  ans::PackedDecoder dec(c.states, c.stream, c.stream_len, c.tables);
+  ans::BitReader side(c.side, c.side_len);
+  decode_plane_fused(dec, side, 0, lq, ly);
+  decode_plane_fused(dec, side, kCtxPerGroup, cq, cb2);
+  decode_plane_fused(dec, side, kCtxPerGroup, cq, cr2);
+  dec.expect_exhausted();
+  if (side.consumed_bytes() != c.side_len) throw Error("ans: side stream length mismatch");
+  Raster out(w, h);
+  planes_to_raster(ly, cb2, cr2, w, h, nullptr, out);
   return out;
 }
 
@@ -1072,7 +1231,7 @@ Encoded Codec::encode_prepared(const Prepared& prep, int quality,
 }
 
 Raster lossy_decode(const std::vector<std::uint8_t>& payload) {
-  return detail::reconstruct_lossy(detail::rans_parse_payload(payload.data(), payload.size()));
+  return detail::rans_decode_fused(payload.data(), payload.size());
 }
 
 const Codec& codec_for(ImageFormat f) {

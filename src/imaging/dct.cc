@@ -1,6 +1,7 @@
 #include "imaging/dct.h"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "imaging/raster.h"
@@ -180,6 +181,54 @@ void idct8x8_fast_masked(const float* AW4A_RESTRICT in, float* AW4A_RESTRICT out
     }
     for (int x = 0; x < 8; ++x) out[y * 8 + x] = acc[x];
   }
+}
+
+void idct8x8_sparse_biased(const float* AW4A_RESTRICT in, unsigned row_mask,
+                           unsigned col_mask, float* AW4A_RESTRICT dst,
+                           std::size_t stride) {
+  const Tables& t = tables();
+  // Pass 1, regrouped by column: the masked kernel's tmp[y][u] is a fold
+  // (from +0, ascending v over active rows) of in[v*8+u] * fcos[y*8+v].
+  // Zero cells contribute exact ±0, so folding only the nonzero cells in
+  // the same ascending-v order gives the identical float per lane; with v
+  // fixed, fcos[y*8+v] over y is the contiguous row fcos_t[v*8 .. v*8+7],
+  // so each nonzero cell is one broadcast-multiply-accumulate across y.
+  std::uint8_t cols[8];
+  int k = 0;
+  for (unsigned m = col_mask; m != 0; m &= m - 1)
+    cols[k++] = static_cast<std::uint8_t>(__builtin_ctz(m));
+  float colacc[8][8];  // [active-col rank][y] == tmp[y][cols[rank]]
+  for (int j = 0; j < k; ++j) {
+    const int u = cols[j];
+    float acc[8] = {};
+    for (unsigned rm = row_mask; rm != 0; rm &= rm - 1) {
+      const int v = __builtin_ctz(rm);
+      const float val = in[v * 8 + u];
+      if (val == 0.0f) continue;
+      const float* AW4A_RESTRICT c = t.fcos_t + v * 8;
+      for (int y = 0; y < 8; ++y) acc[y] += val * c[y];
+    }
+    for (int y = 0; y < 8; ++y) colacc[j][y] = acc[y];
+  }
+  // Pass 2 is the masked kernel's verbatim (fold over active u ascending),
+  // fused with the caller's per-sample +128.0f and stored to the plane row.
+  for (int y = 0; y < 8; ++y) {
+    float acc[8] = {};
+    for (int j = 0; j < k; ++j) {
+      const float v = colacc[j][y];
+      const float* AW4A_RESTRICT c = t.fcos_t + cols[j] * 8;
+      for (int x = 0; x < 8; ++x) acc[x] += v * c[x];
+    }
+    float* AW4A_RESTRICT row = dst + y * stride;
+    for (int x = 0; x < 8; ++x) row[x] = acc[x] + 128.0f;
+  }
+}
+
+float idct8x8_dconly_value(float dc) {
+  const Tables& t = tables();
+  // The same two multiplies, in the same order, as idct8x8_dconly_fast
+  // applies per sample (fcos[y*8] and fcos_t[x] are constant over y and x).
+  return (dc * t.fcos[0]) * t.fcos_t[0];
 }
 
 void idct8x8_dconly_fast(float dc, float* AW4A_RESTRICT out) {

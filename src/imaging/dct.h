@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <vector>
 
 namespace aw4a::imaging {
@@ -49,6 +50,15 @@ void idct8x8_fast(const float* in, float* out);
 /// reconstruct pass takes this path for most of its IDCT work.
 void idct8x8_dconly_fast(float dc, float* out);
 
+/// The single value every sample of idct8x8_dconly_fast's output equals.
+/// The u=0 basis column is exactly constant (cos(0) == 1.0 for every x, so
+/// all 8 table entries are the same float), which makes a DC-only block
+/// flat; this computes that flat value with the kernel's own two multiplies
+/// in the kernel's own order, hence bit-identical to each of its 64
+/// outputs. Lets the fused payload decoder fill DC-only blocks directly
+/// into the destination plane without a 64-float scratch round trip.
+float idct8x8_dconly_value(float dc);
+
 /// idct8x8_fast that skips coefficient rows/columns declared all-zero by
 /// the caller: bit v of `row_mask` (bit u of `col_mask`) must be set if any
 /// in[v*8 + u] of that row (column) is nonzero. Skipped passes only elide
@@ -58,6 +68,21 @@ void idct8x8_dconly_fast(float dc, float* out);
 /// most high-frequency rows and columns, which makes this the common-case
 /// kernel of the reconstruct pass.
 void idct8x8_fast_masked(const float* in, float* out, unsigned row_mask, unsigned col_mask);
+
+/// Sparse-block inverse transform writing straight into a destination
+/// plane: stores idct8x8_fast_masked(in, ·, row_mask, col_mask) plus a
+/// +128.0f bias to dst[y * stride + x] for the full 8x8 block. Bit-identical
+/// to running the masked kernel into a scratch block and copying with
+/// `+ 128.0f` per sample (the bias is the same single final addition either
+/// way; elided zero cells only drop exact ±0 addends — products of the
+/// nonzero coefficients with basis entries are never ±0, and intermediate
+/// sums can reach +0 but never -0 under round-to-nearest, so x + ±0 == x
+/// holds at every fold step). Iterates nonzero *cells* rather than active
+/// rows, so it beats the masked kernel when a block carries only a handful
+/// of coefficients — the common shape the fused rANS decoder sees, and the
+/// one caller, since only its symbol walk knows the nonzero count for free.
+void idct8x8_sparse_biased(const float* in, unsigned row_mask, unsigned col_mask,
+                           float* dst, std::size_t stride);
 
 /// Forward DCT coefficients of one color plane: blocks stored contiguously
 /// in raster order, 64 floats per block, row-major within a block. Edge

@@ -191,5 +191,40 @@ TEST(DctFast, MaskedMatchesGeneralKernelBitExactly) {
   }
 }
 
+// The sparse direct-store kernel must be bit-identical to the masked kernel
+// followed by a +128.0f biased copy, for any nonzero pattern and any row
+// stride — it is the fused rANS decoder's few-coefficient fast path.
+TEST(DctFast, SparseBiasedMatchesMaskedPlusBiasBitExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n_nz = trial % 7;  // the caller gates on <= 4; cover past it
+    Block8 freq{};
+    for (int k = 0; k < n_nz; ++k) {
+      freq[static_cast<std::size_t>(rng.uniform_int(0, 63))] =
+          static_cast<float>(rng.uniform(-1016, 1016));
+    }
+    unsigned row_mask = 0;
+    unsigned col_mask = 0;
+    for (int i = 0; i < 64; ++i) {
+      const unsigned nz = freq[i] != 0.0f;
+      row_mask |= nz << (i >> 3);
+      col_mask |= nz << (i & 7);
+    }
+    if (col_mask == 0) continue;  // all-zero block: callers take the DC path
+    Block8 masked{};
+    idct8x8_fast_masked(freq.data(), masked.data(), row_mask, col_mask);
+    const std::size_t stride = 8 + static_cast<std::size_t>(trial % 3) * 13;
+    std::vector<float> plane(8 * stride, -1.0f);
+    idct8x8_sparse_biased(freq.data(), row_mask, col_mask, plane.data(), stride);
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        ASSERT_EQ(plane[static_cast<std::size_t>(y) * stride + x],
+                  masked[y * 8 + x] + 128.0f)
+            << "trial " << trial << " y " << y << " x " << x;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aw4a::imaging

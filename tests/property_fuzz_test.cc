@@ -268,6 +268,111 @@ TEST_P(PropertyTest, RansPayloadDecodeNeverReadsOutOfBounds) {
   }
 }
 
+namespace {
+/// Forces an rANS dispatch mode and restores kAuto on scope exit.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(imaging::ans::SimdMode mode) {
+    imaging::ans::set_simd_mode(mode);
+  }
+  ~ScopedSimdMode() { imaging::ans::set_simd_mode(imaging::ans::SimdMode::kAuto); }
+};
+}  // namespace
+
+TEST_P(PropertyTest, RansScalarAndSimdDecodeIdentically) {
+  namespace ans = imaging::ans;
+  if (!ans::simd_available()) GTEST_SKIP() << "no AVX2 kernel on this host";
+  // Random multi-table op streams across the shapes that stress the lane
+  // machinery differently: skewed alphabets (rare renorms), escape-heavy
+  // tables (max-frequency slots), pure-escape degenerate tables, and tail
+  // lengths that leave partial 8-op groups.
+  Rng rng(GetParam() ^ 0x51D);
+  const int n_tables = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<ans::FreqTable> tables;
+  for (int t = 0; t < n_tables; ++t) {
+    const int n_alphabet = static_cast<int>(rng.uniform_int(1, 256));
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(n_alphabet), 0);
+    if (!rng.bernoulli(0.15)) {  // 15%: all-zero counts -> pure-escape table
+      const double skew = rng.uniform(0.0, 3.0);
+      const int draws = static_cast<int>(rng.uniform_int(1, 3000));
+      for (int i = 0; i < draws; ++i) {
+        const double u = rng.uniform(0.0, 1.0);
+        const int s = std::min(static_cast<int>(std::pow(u, 1.0 + skew) * n_alphabet),
+                               n_alphabet - 1);
+        counts[static_cast<std::size_t>(s)]++;
+      }
+    }
+    tables.push_back(ans::build_table(counts.data(), n_alphabet));
+  }
+  const int length = static_cast<int>(rng.uniform_int(0, 4000));
+  std::vector<ans::SymbolRef> ops;
+  for (int i = 0; i < length; ++i) {
+    const auto t = static_cast<std::uint16_t>(rng.uniform_int(0, n_tables - 1));
+    const auto& syms = tables[t].symbols;
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(syms.size()) - 1));
+    ops.push_back({t, syms[pick]});
+  }
+  const ans::EncodedStreams enc = ans::encode_interleaved(ops, tables);
+  const ans::PackedSet set(tables);
+  auto decode_all = [&](ans::SimdMode mode) {
+    ScopedSimdMode guard(mode);
+    ans::PackedDecoder dec(enc.states, enc.stream.data(), enc.stream.size(), set);
+    std::vector<int> out;
+    out.reserve(ops.size());
+    for (const ans::SymbolRef& op : ops) out.push_back(dec.get(op.table));
+    dec.expect_exhausted();
+    return out;
+  };
+  ASSERT_EQ(decode_all(ans::SimdMode::kSimd), decode_all(ans::SimdMode::kScalar));
+}
+
+TEST_P(PropertyTest, RansScalarAndSimdRejectIdentically) {
+  namespace ans = imaging::ans;
+  if (!ans::simd_available()) GTEST_SKIP() << "no AVX2 kernel on this host";
+  // Accept/reject of a payload blob — truncated, tampered, or pristine —
+  // must not depend on the dispatch mode, and accepted blobs must decode to
+  // identical rasters. (The SIMD flush may *surface* a truncation a few
+  // symbols later; this pins that it never changes the verdict.)
+  Rng rng(GetParam() ^ 0x51AD0);
+  Rng img_rng(GetParam() ^ 0x77);
+  const imaging::Raster img =
+      imaging::synth_image(img_rng, imaging::ImageClass::kPhoto, 56, 40);
+  const int quality = static_cast<int>(rng.uniform_int(30, 95));
+  const std::vector<std::uint8_t> blob =
+      imaging::jpeg_encode(img, quality, imaging::EntropyBackend::kRans).payload;
+  ASSERT_FALSE(blob.empty());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> bad = blob;
+    if (trial > 0) {  // trial 0 checks the pristine blob
+      if (rng.bernoulli(0.5)) {
+        bad.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1)));
+      } else {
+        const int flips = static_cast<int>(rng.uniform_int(1, 8));
+        for (int f = 0; f < flips; ++f) {
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(bad.size()) - 1));
+          bad[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+      }
+    }
+    auto attempt = [&](ans::SimdMode mode)
+        -> std::pair<bool, std::vector<imaging::Pixel>> {
+      ScopedSimdMode guard(mode);
+      try {
+        return {true, imaging::lossy_decode(bad).pixels()};
+      } catch (const Error&) {
+        return {false, {}};
+      }
+    };
+    const auto scalar = attempt(ans::SimdMode::kScalar);
+    const auto simd = attempt(ans::SimdMode::kSimd);
+    ASSERT_EQ(scalar.first, simd.first) << "trial " << trial;
+    ASSERT_TRUE(scalar.second == simd.second) << "trial " << trial;
+  }
+}
+
 // --- markup rewrite container ----------------------------------------------
 
 web::MarkupDoc random_markup_doc(Rng& rng) {

@@ -20,10 +20,18 @@ cmake --build build -j >/dev/null
 cmake -B build-asan -S . -DAW4A_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target robustness_test serving_asset_store_test imaging_ans_test web_markup_test >/dev/null
 (cd build-asan && ctest --output-on-failure --timeout 300 -R '^(robustness_test|serving_asset_store_test|imaging_ans_test|web_markup_test)$')
+# The rANS coder once more under each forced dispatch mode: the scalar and
+# AVX2 decode paths take different code (deferred lane groups, the vector
+# renorm's 16-byte stream load), so both must be sanitizer-clean — the env
+# override steers every kAuto decode in the suite down the forced path.
+(cd build-asan && AW4A_ANS_SIMD=scalar ctest --output-on-failure --timeout 300 -R '^imaging_ans_test$')
+(cd build-asan && AW4A_ANS_SIMD=simd ctest --output-on-failure --timeout 300 -R '^imaging_ans_test$')
 
 cmake -B build-ubsan -S . -DAW4A_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure --timeout 300 -j "$(nproc)")
+(cd build-ubsan && AW4A_ANS_SIMD=scalar ctest --output-on-failure --timeout 300 -R '^imaging_ans_test$')
+(cd build-ubsan && AW4A_ANS_SIMD=simd ctest --output-on-failure --timeout 300 -R '^imaging_ans_test$')
 
 cmake -B build-tsan -S . -DAW4A_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target serving_test serving_stress_test serving_overload_test serving_asset_store_test imaging_ans_test >/dev/null
@@ -60,7 +68,10 @@ python3 tools/bench_guard.py \
   --committed BENCH_pipeline.json --fresh "$fresh_dir/BENCH_pipeline.json" \
   --metric cold_build_tiers_shared_cache --metric ssim_dense_integral \
   --metric encode_ladder_rans --metric decode_ladder_huffman \
-  --metric decode_ladder_rans --metric rans_payload_reduction
+  --metric decode_ladder_rans --metric rans_payload_reduction \
+  --metric 'rans_decode_mb_per_s:higher' \
+  --metric 'rans_decode_speedup:higher' \
+  --metric 'rans_encode_speedup:higher'
 python3 tools/bench_guard.py \
   --committed BENCH_serving.json --fresh "$fresh_dir/BENCH_serving.json" \
   --metric 'overload_2x/goodput' \
